@@ -1,0 +1,63 @@
+// Ablation of the geometric optimizations (§4.3–4.4): Hamerly-style
+// distance bounds and bounding-box pruning. Verifies the paper's claim that
+// "the innermost loop can be skipped in about 80% of the cases" and
+// quantifies the distance-computation savings of each optimization.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/geographer.hpp"
+#include "gen/delaunay2d.hpp"
+#include "gen/meshes2d.hpp"
+#include "graph/metrics.hpp"
+
+namespace {
+
+using namespace geo;
+
+void runCase(const std::string& meshName, const gen::Mesh2& mesh, std::int32_t k,
+             Table& table) {
+    struct Config {
+        const char* name;
+        bool hamerly, bbox;
+    };
+    const Config configs[] = {{"both", true, true},
+                              {"bounds-only", true, false},
+                              {"bbox-only", false, true},
+                              {"neither", false, false}};
+    std::int64_t cutBoth = -1;
+    for (const auto& cfg : configs) {
+        core::Settings s;
+        s.hamerlyBounds = cfg.hamerly;
+        s.boundingBoxPruning = cfg.bbox;
+        // 8 ranks: bbox pruning works against *rank-local* bounding boxes,
+        // so it only prunes once each rank holds a small part of the domain.
+        Timer t;
+        const auto res = core::partitionGeographer<2>(mesh.points, {}, k, 8, s);
+        const double seconds = t.seconds();
+        const auto cut = graph::edgeCut(mesh.graph, res.partition);
+        if (cutBoth < 0) cutBoth = cut;
+        table.addRow({meshName, cfg.name, Table::num(seconds, 3),
+                      Table::num(res.counters.skipFraction(), 3),
+                      std::to_string(res.counters.distanceCalcs),
+                      std::to_string(res.counters.bboxBreaks), std::to_string(cut),
+                      cut == cutBoth ? "yes" : "NO"});
+    }
+}
+
+}  // namespace
+
+int main() {
+    const std::int32_t k = 32;
+    std::cout << "=== Ablation: Hamerly bounds + bbox pruning (k=" << k << ") ===\n\n";
+    Table table({"graph", "config", "time[s]", "skipFrac", "distCalcs", "bboxBreaks", "cut",
+                 "same cut"});
+    const auto del = gen::delaunay2d(40000, 3);
+    runCase("delaunay2d-40k", del, k, table);
+    const auto tric = gen::refinedTriMesh(40000, 3, 3);
+    runCase("hugetric-analog-40k", tric, k, table);
+    table.print(std::cout);
+    std::cout << "\nPaper claim: with both optimizations the inner loop is skipped in\n"
+                 "~80% of the point evaluations, and the optimizations do not change\n"
+                 "the result (same cut).\n";
+    return 0;
+}

@@ -1,0 +1,42 @@
+// §4.3 claim check: "Nearest-neighbor data structures like kd-trees are
+// outperformed by simpler distance bounds in most published experiments."
+// Runs the identical balanced k-means with (a) Hamerly bounds + bbox
+// pruning, (b) a kd-tree over the centers, (c) kd-tree + Hamerly skip,
+// (d) plain linear scans, and compares wall time at several k.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/geographer.hpp"
+#include "gen/delaunay2d.hpp"
+#include "graph/metrics.hpp"
+
+int main() {
+    using namespace geo;
+    const auto mesh = gen::delaunay2d(40000, 21);
+    std::cout << "=== Ablation: distance bounds vs kd-tree (delaunay2d n=40000) ===\n\n";
+
+    Table table({"k", "bounds+bbox[s]", "kdtree[s]", "kdtree+bounds[s]", "linear[s]",
+                 "same cut"});
+    for (const std::int32_t k : {8, 32, 128}) {
+        auto run = [&](bool bounds, bool bbox, bool kdtree) {
+            core::Settings s;
+            s.hamerlyBounds = bounds;
+            s.boundingBoxPruning = bbox;
+            s.useKdTree = kdtree;
+            Timer t;
+            const auto res = core::partitionGeographer<2>(mesh.points, {}, k, 8, s);
+            return std::pair(t.seconds(), graph::edgeCut(mesh.graph, res.partition));
+        };
+        const auto [tBounds, cutBounds] = run(true, true, false);
+        const auto [tTree, cutTree] = run(false, false, true);
+        const auto [tBoth, cutBoth] = run(true, false, true);
+        const auto [tLinear, cutLinear] = run(false, false, false);
+        const bool same = cutBounds == cutTree && cutTree == cutBoth && cutBoth == cutLinear;
+        table.addRow({std::to_string(k), Table::num(tBounds, 3), Table::num(tTree, 3),
+                      Table::num(tBoth, 3), Table::num(tLinear, 3), same ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper claim (§4.3): the bounds+bbox configuration beats the kd-tree\n"
+                 "(both beat plain linear scans at larger k).\n";
+    return 0;
+}

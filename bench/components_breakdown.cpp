@@ -1,0 +1,37 @@
+// §5.3.2 "Components": share of total Geographer time spent in the three
+// phases (Hilbert indexing, redistribution, balanced k-means) as the rank
+// count grows. Paper observation on Delaunay2B: at p=1024 redistribution
+// takes 32% and k-means 47%; at p=16384 redistribution 46%, k-means 42% —
+// the redistribution share grows with p.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/geographer.hpp"
+#include "gen/delaunay2d.hpp"
+
+int main() {
+    using namespace geo;
+    const std::int64_t n = 65536;
+    const std::int32_t k = 32;
+    std::cout << "=== Components breakdown (delaunay2d n=" << n << ", k=" << k
+              << ") ===\n\n";
+    const auto mesh = gen::delaunay2d(n, 9);
+
+    Table table({"ranks", "hilbert[s]", "redistribute[s]", "kmeans[s]", "hilbert%",
+                 "redistribute%", "kmeans%"});
+    for (const int ranks : {1, 2, 4, 8, 16, 32}) {
+        core::Settings settings;
+        const auto res = core::partitionGeographer<2>(mesh.points, {}, k, ranks, settings);
+        const double h = res.phaseSeconds.at("hilbert");
+        const double r = res.phaseSeconds.at("redistribute");
+        const double m = res.phaseSeconds.at("kmeans");
+        const double total = h + r + m;
+        table.addRow({std::to_string(ranks), Table::num(h, 3), Table::num(r, 3),
+                      Table::num(m, 3), Table::num(100.0 * h / total, 3),
+                      Table::num(100.0 * r / total, 3), Table::num(100.0 * m / total, 3)});
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper shape: k-means dominates at small p; the redistribution share\n"
+                 "grows with the number of processes.\n";
+    return 0;
+}

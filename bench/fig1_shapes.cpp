@@ -1,0 +1,41 @@
+// Figure 1: visual comparison of partition shapes on a hugetric-style mesh,
+// 8 blocks, for all five tools. Writes one SVG per tool and prints the
+// shape statistics the pictures illustrate (RCB/RIB: thin long blocks;
+// MJ: rectangles; HSFC: wrinkled boundaries; Geographer: curved compact
+// blocks).
+#include <filesystem>
+#include <iostream>
+
+#include "baseline/tools.hpp"
+#include "common.hpp"
+#include "gen/meshes2d.hpp"
+#include "graph/metrics.hpp"
+#include "io/svg.hpp"
+
+int main() {
+    using namespace geo;
+    const std::int64_t n = 30000;
+    const std::int32_t k = 8;
+    std::cout << "=== Fig. 1: partition shapes (hugetric-analog, " << n << " points, k="
+              << k << ") ===\n\n";
+    const auto mesh = gen::refinedTriMesh(n, 3, /*seed=*/4711);
+
+    const std::string outDir = "fig1_out";
+    std::filesystem::create_directories(outDir);
+
+    Table table({"tool", "cut", "totCommVol", "harmDiam", "disconnected", "svg"});
+    for (const auto& tool : baseline::tools2()) {
+        const auto res = tool.run(mesh.points, {}, k, 0.03, 1, 1);
+        const auto m = graph::evaluatePartition(mesh.graph, res.partition, k);
+        const std::string svg = outDir + "/" + tool.name + ".svg";
+        io::writeSvgPartition(svg, mesh.points, res.partition, k, 900,
+                              tool.name + " on " + mesh.name);
+        table.addRow({tool.name, std::to_string(m.edgeCut),
+                      std::to_string(m.totalCommVolume), Table::num(m.harmonicMeanDiameter, 4),
+                      std::to_string(m.disconnectedBlocks), svg});
+    }
+    table.print(std::cout);
+    std::cout << "\nInspect the SVGs: balanced k-means yields curved compact blocks;\n"
+                 "RCB/RIB produce thin slabs, HSFC wrinkled boundaries (paper Fig. 1).\n";
+    return 0;
+}

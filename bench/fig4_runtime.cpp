@@ -1,0 +1,97 @@
+// Figure 4: running time vs instance size across all graph families, with a
+// fixed target of points per block (paper: 250k points/block, k chosen per
+// graph as the nearest power of two; we target 4096 points/block) and
+// least-squares trend lines per tool in log–log space.
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+#include "gen/registry.hpp"
+
+namespace {
+
+/// Least-squares slope/intercept of log2(t) over log2(n).
+struct Fit {
+    double slope = 0.0;
+    double intercept = 0.0;
+};
+
+Fit fitLogLog(const std::vector<std::pair<double, double>>& nt) {
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (const auto& [n, t] : nt) {
+        const double x = std::log2(n), y = std::log2(std::max(t, 1e-9));
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    const auto m = static_cast<double>(nt.size());
+    Fit f;
+    f.slope = (m * sxy - sx * sy) / std::max(m * sxx - sx * sx, 1e-12);
+    f.intercept = (sy - f.slope * sx) / m;
+    return f;
+}
+
+}  // namespace
+
+int main() {
+    using namespace geo;
+    const std::int64_t pointsPerBlock = 4096;
+    const std::vector<std::int64_t> sizes{8192, 16384, 32768, 65536};
+
+    std::cout << "=== Fig. 4: running time vs n, " << pointsPerBlock
+              << " points per block ===\n\n";
+
+    Table table({"graph", "n", "k", "geoKmeans[s]", "MJ[s]", "Rcb[s]", "Rib[s]", "Hsfc[s]"});
+    std::map<std::string, std::vector<std::pair<double, double>>> series;
+
+    auto record = [&](const std::string& name, std::int64_t n,
+                      const std::vector<bench::ToolRow>& rows) {
+        // k = power of two closest to n / pointsPerBlock.
+        std::vector<std::string> cells{name, std::to_string(n), ""};
+        for (const auto& row : rows) {
+            series[row.tool].emplace_back(static_cast<double>(n), row.seconds);
+            cells.push_back(Table::num(row.seconds, 3));
+        }
+        cells[2] = std::to_string(
+            1 << static_cast<int>(std::lround(std::log2(static_cast<double>(n) /
+                                                        static_cast<double>(pointsPerBlock)))));
+        table.addRow(cells);
+    };
+
+    for (const auto& spec : gen::catalog2d()) {
+        for (const auto n : sizes) {
+            const auto k = static_cast<std::int32_t>(
+                1 << static_cast<int>(std::lround(std::log2(
+                    static_cast<double>(n) / static_cast<double>(pointsPerBlock)))));
+            const auto mesh = spec.make(n, 11);
+            record(spec.name, n, bench::runAllTools<2>(mesh, std::max(k, 2), 0.03, 11,
+                                                       /*spmvIterations=*/0,
+                                                       /*computeDiameter=*/false));
+        }
+    }
+    for (const auto& spec : gen::catalog3d()) {
+        for (const auto n : sizes) {
+            if (spec.name == "delaunay3d" && n > 32768) continue;  // keep runtime sane
+            const auto k = static_cast<std::int32_t>(
+                1 << static_cast<int>(std::lround(std::log2(
+                    static_cast<double>(n) / static_cast<double>(pointsPerBlock)))));
+            const auto mesh = spec.make(n, 11);
+            record(spec.name, n, bench::runAllTools<3>(mesh, std::max(k, 2), 0.03, 11, 0,
+                                                       false));
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nLeast-squares fits of log2(time) over log2(n):\n";
+    Table fits({"tool", "slope", "time(n=2^20) [s]"});
+    for (const auto& [tool, nt] : series) {
+        const auto f = fitLogLog(nt);
+        fits.addRow({tool, Table::num(f.slope, 3),
+                     Table::num(std::exp2(f.slope * 20.0 + f.intercept), 3)});
+    }
+    fits.print(std::cout);
+    std::cout << "\nPaper shape: all tools near slope 1 (linear in n); geoKmeans has the\n"
+                 "largest constant, Hsfc/MJ the smallest.\n";
+    return 0;
+}

@@ -1,0 +1,142 @@
+// Google-benchmark micro-kernels for the hot paths: Hilbert indexing
+// (phase 1 of Geographer), the balanced k-means assignment sweep with and
+// without the geometric optimizations, distributed sample sort, and the
+// baseline partitioners.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baseline/hsfc.hpp"
+#include "baseline/multijagged.hpp"
+#include "baseline/rcb.hpp"
+#include "core/balanced_kmeans.hpp"
+#include "geometry/box.hpp"
+#include "par/comm.hpp"
+#include "par/sort.hpp"
+#include "sfc/hilbert.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace geo;
+
+std::vector<Point2> points2(std::int64_t n, std::uint64_t seed = 1) {
+    Xoshiro256 rng(seed);
+    std::vector<Point2> pts;
+    pts.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i)
+        pts.push_back(Point2{{rng.uniform(), rng.uniform()}});
+    return pts;
+}
+
+std::vector<Point3> points3(std::int64_t n, std::uint64_t seed = 1) {
+    Xoshiro256 rng(seed);
+    std::vector<Point3> pts;
+    pts.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i)
+        pts.push_back(Point3{{rng.uniform(), rng.uniform(), rng.uniform()}});
+    return pts;
+}
+
+void BM_HilbertIndex2D(benchmark::State& state) {
+    const auto pts = points2(state.range(0));
+    const auto bb = Box2::around(std::span<const Point2>(pts));
+    for (auto _ : state) {
+        std::uint64_t acc = 0;
+        for (const auto& p : pts) acc ^= sfc::hilbertIndex<2>(p, bb);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HilbertIndex2D)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_HilbertIndex3D(benchmark::State& state) {
+    const auto pts = points3(state.range(0));
+    const auto bb = Box3::around(std::span<const Point3>(pts));
+    for (auto _ : state) {
+        std::uint64_t acc = 0;
+        for (const auto& p : pts) acc ^= sfc::hilbertIndex<3>(p, bb);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HilbertIndex3D)->Arg(1 << 14)->Arg(1 << 17);
+
+void kmeansBench(benchmark::State& state, bool hamerly, bool bbox) {
+    const auto pts = points2(state.range(0));
+    Xoshiro256 rng(7);
+    std::vector<Point2> centers;
+    for (int c = 0; c < 16; ++c)
+        centers.push_back(Point2{{rng.uniform(), rng.uniform()}});
+    core::Settings s;
+    s.hamerlyBounds = hamerly;
+    s.boundingBoxPruning = bbox;
+    s.sampledInitialization = false;
+    for (auto _ : state) {
+        par::runSpmd(1, [&](par::Comm& comm) {
+            auto out = core::balancedKMeans<2>(comm, pts, {}, centers, s);
+            benchmark::DoNotOptimize(out.assignment.data());
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_BalancedKMeans_Optimized(benchmark::State& state) {
+    kmeansBench(state, true, true);
+}
+BENCHMARK(BM_BalancedKMeans_Optimized)->Arg(1 << 14);
+
+void BM_BalancedKMeans_NoBounds(benchmark::State& state) {
+    kmeansBench(state, false, false);
+}
+BENCHMARK(BM_BalancedKMeans_NoBounds)->Arg(1 << 14);
+
+void BM_SampleSort(benchmark::State& state) {
+    const auto perRank = state.range(0);
+    for (auto _ : state) {
+        par::runSpmd(4, [&](par::Comm& comm) {
+            Xoshiro256 rng(10 + static_cast<std::uint64_t>(comm.rank()));
+            std::vector<par::KeyedRecord<std::uint64_t, std::int64_t>> local;
+            for (std::int64_t i = 0; i < perRank; ++i)
+                local.push_back({rng(), i});
+            auto sorted = par::sampleSort(comm, std::move(local));
+            benchmark::DoNotOptimize(sorted.data());
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * perRank * 4);
+}
+BENCHMARK(BM_SampleSort)->Arg(1 << 13);
+
+void BM_Rcb(benchmark::State& state) {
+    const auto pts = points2(state.range(0));
+    for (auto _ : state) {
+        auto part = baseline::rcb<2>(pts, {}, 64);
+        benchmark::DoNotOptimize(part.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Rcb)->Arg(1 << 16);
+
+void BM_MultiJagged(benchmark::State& state) {
+    const auto pts = points2(state.range(0));
+    for (auto _ : state) {
+        auto part = baseline::multiJagged<2>(pts, {}, 64);
+        benchmark::DoNotOptimize(part.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MultiJagged)->Arg(1 << 16);
+
+void BM_Hsfc(benchmark::State& state) {
+    const auto pts = points2(state.range(0));
+    for (auto _ : state) {
+        auto part = baseline::hsfc<2>(pts, {}, 64);
+        benchmark::DoNotOptimize(part.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Hsfc)->Arg(1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

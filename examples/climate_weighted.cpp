@@ -1,0 +1,54 @@
+// 2.5D climate mesh partitioning with node weights — the weather/ocean
+// use case that motivates the paper (§1): the 2D surface mesh carries the
+// number of vertical levels as a node weight, and the partition must
+// balance *weighted* load.
+//
+//   ./climate_weighted [numPoints] [blocks]
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/geographer.hpp"
+#include "gen/climate.hpp"
+#include "graph/metrics.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+    const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 20000;
+    const std::int32_t k = argc > 2 ? std::atoi(argv[2]) : 12;
+
+    std::cout << "Generating a FESOM-style ocean mesh (" << n
+              << " surface points, up to 40 vertical levels)...\n";
+    const auto mesh = geo::gen::climate25d(n, /*maxLevels=*/40, /*seed=*/11);
+
+    double totalLevels = 0.0;
+    for (const double w : mesh.weights) totalLevels += w;
+    std::cout << "Total 3D grid points represented: " << static_cast<long long>(totalLevels)
+              << " (avg " << totalLevels / static_cast<double>(n) << " levels/column)\n\n";
+
+    geo::core::Settings settings;
+    settings.epsilon = 0.05;
+
+    // Weighted partition: balances 3D work.
+    const auto weighted =
+        geo::core::partitionGeographer<2>(mesh.points, mesh.weights, k, 4, settings);
+    // Unweighted partition: balances surface columns only.
+    const auto unweighted =
+        geo::core::partitionGeographer<2>(mesh.points, {}, k, 4, settings);
+
+    geo::Table table({"partition", "columnImbalance", "workImbalance", "cut"});
+    auto report = [&](const char* name, const geo::graph::Partition& part) {
+        table.addRow({name,
+                      geo::Table::num(geo::graph::imbalance(part, k), 4),
+                      geo::Table::num(geo::graph::imbalance(part, k, mesh.weights), 4),
+                      std::to_string(geo::graph::edgeCut(mesh.graph, part))});
+    };
+    report("weight-aware", weighted.partition);
+    report("unweighted", unweighted.partition);
+    table.print(std::cout);
+
+    std::cout << "\nThe weight-aware partition keeps the 3D work imbalance within "
+              << settings.epsilon << ";\nthe unweighted one balances columns but can "
+                 "overload blocks over deep ocean.\n";
+    return 0;
+}

@@ -1,0 +1,40 @@
+// Compare all five partitioners (Geographer, MultiJagged, RCB, RIB, HSFC)
+// on an adaptively refined simulation mesh — the workflow of the paper's
+// evaluation, on one instance.
+//
+//   ./mesh_comparison [numPoints] [blocks]
+#include <cstdlib>
+#include <iostream>
+
+#include "baseline/tools.hpp"
+#include "gen/meshes2d.hpp"
+#include "graph/metrics.hpp"
+#include "spmv/spmv.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+    const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 30000;
+    const std::int32_t k = argc > 2 ? std::atoi(argv[2]) : 16;
+
+    std::cout << "Generating a hugetric-style refined triangle mesh (" << n
+              << " points)...\n\n";
+    const auto mesh = geo::gen::refinedTriMesh(n, /*traces=*/3, /*seed=*/7);
+
+    geo::Table table({"tool", "time[s]", "cut", "maxCommVol", "totCommVol", "harmDiam",
+                      "imbalance", "spmvComm[s]"});
+    for (const auto& tool : geo::baseline::tools2()) {
+        const auto res = tool.run(mesh.points, {}, k, 0.03, /*ranks=*/1, /*seed=*/1);
+        const auto m = geo::graph::evaluatePartition(mesh.graph, res.partition, k);
+        const auto spmv = geo::spmv::runSpmv(mesh.graph, res.partition, k, 20);
+        table.addRow({tool.name, geo::Table::num(res.seconds, 3),
+                      std::to_string(m.edgeCut), std::to_string(m.maxCommVolume),
+                      std::to_string(m.totalCommVolume),
+                      geo::Table::num(m.harmonicMeanDiameter, 4),
+                      geo::Table::num(m.imbalance, 3),
+                      geo::Table::num(spmv.modeledCommSecondsPerIteration, 3)});
+    }
+    table.print(std::cout);
+    std::cout << "\nLower is better everywhere; geoKmeans should lead on the\n"
+                 "communication-volume columns (the paper's headline result).\n";
+    return 0;
+}

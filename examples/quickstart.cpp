@@ -1,0 +1,48 @@
+// Quickstart: partition a random 2D point cloud into balanced, compact
+// blocks with Geographer's balanced k-means.
+//
+//   ./quickstart [numPoints] [blocks] [ranks]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/geographer.hpp"
+#include "gen/delaunay2d.hpp"
+#include "graph/metrics.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+    const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 20000;
+    const std::int32_t k = argc > 2 ? std::atoi(argv[2]) : 8;
+    const int ranks = argc > 3 ? std::atoi(argv[3]) : 4;
+
+    std::cout << "Generating a Delaunay mesh with " << n << " points...\n";
+    const auto mesh = geo::gen::delaunay2d(n, /*seed=*/42);
+
+    geo::core::Settings settings;
+    settings.epsilon = 0.03;  // allow 3% imbalance, like the paper
+
+    std::cout << "Partitioning into " << k << " blocks on " << ranks
+              << " simulated MPI ranks...\n";
+    const auto result =
+        geo::core::partitionGeographer<2>(mesh.points, {}, k, ranks, settings);
+
+    const auto metrics = geo::graph::evaluatePartition(mesh.graph, result.partition, k);
+
+    geo::Table table({"metric", "value"});
+    table.addRow({"points", std::to_string(n)});
+    table.addRow({"blocks", std::to_string(k)});
+    table.addRow({"edge cut", std::to_string(metrics.edgeCut)});
+    table.addRow({"max comm volume", std::to_string(metrics.maxCommVolume)});
+    table.addRow({"total comm volume", std::to_string(metrics.totalCommVolume)});
+    table.addRow({"imbalance", geo::Table::num(metrics.imbalance, 4)});
+    table.addRow({"harmonic mean diameter", geo::Table::num(metrics.harmonicMeanDiameter, 4)});
+    table.addRow({"disconnected blocks", std::to_string(metrics.disconnectedBlocks)});
+    table.addRow({"k-means outer iterations", std::to_string(result.counters.outerIterations)});
+    table.addRow({"bound skip fraction", geo::Table::num(result.counters.skipFraction(), 3)});
+    table.print(std::cout);
+
+    std::cout << "\nPhase breakdown (max over ranks):\n";
+    for (const auto& [phase, seconds] : result.phaseSeconds)
+        std::cout << "  " << phase << ": " << seconds << " s\n";
+    return 0;
+}

@@ -1,0 +1,52 @@
+#include "baseline/hsfc.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "geometry/box.hpp"
+#include "sfc/hilbert.hpp"
+#include "support/assert.hpp"
+
+namespace geo::baseline {
+
+template <int D>
+graph::Partition hsfc(std::span<const Point<D>> points, std::span<const double> weights,
+                      std::int32_t k) {
+    GEO_REQUIRE(k >= 1, "need at least one block");
+    GEO_REQUIRE(static_cast<std::int64_t>(points.size()) >= k, "need at least k points");
+    GEO_REQUIRE(weights.empty() || weights.size() == points.size(),
+                "weights must be empty or match points");
+
+    const auto bb = Box<D>::around(points);
+    std::vector<std::pair<std::uint64_t, std::int32_t>> order;
+    order.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        order.emplace_back(sfc::hilbertIndex<D>(points[i], bb), static_cast<std::int32_t>(i));
+    std::sort(order.begin(), order.end());
+
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) total += weights.empty() ? 1.0 : weights[i];
+
+    graph::Partition out(points.size(), 0);
+    double acc = 0.0;
+    std::int32_t block = 0;
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+        const auto i = static_cast<std::size_t>(order[pos].second);
+        // Advance to the next block once its weight quota is filled; the
+        // curve is cut at weighted quantiles of the total.
+        while (block < k - 1 &&
+               acc >= total * static_cast<double>(block + 1) / static_cast<double>(k))
+            ++block;
+        out[i] = block;
+        acc += weights.empty() ? 1.0 : weights[i];
+    }
+    return out;
+}
+
+template graph::Partition hsfc<2>(std::span<const Point2>, std::span<const double>,
+                                  std::int32_t);
+template graph::Partition hsfc<3>(std::span<const Point3>, std::span<const double>,
+                                  std::int32_t);
+
+}  // namespace geo::baseline

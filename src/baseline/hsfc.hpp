@@ -1,0 +1,23 @@
+// Hilbert space-filling-curve partitioner (Zoltan's HSFC baseline, also the
+// method behind ParMetis' geometric mode): sort points by Hilbert index and
+// cut the curve into k consecutive, weight-balanced segments.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "geometry/point.hpp"
+#include "graph/metrics.hpp"
+
+namespace geo::baseline {
+
+template <int D>
+graph::Partition hsfc(std::span<const Point<D>> points, std::span<const double> weights,
+                      std::int32_t k);
+
+extern template graph::Partition hsfc<2>(std::span<const Point2>, std::span<const double>,
+                                         std::int32_t);
+extern template graph::Partition hsfc<3>(std::span<const Point3>, std::span<const double>,
+                                         std::int32_t);
+
+}  // namespace geo::baseline

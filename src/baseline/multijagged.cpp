@@ -1,0 +1,119 @@
+#include "baseline/multijagged.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "baseline/split.hpp"
+#include "geometry/box.hpp"
+#include "support/assert.hpp"
+
+namespace geo::baseline {
+
+namespace {
+
+/// Number of sections for this level: ~k^(1/levelsLeft), at least 2,
+/// at most the remaining part count.
+std::int32_t sectionCount(std::int32_t parts, int levelsLeft) {
+    if (parts <= 2 || levelsLeft <= 1) return parts;
+    const double ideal = std::pow(static_cast<double>(parts), 1.0 / levelsLeft);
+    return std::clamp<std::int32_t>(static_cast<std::int32_t>(std::lround(ideal)), 2, parts);
+}
+
+/// Distribute `parts` over `sections` near-evenly (first buckets get the
+/// remainder), so section weights can be proportional to block counts.
+std::vector<std::int32_t> distributeParts(std::int32_t parts, std::int32_t sections) {
+    std::vector<std::int32_t> out(static_cast<std::size_t>(sections), parts / sections);
+    for (std::int32_t i = 0; i < parts % sections; ++i) out[static_cast<std::size_t>(i)]++;
+    return out;
+}
+
+template <int D>
+void mjRecurse(std::span<const Point<D>> points, std::span<const double> weights,
+               std::span<std::int32_t> indices, std::int32_t firstBlock, std::int32_t parts,
+               int level, int levels, int baseAxis, graph::Partition& out,
+               std::vector<double>& keyScratch) {
+    if (parts == 1 || indices.size() <= 1) {
+        for (const auto i : indices) out[static_cast<std::size_t>(i)] = firstBlock;
+        return;
+    }
+    if (indices.size() <= static_cast<std::size_t>(parts)) {
+        // Degenerate subset: one point per block, round robin.
+        for (std::size_t i = 0; i < indices.size(); ++i)
+            out[static_cast<std::size_t>(indices[i])] =
+                firstBlock + static_cast<std::int32_t>(i) % parts;
+        return;
+    }
+    const std::int32_t sections = sectionCount(parts, levels - level);
+    const auto sectionParts = distributeParts(parts, sections);
+
+    // Cut axis cycles per level starting from the widest extent axis of the
+    // whole input (the MJ "jagged" pattern): every level must use a
+    // different axis or multisection degenerates into parallel slabs.
+    const int axis = (baseAxis + level) % D;
+    for (const auto i : indices)
+        keyScratch[static_cast<std::size_t>(i)] = points[static_cast<std::size_t>(i)][axis];
+
+    // Sort once, then walk the weighted quantile cuts for all sections.
+    std::sort(indices.begin(), indices.end(), [&](std::int32_t a, std::int32_t b) {
+        return keyScratch[static_cast<std::size_t>(a)] < keyScratch[static_cast<std::size_t>(b)];
+    });
+    double total = 0.0;
+    for (const auto i : indices)
+        total += weights.empty() ? 1.0 : weights[static_cast<std::size_t>(i)];
+
+    std::size_t begin = 0;
+    double acc = 0.0;
+    std::int32_t blockCursor = firstBlock;
+    std::int32_t consumedParts = 0;
+    for (std::int32_t s = 0; s < sections; ++s) {
+        consumedParts += sectionParts[static_cast<std::size_t>(s)];
+        std::size_t end;
+        if (s == sections - 1) {
+            end = indices.size();
+        } else {
+            const double target = total * static_cast<double>(consumedParts) /
+                                  static_cast<double>(parts);
+            end = begin;
+            while (end < indices.size() && acc < target) {
+                acc += weights.empty() ? 1.0
+                                       : weights[static_cast<std::size_t>(indices[end])];
+                ++end;
+            }
+            // Keep at least one point per non-empty remaining section.
+            end = std::clamp(end, begin + 1, indices.size() - (static_cast<std::size_t>(sections - 1 - s)));
+        }
+        mjRecurse<D>(points, weights, indices.subspan(begin, end - begin), blockCursor,
+                     sectionParts[static_cast<std::size_t>(s)], level + 1, levels, baseAxis,
+                     out, keyScratch);
+        blockCursor += sectionParts[static_cast<std::size_t>(s)];
+        begin = end;
+    }
+}
+
+}  // namespace
+
+template <int D>
+graph::Partition multiJagged(std::span<const Point<D>> points,
+                             std::span<const double> weights, std::int32_t k) {
+    GEO_REQUIRE(k >= 1, "need at least one block");
+    GEO_REQUIRE(static_cast<std::int64_t>(points.size()) >= k, "need at least k points");
+    GEO_REQUIRE(weights.empty() || weights.size() == points.size(),
+                "weights must be empty or match points");
+    graph::Partition out(points.size(), 0);
+    std::vector<std::int32_t> indices(points.size());
+    std::iota(indices.begin(), indices.end(), 0);
+    std::vector<double> keyScratch(points.size());
+    Box<D> bb = Box<D>::around(points);
+    // MJ uses one multisection level per dimension by default, starting on
+    // the widest axis of the input.
+    mjRecurse<D>(points, weights, indices, 0, k, 0, D, bb.widestAxis(), out, keyScratch);
+    return out;
+}
+
+template graph::Partition multiJagged<2>(std::span<const Point2>, std::span<const double>,
+                                         std::int32_t);
+template graph::Partition multiJagged<3>(std::span<const Point3>, std::span<const double>,
+                                         std::int32_t);
+
+}  // namespace geo::baseline

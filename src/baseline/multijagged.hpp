@@ -1,0 +1,28 @@
+// MultiJagged (Deveci, Rajamanickam, Devine, Çatalyürek, TPDS 2016) —
+// Zoltan2's scalable multisection partitioner and the strongest competitor
+// in the paper's evaluation.
+//
+// Instead of recursive bisection, each recursion level cuts the current
+// subset into s >= 2 slabs at once along one axis (axes cycle per level),
+// with s chosen so that the per-level section counts multiply to exactly k.
+// The result is a jagged rectangular tiling ("multi-jagged").
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "geometry/point.hpp"
+#include "graph/metrics.hpp"
+
+namespace geo::baseline {
+
+template <int D>
+graph::Partition multiJagged(std::span<const Point<D>> points,
+                             std::span<const double> weights, std::int32_t k);
+
+extern template graph::Partition multiJagged<2>(std::span<const Point2>,
+                                                std::span<const double>, std::int32_t);
+extern template graph::Partition multiJagged<3>(std::span<const Point3>,
+                                                std::span<const double>, std::int32_t);
+
+}  // namespace geo::baseline

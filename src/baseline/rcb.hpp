@@ -1,0 +1,27 @@
+// Recursive Coordinate Bisection (Berger & Bokhari 1987, Simon 1991) —
+// the classic geometric partitioner in Zoltan, used as a baseline in the
+// paper's evaluation.
+//
+// Recursively bisects the point set at the weighted median along the widest
+// axis of the current subset's bounding box, splitting the block budget
+// proportionally.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "geometry/point.hpp"
+#include "graph/metrics.hpp"
+
+namespace geo::baseline {
+
+template <int D>
+graph::Partition rcb(std::span<const Point<D>> points, std::span<const double> weights,
+                     std::int32_t k);
+
+extern template graph::Partition rcb<2>(std::span<const Point2>, std::span<const double>,
+                                        std::int32_t);
+extern template graph::Partition rcb<3>(std::span<const Point3>, std::span<const double>,
+                                        std::int32_t);
+
+}  // namespace geo::baseline

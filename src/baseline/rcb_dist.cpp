@@ -1,0 +1,181 @@
+#include "baseline/rcb_dist.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geometry/box.hpp"
+#include "support/assert.hpp"
+
+namespace geo::baseline {
+
+namespace {
+
+/// One active subdomain of the bisection tree.
+struct Domain {
+    std::int32_t firstBlock;
+    std::int32_t parts;     ///< blocks still to create in this subdomain
+    int axis = 0;           ///< cut axis (widest of the global subdomain box)
+    double lo = 0.0, hi = 0.0;  ///< binary-search interval on the cut axis
+    double targetFraction = 0.5;  ///< weight fraction of the left child
+    double totalWeight = 0.0;
+};
+
+}  // namespace
+
+template <int D>
+std::vector<std::int32_t> rcbDistributed(par::Comm& comm, std::span<const Point<D>> points,
+                                         std::span<const double> weights, std::int32_t k,
+                                         int medianProbes) {
+    GEO_REQUIRE(k >= 1, "need at least one block");
+    GEO_REQUIRE(weights.empty() || weights.size() == points.size(),
+                "weights must be empty or match points");
+    GEO_REQUIRE(medianProbes >= 8, "median search needs a few probes");
+
+    const std::size_t n = points.size();
+    // domainOf[i]: index into `domains` of the subdomain point i belongs to;
+    // finished points carry their block in `out` and domain -1.
+    std::vector<std::int32_t> domainOf(n, 0);
+    std::vector<std::int32_t> out(n, 0);
+
+    auto weightOf = [&](std::size_t i) { return weights.empty() ? 1.0 : weights[i]; };
+
+    std::vector<Domain> domains(1);
+    domains[0].firstBlock = 0;
+    domains[0].parts = k;
+
+    while (true) {
+        // Drop finished domains (parts == 1): label their points.
+        {
+            std::vector<std::int32_t> remap(domains.size(), -1);
+            std::vector<Domain> active;
+            for (std::size_t d = 0; d < domains.size(); ++d) {
+                if (domains[d].parts == 1) continue;
+                remap[d] = static_cast<std::int32_t>(active.size());
+                active.push_back(domains[d]);
+            }
+            for (std::size_t i = 0; i < n; ++i) {
+                const auto d = domainOf[i];
+                if (d < 0) continue;
+                if (remap[static_cast<std::size_t>(d)] < 0) {
+                    out[i] = domains[static_cast<std::size_t>(d)].firstBlock;
+                    domainOf[i] = -1;
+                } else {
+                    domainOf[i] = remap[static_cast<std::size_t>(d)];
+                }
+            }
+            domains = std::move(active);
+        }
+        const auto nd = static_cast<std::int32_t>(domains.size());
+        if (nd == 0) break;
+
+        // Per-domain global bounding box (min-allreduce over lo and −hi)
+        // and total weight (sum-allreduce) — two vectorized collectives.
+        std::vector<double> boxData(static_cast<std::size_t>(nd) * 2 * D,
+                                    std::numeric_limits<double>::infinity());
+        std::vector<double> domainWeight(static_cast<std::size_t>(nd), 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto d = domainOf[i];
+            if (d < 0) continue;
+            const auto base = static_cast<std::size_t>(d) * 2 * D;
+            for (int a = 0; a < D; ++a) {
+                boxData[base + static_cast<std::size_t>(a)] =
+                    std::min(boxData[base + static_cast<std::size_t>(a)], points[i][a]);
+                boxData[base + static_cast<std::size_t>(D + a)] =
+                    std::min(boxData[base + static_cast<std::size_t>(D + a)], -points[i][a]);
+            }
+            domainWeight[static_cast<std::size_t>(d)] += weightOf(i);
+        }
+        comm.allreduceMin(std::span<double>(boxData));
+        comm.allreduceSum(std::span<double>(domainWeight));
+
+        for (std::int32_t d = 0; d < nd; ++d) {
+            auto& dom = domains[static_cast<std::size_t>(d)];
+            const auto base = static_cast<std::size_t>(d) * 2 * D;
+            int axis = 0;
+            double widest = -1.0;
+            for (int a = 0; a < D; ++a) {
+                const double lo = boxData[base + static_cast<std::size_t>(a)];
+                const double hi = -boxData[base + static_cast<std::size_t>(D + a)];
+                if (hi - lo > widest) {
+                    widest = hi - lo;
+                    axis = a;
+                }
+            }
+            dom.axis = axis;
+            dom.lo = boxData[base + static_cast<std::size_t>(axis)];
+            dom.hi = -boxData[base + static_cast<std::size_t>(D + axis)];
+            dom.totalWeight = domainWeight[static_cast<std::size_t>(d)];
+            dom.targetFraction = static_cast<double>(dom.parts / 2) /
+                                 static_cast<double>(dom.parts);
+        }
+
+        // Vectorized distributed median search: all domains probe in
+        // lockstep; one allreduce of nd partial weights per step.
+        std::vector<double> cut(static_cast<std::size_t>(nd));
+        std::vector<double> lo(static_cast<std::size_t>(nd)), hi(static_cast<std::size_t>(nd));
+        for (std::int32_t d = 0; d < nd; ++d) {
+            lo[static_cast<std::size_t>(d)] = domains[static_cast<std::size_t>(d)].lo;
+            hi[static_cast<std::size_t>(d)] = domains[static_cast<std::size_t>(d)].hi;
+        }
+        std::vector<double> below(static_cast<std::size_t>(nd));
+        for (int probe = 0; probe < medianProbes; ++probe) {
+            for (std::int32_t d = 0; d < nd; ++d)
+                cut[static_cast<std::size_t>(d)] =
+                    0.5 * (lo[static_cast<std::size_t>(d)] + hi[static_cast<std::size_t>(d)]);
+            std::fill(below.begin(), below.end(), 0.0);
+            for (std::size_t i = 0; i < n; ++i) {
+                const auto d = domainOf[i];
+                if (d < 0) continue;
+                if (points[i][domains[static_cast<std::size_t>(d)].axis] <
+                    cut[static_cast<std::size_t>(d)])
+                    below[static_cast<std::size_t>(d)] += weightOf(i);
+            }
+            comm.allreduceSum(std::span<double>(below));
+            for (std::int32_t d = 0; d < nd; ++d) {
+                const auto& dom = domains[static_cast<std::size_t>(d)];
+                if (below[static_cast<std::size_t>(d)] <
+                    dom.targetFraction * dom.totalWeight)
+                    lo[static_cast<std::size_t>(d)] = cut[static_cast<std::size_t>(d)];
+                else
+                    hi[static_cast<std::size_t>(d)] = cut[static_cast<std::size_t>(d)];
+            }
+        }
+
+        // Split every domain at its cut.
+        std::vector<Domain> next;
+        std::vector<std::int32_t> leftChild(static_cast<std::size_t>(nd));
+        std::vector<std::int32_t> rightChild(static_cast<std::size_t>(nd));
+        for (std::int32_t d = 0; d < nd; ++d) {
+            const auto& dom = domains[static_cast<std::size_t>(d)];
+            const std::int32_t leftParts = dom.parts / 2;
+            Domain l = dom, r = dom;
+            l.parts = leftParts;
+            r.parts = dom.parts - leftParts;
+            r.firstBlock = dom.firstBlock + leftParts;
+            leftChild[static_cast<std::size_t>(d)] = static_cast<std::int32_t>(next.size());
+            next.push_back(l);
+            rightChild[static_cast<std::size_t>(d)] = static_cast<std::int32_t>(next.size());
+            next.push_back(r);
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto d = domainOf[i];
+            if (d < 0) continue;
+            const bool left = points[i][domains[static_cast<std::size_t>(d)].axis] <
+                              cut[static_cast<std::size_t>(d)];
+            domainOf[i] = left ? leftChild[static_cast<std::size_t>(d)]
+                               : rightChild[static_cast<std::size_t>(d)];
+        }
+        domains = std::move(next);
+    }
+    return out;
+}
+
+template std::vector<std::int32_t> rcbDistributed<2>(par::Comm&, std::span<const Point2>,
+                                                     std::span<const double>, std::int32_t,
+                                                     int);
+template std::vector<std::int32_t> rcbDistributed<3>(par::Comm&, std::span<const Point3>,
+                                                     std::span<const double>, std::int32_t,
+                                                     int);
+
+}  // namespace geo::baseline

@@ -1,0 +1,40 @@
+// Distributed (SPMD) Recursive Coordinate Bisection.
+//
+// The serial `rcb` reimplements the algorithm; this variant reproduces how
+// parallel RCB actually executes on MPI (Zoltan's implementation): all
+// ranks cooperate on every bisection level. Each level runs one
+// *vectorized* distributed median search — a binary search on the cut
+// coordinate per active subdomain, with one allreduce per probe step
+// carrying all subdomains' weight counts at once. Points are never
+// migrated; each rank labels its local points. This is the communication
+// pattern whose log(k)·probes·allreduce cost makes recursive bisection
+// scale poorly in the paper's Fig. 3.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "par/comm.hpp"
+
+namespace geo::baseline {
+
+/// Partition the rank-local `points` (the union over ranks is the input)
+/// into k blocks. Returns the block of each local point. All ranks must
+/// call collectively with the same k.
+template <int D>
+std::vector<std::int32_t> rcbDistributed(par::Comm& comm, std::span<const Point<D>> points,
+                                         std::span<const double> weights, std::int32_t k,
+                                         int medianProbes = 40);
+
+extern template std::vector<std::int32_t> rcbDistributed<2>(par::Comm&,
+                                                            std::span<const Point2>,
+                                                            std::span<const double>,
+                                                            std::int32_t, int);
+extern template std::vector<std::int32_t> rcbDistributed<3>(par::Comm&,
+                                                            std::span<const Point3>,
+                                                            std::span<const double>,
+                                                            std::int32_t, int);
+
+}  // namespace geo::baseline

@@ -1,0 +1,66 @@
+#include "baseline/rib.hpp"
+
+#include <numeric>
+#include <vector>
+
+#include "baseline/split.hpp"
+#include "geometry/eigen.hpp"
+#include "support/assert.hpp"
+
+namespace geo::baseline {
+
+namespace {
+
+template <int D>
+void ribRecurse(std::span<const Point<D>> points, std::span<const double> weights,
+                std::span<std::int32_t> indices, std::int32_t firstBlock, std::int32_t parts,
+                graph::Partition& out, std::vector<double>& keyScratch) {
+    if (parts == 1 || indices.size() <= 1) {
+        for (const auto i : indices) out[static_cast<std::size_t>(i)] = firstBlock;
+        return;
+    }
+    // Principal inertia axis of this subset.
+    std::vector<Point<D>> subset;
+    std::vector<double> subWeights;
+    subset.reserve(indices.size());
+    for (const auto i : indices) {
+        subset.push_back(points[static_cast<std::size_t>(i)]);
+        if (!weights.empty()) subWeights.push_back(weights[static_cast<std::size_t>(i)]);
+    }
+    const auto axis = principalAxis<D>(covarianceMatrix<D>(subset, subWeights));
+    for (const auto i : indices)
+        keyScratch[static_cast<std::size_t>(i)] = dot(points[static_cast<std::size_t>(i)], axis);
+
+    const auto [leftParts, rightParts] = detail::halve(parts);
+    const std::size_t cut = detail::weightedSplit(
+        indices, keyScratch, weights,
+        static_cast<double>(leftParts) / static_cast<double>(parts));
+    ribRecurse<D>(points, weights, indices.subspan(0, cut), firstBlock, leftParts, out,
+                  keyScratch);
+    ribRecurse<D>(points, weights, indices.subspan(cut), firstBlock + leftParts, rightParts,
+                  out, keyScratch);
+}
+
+}  // namespace
+
+template <int D>
+graph::Partition rib(std::span<const Point<D>> points, std::span<const double> weights,
+                     std::int32_t k) {
+    GEO_REQUIRE(k >= 1, "need at least one block");
+    GEO_REQUIRE(static_cast<std::int64_t>(points.size()) >= k, "need at least k points");
+    GEO_REQUIRE(weights.empty() || weights.size() == points.size(),
+                "weights must be empty or match points");
+    graph::Partition out(points.size(), 0);
+    std::vector<std::int32_t> indices(points.size());
+    std::iota(indices.begin(), indices.end(), 0);
+    std::vector<double> keyScratch(points.size());
+    ribRecurse<D>(points, weights, indices, 0, k, out, keyScratch);
+    return out;
+}
+
+template graph::Partition rib<2>(std::span<const Point2>, std::span<const double>,
+                                 std::int32_t);
+template graph::Partition rib<3>(std::span<const Point3>, std::span<const double>,
+                                 std::int32_t);
+
+}  // namespace geo::baseline

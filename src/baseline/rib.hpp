@@ -1,0 +1,24 @@
+// Recursive Inertial Bisection (Taylor & Nour-Omid, Williams) — Zoltan's
+// RIB baseline. Like RCB, but each subset is bisected orthogonally to its
+// principal inertia axis (dominant eigenvector of the covariance matrix),
+// adapting the cut direction to the point distribution.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "geometry/point.hpp"
+#include "graph/metrics.hpp"
+
+namespace geo::baseline {
+
+template <int D>
+graph::Partition rib(std::span<const Point<D>> points, std::span<const double> weights,
+                     std::int32_t k);
+
+extern template graph::Partition rib<2>(std::span<const Point2>, std::span<const double>,
+                                        std::int32_t);
+extern template graph::Partition rib<3>(std::span<const Point3>, std::span<const double>,
+                                        std::int32_t);
+
+}  // namespace geo::baseline

@@ -1,0 +1,53 @@
+// Shared machinery for the recursive geometric baselines: weighted splits
+// of an index subset along a scalar key (a coordinate for RCB/MultiJagged,
+// an inertial projection for RIB).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace geo::baseline::detail {
+
+/// Reorder `indices` so the first group (returned size) carries `fraction`
+/// of the total weight in ascending key order — the weighted-median split
+/// every recursive bisection method relies on. Keys are indexed by point id.
+inline std::size_t weightedSplit(std::span<std::int32_t> indices,
+                                 std::span<const double> keys,
+                                 std::span<const double> weights, double fraction) {
+    GEO_REQUIRE(fraction > 0.0 && fraction < 1.0, "split fraction must be in (0, 1)");
+    std::sort(indices.begin(), indices.end(), [&](std::int32_t a, std::int32_t b) {
+        return keys[static_cast<std::size_t>(a)] < keys[static_cast<std::size_t>(b)];
+    });
+    double total = 0.0;
+    for (const auto i : indices)
+        total += weights.empty() ? 1.0 : weights[static_cast<std::size_t>(i)];
+    const double target = fraction * total;
+    double acc = 0.0;
+    for (std::size_t pos = 0; pos < indices.size(); ++pos) {
+        const double w =
+            weights.empty() ? 1.0 : weights[static_cast<std::size_t>(indices[pos])];
+        // Put the straddling point on whichever side leaves the smaller
+        // weight error.
+        if (acc + w >= target) {
+            const bool takeIt = (target - acc) > (acc + w - target);
+            const std::size_t cut = pos + (takeIt ? 1 : 0);
+            // Never create an empty side if both need points.
+            return std::clamp<std::size_t>(cut, 1, indices.size() - 1);
+        }
+        acc += w;
+    }
+    return indices.size() - 1;
+}
+
+/// Split `parts` into two near-halves (used by bisection methods).
+inline std::pair<std::int32_t, std::int32_t> halve(std::int32_t parts) {
+    const std::int32_t left = parts / 2;
+    return {left, parts - left};
+}
+
+}  // namespace geo::baseline::detail

@@ -1,0 +1,149 @@
+#include "baseline/tools.hpp"
+
+#include <cmath>
+
+#include "baseline/hsfc.hpp"
+#include "baseline/multijagged.hpp"
+#include "baseline/rcb.hpp"
+#include "baseline/rib.hpp"
+#include "core/geographer.hpp"
+#include "support/assert.hpp"
+#include "support/timer.hpp"
+
+namespace geo::baseline {
+
+const char* toolName(ToolKind kind) noexcept {
+    switch (kind) {
+        case ToolKind::GeoKmeans: return "geoKmeans";
+        case ToolKind::MultiJagged: return "MJ";
+        case ToolKind::Rcb: return "Rcb";
+        case ToolKind::Rib: return "Rib";
+        case ToolKind::Hsfc: return "Hsfc";
+    }
+    return "?";
+}
+
+namespace {
+
+template <int D>
+ToolResult<D> runGeographer(std::span<const Point<D>> points, std::span<const double> weights,
+                            std::int32_t k, double eps, int ranks, std::uint64_t seed) {
+    core::Settings settings;
+    settings.epsilon = eps;
+    settings.seed = seed;
+    Timer t;
+    auto res = core::partitionGeographer<D>(points, weights, k, ranks, settings);
+    return ToolResult<D>{std::move(res.partition), t.seconds()};
+}
+
+template <int D>
+std::vector<Tool<D>> makeTools() {
+    std::vector<Tool<D>> tools;
+    tools.push_back(Tool<D>{ToolKind::GeoKmeans, "geoKmeans", runGeographer<D>});
+    tools.push_back(Tool<D>{
+        ToolKind::MultiJagged, "MJ",
+        [](std::span<const Point<D>> p, std::span<const double> w, std::int32_t k, double,
+           int, std::uint64_t) {
+            Timer t;
+            auto part = multiJagged<D>(p, w, k);
+            return ToolResult<D>{std::move(part), t.seconds()};
+        }});
+    tools.push_back(Tool<D>{
+        ToolKind::Rcb, "Rcb",
+        [](std::span<const Point<D>> p, std::span<const double> w, std::int32_t k, double,
+           int, std::uint64_t) {
+            Timer t;
+            auto part = rcb<D>(p, w, k);
+            return ToolResult<D>{std::move(part), t.seconds()};
+        }});
+    tools.push_back(Tool<D>{
+        ToolKind::Rib, "Rib",
+        [](std::span<const Point<D>> p, std::span<const double> w, std::int32_t k, double,
+           int, std::uint64_t) {
+            Timer t;
+            auto part = rib<D>(p, w, k);
+            return ToolResult<D>{std::move(part), t.seconds()};
+        }});
+    tools.push_back(Tool<D>{
+        ToolKind::Hsfc, "Hsfc",
+        [](std::span<const Point<D>> p, std::span<const double> w, std::int32_t k, double,
+           int, std::uint64_t) {
+            Timer t;
+            auto part = hsfc<D>(p, w, k);
+            return ToolResult<D>{std::move(part), t.seconds()};
+        }});
+    return tools;
+}
+
+}  // namespace
+
+const std::vector<Tool<2>>& tools2() {
+    static const auto tools = makeTools<2>();
+    return tools;
+}
+
+const std::vector<Tool<3>>& tools3() {
+    static const auto tools = makeTools<3>();
+    return tools;
+}
+
+ScalingEstimate modeledScaling(ToolKind kind, std::int64_t n, std::int32_t k, int ranks,
+                               int dim, double serialSeconds, const par::CostModel& model) {
+    GEO_REQUIRE(ranks >= 1, "need at least one rank");
+    ScalingEstimate est;
+    est.computeSeconds = serialSeconds / static_cast<double>(ranks);
+    if (ranks == 1) return est;
+
+    const auto recordBytes = static_cast<std::size_t>(8 * (dim + 1));  // coords + weight
+    const std::size_t localBytes =
+        static_cast<std::size_t>(n / ranks) * recordBytes;
+    const double log2k = std::max(1.0, std::log2(static_cast<double>(k)));
+
+    switch (kind) {
+        case ToolKind::Rcb:
+        case ToolKind::Rib: {
+            // log2(k) bisection levels; each runs a distributed weighted
+            // median search (~30 allreduce rounds of a few scalars) and
+            // migrates roughly the whole local data once (alltoallv). RIB
+            // additionally reduces a covariance matrix per level — the same
+            // order, so one model covers both.
+            const double medianRounds = 30.0;
+            est.commSeconds =
+                log2k * (medianRounds * model.allreduce(ranks, 16) +
+                         model.alltoallv(ranks, localBytes, localBytes));
+            break;
+        }
+        case ToolKind::MultiJagged: {
+            // One multisection round per dimension: the cut search reduces
+            // s ~ k^(1/dim) candidate quantiles together (vectorized
+            // allreduce), then migrates data once per round.
+            const double sections = std::pow(static_cast<double>(k), 1.0 / dim);
+            const double cutRounds = 30.0;
+            est.commSeconds =
+                dim * (cutRounds * model.allreduce(ranks, static_cast<std::size_t>(
+                                                              8.0 * sections)) +
+                       model.alltoallv(ranks, localBytes, localBytes));
+            break;
+        }
+        case ToolKind::Hsfc: {
+            // Hilbert indices are local; one splitter allgather and one
+            // all-to-all redistribution (sample sort), then local cuts.
+            est.commSeconds = model.allgather(ranks, static_cast<std::size_t>(ranks) * 16) +
+                              model.alltoallv(ranks, localBytes, localBytes);
+            break;
+        }
+        case ToolKind::GeoKmeans: {
+            // Sort + redistribution like HSFC, plus one allreduce of the
+            // replicated centers/sizes per balance sweep (~60 sweeps).
+            const double sweeps = 60.0;
+            est.commSeconds =
+                model.allgather(ranks, static_cast<std::size_t>(ranks) * 16) +
+                model.alltoallv(ranks, localBytes, localBytes) +
+                sweeps * model.allreduce(ranks, static_cast<std::size_t>(k) * 8 * 4);
+            break;
+        }
+    }
+    return est;
+}
+
+}  // namespace geo::baseline

@@ -1,0 +1,63 @@
+// Unified partitioner registry used by every benchmark binary, covering the
+// five tools of the paper's evaluation: Geographer (balanced k-means), and
+// Zoltan-analog MultiJagged, RCB, RIB, HSFC.
+//
+// For scaling figures the baselines (which we implement serially — the
+// paper compares against the Zoltan binaries we reimplement algorithmically)
+// are projected to p ranks with an analytic latency–bandwidth model that
+// mirrors each algorithm's communication structure; Geographer uses the real
+// per-rank measurements of the simulated SPMD runtime. See DESIGN.md §2.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/settings.hpp"
+#include "geometry/point.hpp"
+#include "graph/metrics.hpp"
+#include "par/cost_model.hpp"
+
+namespace geo::baseline {
+
+enum class ToolKind { GeoKmeans, MultiJagged, Rcb, Rib, Hsfc };
+
+[[nodiscard]] const char* toolName(ToolKind kind) noexcept;
+
+template <int D>
+struct ToolResult {
+    graph::Partition partition;
+    double seconds = 0.0;  ///< measured wall time of the partitioning call
+};
+
+template <int D>
+struct Tool {
+    ToolKind kind;
+    std::string name;  ///< paper's label: geoKmeans / MJ / Rcb / Rib / Hsfc
+    /// (points, weights, k, eps, ranks, seed) -> partition + time. `ranks`
+    /// only affects Geographer (the baselines are serial implementations).
+    std::function<ToolResult<D>(std::span<const Point<D>>, std::span<const double>,
+                                std::int32_t, double, int, std::uint64_t)>
+        run;
+};
+
+/// All five tools; Geographer first (it is the ratio baseline in Fig. 2).
+const std::vector<Tool<2>>& tools2();
+const std::vector<Tool<3>>& tools3();
+
+/// Analytic parallel-time projection for the serial baselines: compute
+/// scales as serialSeconds/ranks, communication follows each algorithm's
+/// collective structure (bisection levels for RCB/RIB, one multisection
+/// round per dimension for MJ, sort + splitter exchange for HSFC).
+struct ScalingEstimate {
+    double computeSeconds = 0.0;
+    double commSeconds = 0.0;
+    [[nodiscard]] double total() const noexcept { return computeSeconds + commSeconds; }
+};
+
+ScalingEstimate modeledScaling(ToolKind kind, std::int64_t n, std::int32_t k, int ranks,
+                               int dim, double serialSeconds, const par::CostModel& model);
+
+}  // namespace geo::baseline

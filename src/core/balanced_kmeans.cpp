@@ -1,0 +1,397 @@
+#include "core/balanced_kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include <memory>
+
+#include "core/center_tree.hpp"
+#include "geometry/box.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace geo::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+template <int D>
+class BalancedKMeansRun {
+public:
+    BalancedKMeansRun(par::Comm& comm, std::span<const Point<D>> points,
+                      std::span<const double> weights, std::vector<Point<D>> centers,
+                      const Settings& settings)
+        : comm_(comm),
+          points_(points),
+          weights_(weights),
+          settings_(settings),
+          k_(static_cast<std::int32_t>(centers.size())),
+          centers_(std::move(centers)) {
+        GEO_REQUIRE(k_ >= 1, "need at least one center");
+        GEO_REQUIRE(weights_.empty() || weights_.size() == points_.size(),
+                    "weights must be empty or match points");
+        // Block size targets: uniform, or user-provided fractions
+        // (heterogeneous architectures, paper footnote 1).
+        if (settings_.targetFractions.empty()) {
+            targetShare_.assign(static_cast<std::size_t>(k_),
+                                1.0 / static_cast<double>(k_));
+        } else {
+            GEO_REQUIRE(static_cast<std::int32_t>(settings_.targetFractions.size()) == k_,
+                        "need one target fraction per block");
+            double sum = 0.0;
+            for (const double f : settings_.targetFractions) {
+                GEO_REQUIRE(f > 0.0, "target fractions must be positive");
+                sum += f;
+            }
+            targetShare_.resize(static_cast<std::size_t>(k_));
+            for (std::int32_t c = 0; c < k_; ++c)
+                targetShare_[static_cast<std::size_t>(c)] =
+                    settings_.targetFractions[static_cast<std::size_t>(c)] / sum;
+        }
+        const std::size_t n = points_.size();
+        influence_.assign(static_cast<std::size_t>(k_), 1.0);
+        assignment_.assign(n, -1);
+        ub_.assign(n, kInf);
+        lb_.assign(n, 0.0);
+
+        // Random local permutation for the sampled initialization.
+        order_.resize(n);
+        std::iota(order_.begin(), order_.end(), std::size_t{0});
+        if (settings_.sampledInitialization) {
+            Xoshiro256 rng(settings_.seed ^
+                           (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(comm_.rank() + 1)));
+            for (std::size_t i = n; i > 1; --i)
+                std::swap(order_[i - 1], order_[rng.below(i)]);
+            sampleSize_ = std::min<std::size_t>(
+                static_cast<std::size_t>(std::max(1, settings_.initialSampleSize)), n);
+        } else {
+            sampleSize_ = n;
+        }
+
+        // Scale for the convergence threshold: expected cluster radius.
+        Box<D> bb = Box<D>::around(points_);
+        // Global bounding box (some ranks may hold few/no points).
+        std::array<double, 2 * D> lohi;
+        for (int i = 0; i < D; ++i) {
+            lohi[static_cast<std::size_t>(i)] = bb.valid() ? bb.lo[i] : kInf;
+            lohi[static_cast<std::size_t>(D + i)] = bb.valid() ? -bb.hi[i] : kInf;
+        }
+        comm_.allreduceMin(std::span<double>(lohi.data(), lohi.size()));
+        for (int i = 0; i < D; ++i) {
+            globalBox_.lo[i] = lohi[static_cast<std::size_t>(i)];
+            globalBox_.hi[i] = -lohi[static_cast<std::size_t>(D + i)];
+        }
+        clusterScale_ = globalBox_.diagonal() /
+                        std::pow(static_cast<double>(k_), 1.0 / static_cast<double>(D));
+        deltaThreshold_ = settings_.deltaThresholdFactor * clusterScale_;
+    }
+
+    KMeansOutcome<D> run() {
+        KMeansOutcome<D> out;
+        const std::size_t n = points_.size();
+        double imbalanceNow = kInf;
+        bool converged = false;
+
+        for (int iter = 0; iter < settings_.maxIterations; ++iter) {
+            counters_.outerIterations = iter + 1;
+            imbalanceNow = assignAndBalance();
+
+            // New centers: weighted mean of assigned (active) points,
+            // computed with one global reduction (Alg. 2 line 13).
+            std::vector<double> sums(static_cast<std::size_t>(k_) * (D + 1), 0.0);
+            for (std::size_t oi = 0; oi < sampleSize_; ++oi) {
+                const std::size_t p = order_[oi];
+                const auto c = static_cast<std::size_t>(assignment_[p]);
+                const double w = weightOf(p);
+                for (int d = 0; d < D; ++d) sums[c * (D + 1) + static_cast<std::size_t>(d)] += w * points_[p][d];
+                sums[c * (D + 1) + D] += w;
+            }
+            comm_.allreduceSum(std::span<double>(sums));
+
+            std::vector<Point<D>> freshCenters = centers_;
+            std::vector<double> delta(static_cast<std::size_t>(k_), 0.0);
+            double maxDelta = 0.0;
+            for (std::int32_t c = 0; c < k_; ++c) {
+                const auto base = static_cast<std::size_t>(c) * (D + 1);
+                const double w = sums[base + D];
+                if (w <= 0.0) continue;  // empty cluster keeps its center
+                Point<D> fresh;
+                for (int d = 0; d < D; ++d) fresh[d] = sums[base + static_cast<std::size_t>(d)] / w;
+                delta[static_cast<std::size_t>(c)] =
+                    distance(fresh, centers_[static_cast<std::size_t>(c)]);
+                maxDelta = std::max(maxDelta, delta[static_cast<std::size_t>(c)]);
+                freshCenters[static_cast<std::size_t>(c)] = fresh;
+            }
+
+            const bool sampleComplete = (comm_.allreduceMin<std::uint64_t>(
+                                             sampleSize_ >= n ? 1 : 0) == 1);
+            if (sampleComplete && maxDelta < deltaThreshold_) {
+                // Alg. 2 line 14: return the assignment as produced by the
+                // last AssignAndBalance, with the centers it used — the
+                // assignment stays an exact weighted-Voronoi partition of
+                // the returned (centers, influence) state.
+                converged = true;
+                break;
+            }
+            centers_ = std::move(freshCenters);
+
+            // Influence erosion (Eq. 2–3): regress influence towards 1 as a
+            // sigmoid of the moved distance over the mean cluster diameter.
+            std::vector<double> influenceBefore = influence_;
+            if (settings_.influenceErosion) {
+                const double beta = std::max(clusterScale_, 1e-300);
+                for (std::int32_t c = 0; c < k_; ++c) {
+                    const double x = delta[static_cast<std::size_t>(c)] / beta;
+                    const double alpha = 2.0 / (1.0 + std::exp(-x)) - 1.0;  // in [0, 1)
+                    auto& inf = influence_[static_cast<std::size_t>(c)];
+                    inf = std::exp((1.0 - alpha) * std::log(inf));
+                }
+            }
+
+            relaxBoundsAfterMove(delta, influenceBefore);
+
+            if (sampleSize_ < n) sampleSize_ = std::min(n, sampleSize_ * 2);
+        }
+
+        // Grow to the full point set if sampling never got there and do one
+        // final assign-and-balance so every point has a block and balance is
+        // enforced on the complete input.
+        if (sampleSize_ < n) {
+            sampleSize_ = n;
+            std::fill(ub_.begin(), ub_.end(), kInf);
+            std::fill(lb_.begin(), lb_.end(), 0.0);
+            imbalanceNow = assignAndBalance();
+        } else if (!converged) {
+            imbalanceNow = assignAndBalance();
+        }
+
+        out.assignment = std::move(assignment_);
+        out.centers = std::move(centers_);
+        out.influence = std::move(influence_);
+        out.imbalance = imbalanceNow;
+        out.converged = converged;
+        out.counters = counters_;
+        return out;
+    }
+
+private:
+    double weightOf(std::size_t p) const { return weights_.empty() ? 1.0 : weights_[p]; }
+
+    /// Algorithm 1: repeated assignment sweeps with influence adaptation
+    /// until balance or maxBalanceIterations. Returns achieved imbalance.
+    double assignAndBalance() {
+        // Bounding box around the *active* local points (§4.4).
+        Box<D> bb = Box<D>::empty();
+        for (std::size_t oi = 0; oi < sampleSize_; ++oi) bb.extend(points_[order_[oi]]);
+
+        std::vector<double> globalSizes(static_cast<std::size_t>(k_), 0.0);
+        double imb = kInf;
+        for (int round = 0; round < settings_.maxBalanceIterations; ++round) {
+            counters_.balanceIterations++;
+
+            if (settings_.useKdTree) {
+                tree_ = std::make_unique<CenterKdTree<D>>(
+                    std::span<const Point<D>>(centers_),
+                    std::span<const double>(influence_));
+            }
+
+            // Candidate centers sorted by smallest possible effective
+            // distance to any local point.
+            sortedCenters_.resize(static_cast<std::size_t>(k_));
+            std::iota(sortedCenters_.begin(), sortedCenters_.end(), 0);
+            if (settings_.boundingBoxPruning && bb.valid()) {
+                centerKey_.resize(static_cast<std::size_t>(k_));
+                for (std::int32_t c = 0; c < k_; ++c)
+                    centerKey_[static_cast<std::size_t>(c)] =
+                        bb.minDistance(centers_[static_cast<std::size_t>(c)]) /
+                        influence_[static_cast<std::size_t>(c)];
+                std::sort(sortedCenters_.begin(), sortedCenters_.end(),
+                          [&](std::int32_t a, std::int32_t b) {
+                              return centerKey_[static_cast<std::size_t>(a)] <
+                                     centerKey_[static_cast<std::size_t>(b)];
+                          });
+            }
+
+            std::vector<double> localSizes(static_cast<std::size_t>(k_), 0.0);
+            for (std::size_t oi = 0; oi < sampleSize_; ++oi) {
+                const std::size_t p = order_[oi];
+                counters_.pointEvaluations++;
+                if (settings_.hamerlyBounds && assignment_[p] >= 0 && ub_[p] < lb_[p]) {
+                    counters_.boundSkips++;  // membership provably unchanged
+                } else {
+                    assignPoint(p);
+                }
+                localSizes[static_cast<std::size_t>(assignment_[p])] += weightOf(p);
+            }
+
+            globalSizes = localSizes;
+            comm_.allreduceSum(std::span<double>(globalSizes));
+            imb = imbalanceOf(globalSizes);
+            if (imb <= settings_.epsilon) return imb;
+
+            adaptInfluence(globalSizes);
+        }
+        return imb;
+    }
+
+    /// Inner loop of Algorithm 1: scan candidate centers with bbox pruning,
+    /// tracking best and second-best effective distance. The kd-tree path
+    /// answers the same argmin query through branch-and-bound instead.
+    void assignPoint(std::size_t p) {
+        if (settings_.useKdTree) {
+            const auto q = tree_->query(points_[p]);
+            assignment_[p] = q.best;
+            ub_[p] = q.bestDistance;
+            lb_[p] = q.secondDistance;
+            return;
+        }
+        double best = kInf, second = kInf;
+        std::int32_t bestC = -1;
+        const Point<D>& pt = points_[p];
+        for (std::size_t ci = 0; ci < sortedCenters_.size(); ++ci) {
+            const std::int32_t c = sortedCenters_[ci];
+            if (settings_.boundingBoxPruning &&
+                centerKey_.size() == sortedCenters_.size() &&
+                centerKey_[static_cast<std::size_t>(c)] > second) {
+                counters_.bboxBreaks++;
+                break;  // no remaining center can beat the second best
+            }
+            counters_.distanceCalcs++;
+            const double eDist = distance(pt, centers_[static_cast<std::size_t>(c)]) /
+                                 influence_[static_cast<std::size_t>(c)];
+            if (eDist < best) {
+                second = best;
+                best = eDist;
+                bestC = c;
+            } else if (eDist < second) {
+                second = eDist;
+            }
+        }
+        GEO_CHECK(bestC >= 0, "assignment found no center");
+        assignment_[p] = bestC;
+        ub_[p] = best;
+        lb_[p] = second;
+    }
+
+    /// Imbalance against the (possibly non-uniform) block size targets:
+    /// max_c size_c / target_c − 1, with the paper's ceil rounding in the
+    /// uniform case.
+    double imbalanceOf(std::span<const double> globalSizes) const {
+        const double total = std::accumulate(globalSizes.begin(), globalSizes.end(), 0.0);
+        if (total <= 0.0) return 0.0;
+        double worst = 0.0;
+        const bool uniform = settings_.targetFractions.empty();
+        for (std::int32_t c = 0; c < k_; ++c) {
+            const double target =
+                uniform ? std::ceil(total / static_cast<double>(k_))
+                        : targetShare_[static_cast<std::size_t>(c)] * total;
+            worst = std::max(worst, globalSizes[static_cast<std::size_t>(c)] /
+                                        std::max(target, 1e-300));
+        }
+        return worst - 1.0;
+    }
+
+    /// Eq. 1 with the 5% cap: influence scales with the d-th root of the
+    /// target/current size ratio. Replicated deterministically on all ranks.
+    void adaptInfluence(std::span<const double> globalSizes) {
+        const double total = std::accumulate(globalSizes.begin(), globalSizes.end(), 0.0);
+        const double cap = settings_.influenceChangeCap;
+        std::vector<double> ratio(static_cast<std::size_t>(k_), 1.0);
+        for (std::int32_t c = 0; c < k_; ++c) {
+            const double target = targetShare_[static_cast<std::size_t>(c)] * total;
+            const double size = globalSizes[static_cast<std::size_t>(c)];
+            double factor;
+            if (size <= 0.0) {
+                factor = 1.0 + cap;  // empty cluster: attract as fast as allowed
+            } else {
+                const double gamma = target / size;
+                factor = std::clamp(std::pow(gamma, 1.0 / static_cast<double>(D)),
+                                    1.0 - cap, 1.0 + cap);
+            }
+            const double before = influence_[static_cast<std::size_t>(c)];
+            influence_[static_cast<std::size_t>(c)] = before * factor;
+            ratio[static_cast<std::size_t>(c)] = before / influence_[static_cast<std::size_t>(c)];
+        }
+        relaxBoundsForInfluence(ratio);
+    }
+
+    /// Influence changed from I to I'; effective distances scale by I/I'.
+    /// ub scales by its own cluster's exact ratio; lb must shrink by the
+    /// smallest ratio over all clusters to stay a valid lower bound.
+    void relaxBoundsForInfluence(std::span<const double> ratio) {
+        if (!settings_.hamerlyBounds) return;
+        const double minRatio = *std::min_element(ratio.begin(), ratio.end());
+        for (std::size_t p = 0; p < points_.size(); ++p) {
+            if (assignment_[p] < 0) continue;
+            ub_[p] *= ratio[static_cast<std::size_t>(assignment_[p])];
+            lb_[p] *= minRatio;
+        }
+    }
+
+    /// Centers moved by delta[c] (and influence possibly eroded from
+    /// `influenceBefore`). Conservative relaxation (Eq. 4–5, corrected):
+    ///   ub' = ub·(I/I') + δ(c(p))/I'(c(p))
+    ///   lb' = lb·min_c(I/I') − max_c δ(c)/I'(c)
+    void relaxBoundsAfterMove(std::span<const double> delta,
+                              std::span<const double> influenceBefore) {
+        if (!settings_.hamerlyBounds) return;
+        double minRatio = kInf, maxShift = 0.0;
+        std::vector<double> ratio(static_cast<std::size_t>(k_));
+        for (std::int32_t c = 0; c < k_; ++c) {
+            const double r = influenceBefore[static_cast<std::size_t>(c)] /
+                             influence_[static_cast<std::size_t>(c)];
+            ratio[static_cast<std::size_t>(c)] = r;
+            minRatio = std::min(minRatio, r);
+            maxShift = std::max(maxShift, delta[static_cast<std::size_t>(c)] /
+                                              influence_[static_cast<std::size_t>(c)]);
+        }
+        for (std::size_t p = 0; p < points_.size(); ++p) {
+            if (assignment_[p] < 0) continue;
+            const auto c = static_cast<std::size_t>(assignment_[p]);
+            ub_[p] = ub_[p] * ratio[c] + delta[c] / influence_[c];
+            lb_[p] = std::max(0.0, lb_[p] * minRatio - maxShift);
+        }
+    }
+
+    par::Comm& comm_;
+    std::span<const Point<D>> points_;
+    std::span<const double> weights_;
+    const Settings& settings_;
+    std::int32_t k_;
+    std::vector<double> targetShare_;
+    std::vector<Point<D>> centers_;
+    std::vector<double> influence_;
+    std::vector<std::int32_t> assignment_;
+    std::vector<double> ub_, lb_;
+    std::vector<std::size_t> order_;
+    std::size_t sampleSize_ = 0;
+    Box<D> globalBox_ = Box<D>::empty();
+    double clusterScale_ = 1.0;
+    double deltaThreshold_ = 0.0;
+    KMeansCounters counters_;
+    std::vector<std::int32_t> sortedCenters_;
+    std::vector<double> centerKey_;
+    std::unique_ptr<CenterKdTree<D>> tree_;
+};
+
+}  // namespace
+
+template <int D>
+KMeansOutcome<D> balancedKMeans(par::Comm& comm, std::span<const Point<D>> points,
+                                std::span<const double> weights,
+                                std::vector<Point<D>> centers, const Settings& settings) {
+    BalancedKMeansRun<D> run(comm, points, weights, std::move(centers), settings);
+    return run.run();
+}
+
+template KMeansOutcome<2> balancedKMeans<2>(par::Comm&, std::span<const Point2>,
+                                            std::span<const double>, std::vector<Point2>,
+                                            const Settings&);
+template KMeansOutcome<3> balancedKMeans<3>(par::Comm&, std::span<const Point3>,
+                                            std::span<const double>, std::vector<Point3>,
+                                            const Settings&);
+
+}  // namespace geo::core

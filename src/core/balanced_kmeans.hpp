@@ -1,0 +1,57 @@
+// Balanced k-means — the paper's core contribution (§4, Algorithms 1 & 2).
+//
+// Lloyd's algorithm extended with:
+//   * per-cluster *influence* values; points are assigned to the cluster
+//     minimizing the effective distance dist(p, center(c)) / influence(c)
+//     (a multiplicatively-weighted Voronoi assignment),
+//   * influence adaptation after every assignment sweep, scaled by the
+//     d-th root of the size ratio (Eq. 1) and capped at ±5% per step,
+//   * influence erosion towards 1 when centers move (Eq. 2–3),
+//   * Hamerly distance bounds adapted to effective distances (Eq. 4–5),
+//   * bounding-box pruning of candidate centers (§4.4),
+//   * sampled initialization rounds (§4.5).
+//
+// SPMD: each rank holds a subset of the points; centers, influence values
+// and global block sizes are replicated via allreduce — the only
+// communication, exactly as in the paper.
+//
+// Note on Eq. 1/4/5 signs: the paper's printed formulas are dimensionally
+// inconsistent with its own prose (e.g. Eq. 4 *lowers* the upper bound when
+// a center moves). We implement the semantics the prose describes; see
+// DESIGN.md "Key design decisions".
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/settings.hpp"
+#include "geometry/point.hpp"
+#include "par/comm.hpp"
+
+namespace geo::core {
+
+template <int D>
+struct KMeansOutcome {
+    std::vector<std::int32_t> assignment;  ///< block per *local* point
+    std::vector<Point<D>> centers;         ///< final replicated centers
+    std::vector<double> influence;         ///< final replicated influence
+    double imbalance = 0.0;                ///< achieved global imbalance
+    bool converged = false;                ///< center movement below threshold
+    KMeansCounters counters;               ///< this rank's loop counters
+};
+
+/// Run balanced k-means on the rank-local `points` with replicated initial
+/// `centers` (identical on every rank). `weights` may be empty (unit).
+template <int D>
+KMeansOutcome<D> balancedKMeans(par::Comm& comm, std::span<const Point<D>> points,
+                                std::span<const double> weights,
+                                std::vector<Point<D>> centers, const Settings& settings);
+
+extern template KMeansOutcome<2> balancedKMeans<2>(par::Comm&, std::span<const Point2>,
+                                                   std::span<const double>,
+                                                   std::vector<Point2>, const Settings&);
+extern template KMeansOutcome<3> balancedKMeans<3>(par::Comm&, std::span<const Point3>,
+                                                   std::span<const double>,
+                                                   std::vector<Point3>, const Settings&);
+
+}  // namespace geo::core

@@ -1,0 +1,111 @@
+#include "core/center_tree.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace geo::core {
+
+namespace {
+constexpr std::int32_t kLeafSize = 4;
+}
+
+template <int D>
+CenterKdTree<D>::CenterKdTree(std::span<const Point<D>> centers,
+                              std::span<const double> influence)
+    : centers_(centers.begin(), centers.end()),
+      influence_(influence.begin(), influence.end()) {
+    GEO_REQUIRE(!centers_.empty(), "kd-tree needs at least one center");
+    GEO_REQUIRE(centers_.size() == influence_.size(), "one influence per center");
+    order_.resize(centers_.size());
+    for (std::size_t i = 0; i < order_.size(); ++i)
+        order_[i] = static_cast<std::int32_t>(i);
+    nodes_.reserve(2 * centers_.size() / kLeafSize + 2);
+    root_ = build(0, static_cast<std::int32_t>(centers_.size()), 0);
+}
+
+template <int D>
+std::int32_t CenterKdTree<D>::build(std::int32_t begin, std::int32_t end, int depth) {
+    Node node;
+    node.bounds = Box<D>::empty();
+    node.maxInfluence = 0.0;
+    for (std::int32_t i = begin; i < end; ++i) {
+        const auto c = order_[static_cast<std::size_t>(i)];
+        node.bounds.extend(centers_[static_cast<std::size_t>(c)]);
+        node.maxInfluence =
+            std::max(node.maxInfluence, influence_[static_cast<std::size_t>(c)]);
+    }
+    node.begin = begin;
+    node.end = end;
+
+    const auto id = static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back(node);
+    if (end - begin > kLeafSize) {
+        const int axis = depth % D;
+        const std::int32_t mid = (begin + end) / 2;
+        std::nth_element(order_.begin() + begin, order_.begin() + mid, order_.begin() + end,
+                         [&](std::int32_t a, std::int32_t b) {
+                             return centers_[static_cast<std::size_t>(a)][axis] <
+                                    centers_[static_cast<std::size_t>(b)][axis];
+                         });
+        // Children are built after the parent; store indices post hoc.
+        const auto left = build(begin, mid, depth + 1);
+        const auto right = build(mid, end, depth + 1);
+        nodes_[static_cast<std::size_t>(id)].left = left;
+        nodes_[static_cast<std::size_t>(id)].right = right;
+    }
+    return id;
+}
+
+template <int D>
+void CenterKdTree<D>::search(std::int32_t nodeId, const Point<D>& p,
+                             QueryResult& out) const {
+    const Node& node = nodes_[static_cast<std::size_t>(nodeId)];
+    // Lower bound on any effective distance inside this subtree.
+    const double bound = node.bounds.minDistance(p) / node.maxInfluence;
+    if (bound >= out.secondDistance) return;
+
+    if (node.left < 0) {
+        for (std::int32_t i = node.begin; i < node.end; ++i) {
+            const auto c = order_[static_cast<std::size_t>(i)];
+            const double eff = distance(p, centers_[static_cast<std::size_t>(c)]) /
+                               influence_[static_cast<std::size_t>(c)];
+            if (eff < out.bestDistance) {
+                out.secondDistance = out.bestDistance;
+                out.bestDistance = eff;
+                out.best = c;
+            } else if (eff < out.secondDistance) {
+                out.secondDistance = eff;
+            }
+        }
+        return;
+    }
+    // Visit the child whose box is closer first (better pruning).
+    const auto& l = nodes_[static_cast<std::size_t>(node.left)];
+    const auto& r = nodes_[static_cast<std::size_t>(node.right)];
+    const double dl = l.bounds.minDistance(p) / l.maxInfluence;
+    const double dr = r.bounds.minDistance(p) / r.maxInfluence;
+    if (dl <= dr) {
+        search(node.left, p, out);
+        search(node.right, p, out);
+    } else {
+        search(node.right, p, out);
+        search(node.left, p, out);
+    }
+}
+
+template <int D>
+typename CenterKdTree<D>::QueryResult CenterKdTree<D>::query(const Point<D>& p) const {
+    QueryResult out;
+    out.bestDistance = std::numeric_limits<double>::infinity();
+    out.secondDistance = std::numeric_limits<double>::infinity();
+    search(root_, p, out);
+    GEO_CHECK(out.best >= 0, "kd-tree query found no center");
+    return out;
+}
+
+template class CenterKdTree<2>;
+template class CenterKdTree<3>;
+
+}  // namespace geo::core

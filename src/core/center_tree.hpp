@@ -1,0 +1,61 @@
+// kd-tree over cluster centers for nearest-effective-distance queries.
+//
+// §4.3 of the paper: "Nearest-neighbor data structures like kd-trees are
+// outperformed by simpler distance bounds in most published experiments."
+// This structure exists to reproduce that comparison (ablation_kdtree
+// bench): it answers argmin_c dist(p, center(c))/influence(c) queries with
+// branch-and-bound pruning, correctly handling the multiplicative weights
+// by tracking the maximum influence per subtree.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/box.hpp"
+#include "geometry/point.hpp"
+
+namespace geo::core {
+
+template <int D>
+class CenterKdTree {
+public:
+    /// Build over replicated centers + influence values (rebuilt whenever
+    /// either changes; k is small so builds are cheap).
+    CenterKdTree(std::span<const Point<D>> centers, std::span<const double> influence);
+
+    struct QueryResult {
+        std::int32_t best = -1;
+        double bestDistance = 0.0;    ///< effective distance to best
+        double secondDistance = 0.0;  ///< effective distance to runner-up
+    };
+
+    /// Best and second-best cluster by effective distance.
+    [[nodiscard]] QueryResult query(const Point<D>& p) const;
+
+    [[nodiscard]] std::int32_t size() const noexcept {
+        return static_cast<std::int32_t>(centers_.size());
+    }
+
+private:
+    struct Node {
+        Box<D> bounds;          ///< bounding box of centers in this subtree
+        double maxInfluence;    ///< pruning bound: eff dist >= minDist/maxInfl
+        std::int32_t left = -1, right = -1;  ///< children; -1 = leaf
+        std::int32_t begin = 0, end = 0;     ///< center range (leaf)
+    };
+
+    std::int32_t build(std::int32_t begin, std::int32_t end, int depth);
+    void search(std::int32_t nodeId, const Point<D>& p, QueryResult& out) const;
+
+    std::vector<Point<D>> centers_;
+    std::vector<double> influence_;
+    std::vector<std::int32_t> order_;  ///< center ids, permuted by the build
+    std::vector<Node> nodes_;
+    std::int32_t root_ = -1;
+};
+
+extern template class CenterKdTree<2>;
+extern template class CenterKdTree<3>;
+
+}  // namespace geo::core

@@ -1,0 +1,200 @@
+#include "core/geographer.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "geometry/box.hpp"
+#include "par/sort.hpp"
+#include "sfc/hilbert.hpp"
+#include "support/assert.hpp"
+#include "support/timer.hpp"
+
+namespace geo::core {
+
+namespace {
+
+template <int D>
+struct PointRecord {
+    std::int64_t gid;  ///< original input position
+    Point<D> pt;
+    double weight;
+};
+
+/// Initial-center contribution gathered from the curve-sorted distribution.
+template <int D>
+struct CenterSeed {
+    std::int32_t index;
+    Point<D> pt;
+};
+
+template <int D>
+void spmdBody(par::Comm& comm, std::span<const Point<D>> points,
+              std::span<const double> weights, std::int32_t k, const Settings& settings,
+              GeographerResult& result, std::mutex& resultMutex) {
+    using Rec = par::KeyedRecord<std::uint64_t, PointRecord<D>>;
+    const auto n = static_cast<std::int64_t>(points.size());
+    const int p = comm.size();
+    const int r = comm.rank();
+    // Baseline for the pipeline cost snapshot: on the serial fast path the
+    // body runs on the caller's thread, whose CPU clock predates this call.
+    const double cpuStart = comm.cpuSeconds();
+    const double commStart = comm.stats().modeledCommSeconds;
+
+    // Block distribution of the input, as if each rank had read its slice.
+    const std::int64_t lo = n * r / p;
+    const std::int64_t hi = n * (r + 1) / p;
+
+    PhaseTimer phases;
+
+    // Phase 1: Hilbert indices (global bounding box via allreduce).
+    Timer t1;
+    Box<D> bb = Box<D>::empty();
+    for (std::int64_t i = lo; i < hi; ++i) bb.extend(points[static_cast<std::size_t>(i)]);
+    std::array<double, 2 * D> lohi;
+    for (int d = 0; d < D; ++d) {
+        lohi[static_cast<std::size_t>(d)] =
+            bb.valid() ? bb.lo[d] : std::numeric_limits<double>::infinity();
+        lohi[static_cast<std::size_t>(D + d)] =
+            bb.valid() ? -bb.hi[d] : std::numeric_limits<double>::infinity();
+    }
+    comm.allreduceMin(std::span<double>(lohi.data(), lohi.size()));
+    Box<D> globalBox;
+    for (int d = 0; d < D; ++d) {
+        globalBox.lo[d] = lohi[static_cast<std::size_t>(d)];
+        globalBox.hi[d] = -lohi[static_cast<std::size_t>(D + d)];
+    }
+    std::vector<Rec> records;
+    records.reserve(static_cast<std::size_t>(hi - lo));
+    for (std::int64_t i = lo; i < hi; ++i) {
+        const auto& pt = points[static_cast<std::size_t>(i)];
+        const std::uint64_t key = settings.curve == Curve::Hilbert
+                                      ? sfc::hilbertIndex<D>(pt, globalBox)
+                                      : sfc::mortonIndex<D>(pt, globalBox);
+        records.push_back(Rec{key, PointRecord<D>{i, pt,
+                                                  weights.empty()
+                                                      ? 1.0
+                                                      : weights[static_cast<std::size_t>(i)]}});
+    }
+    phases.add("hilbert", t1.seconds());
+
+    // Phase 2: global sort by curve index + equalizing redistribution.
+    Timer t2;
+    records = par::sampleSort(comm, std::move(records));
+    records = par::rebalanceSorted(comm, std::move(records));
+    phases.add("redistribute", t2.seconds());
+
+    // Phase 3 + 4: curve seeding and balanced k-means.
+    Timer t3;
+    const auto localCount = static_cast<std::int64_t>(records.size());
+    const std::int64_t before = comm.exscanSum(localCount);
+
+    // Centers at global sorted positions i*n/k + n/(2k) (Alg. 2 line 7).
+    std::vector<CenterSeed<D>> localSeeds;
+    for (std::int32_t c = 0; c < k; ++c) {
+        const std::int64_t pos =
+            std::min(n - 1, (n * c) / k + n / (2 * static_cast<std::int64_t>(k)));
+        if (pos >= before && pos < before + localCount) {
+            localSeeds.push_back(
+                CenterSeed<D>{c, records[static_cast<std::size_t>(pos - before)].value.pt});
+        }
+    }
+    const auto allSeeds = comm.allgatherv(std::span<const CenterSeed<D>>(localSeeds));
+    GEO_CHECK(static_cast<std::int32_t>(allSeeds.size()) == k,
+              "every center position must be owned by exactly one rank");
+    std::vector<Point<D>> centers(static_cast<std::size_t>(k));
+    for (const auto& s : allSeeds) centers[static_cast<std::size_t>(s.index)] = s.pt;
+
+    std::vector<Point<D>> localPoints;
+    std::vector<double> localWeights;
+    localPoints.reserve(records.size());
+    localWeights.reserve(records.size());
+    for (const auto& rec : records) {
+        localPoints.push_back(rec.value.pt);
+        localWeights.push_back(rec.value.weight);
+    }
+
+    auto outcome =
+        balancedKMeans<D>(comm, localPoints, localWeights, std::move(centers), settings);
+    phases.add("kmeans", t3.seconds());
+
+    // Snapshot the pipeline cost before the diagnostic result gather: this
+    // is what the paper's running-time measurements cover.
+    const double pipelineScore = (comm.cpuSeconds() - cpuStart) +
+                                 (comm.stats().modeledCommSeconds - commStart);
+    const double pipelineMax = comm.allreduceMax(pipelineScore);
+
+    // Collect the global partition (by original input order).
+    struct GidBlock {
+        std::int64_t gid;
+        std::int32_t block;
+    };
+    std::vector<GidBlock> mine;
+    mine.reserve(records.size());
+    for (std::size_t i = 0; i < records.size(); ++i)
+        mine.push_back(GidBlock{records[i].value.gid, outcome.assignment[i]});
+    const auto all = comm.allgatherv(std::span<const GidBlock>(mine));
+
+    // Reduce diagnostics: max phase time, summed counters.
+    std::array<double, 3> phaseMax{phases.get("hilbert"), phases.get("redistribute"),
+                                   phases.get("kmeans")};
+    comm.allreduceMax(std::span<double>(phaseMax.data(), phaseMax.size()));
+    std::array<std::uint64_t, 5> counterSum{
+        outcome.counters.pointEvaluations, outcome.counters.boundSkips,
+        outcome.counters.distanceCalcs, outcome.counters.bboxBreaks,
+        outcome.counters.balanceIterations};
+    comm.allreduceSum(std::span<std::uint64_t>(counterSum.data(), counterSum.size()));
+
+    if (comm.isRoot()) {
+        const std::lock_guard<std::mutex> lock(resultMutex);
+        result.partition.assign(static_cast<std::size_t>(n), -1);
+        for (const auto& gb : all)
+            result.partition[static_cast<std::size_t>(gb.gid)] = gb.block;
+        result.imbalance = outcome.imbalance;
+        result.converged = outcome.converged;
+        result.counters.pointEvaluations = counterSum[0];
+        result.counters.boundSkips = counterSum[1];
+        result.counters.distanceCalcs = counterSum[2];
+        result.counters.bboxBreaks = counterSum[3];
+        result.counters.balanceIterations = counterSum[4];
+        result.counters.outerIterations = outcome.counters.outerIterations;
+        result.phaseSeconds["hilbert"] = phaseMax[0];
+        result.phaseSeconds["redistribute"] = phaseMax[1];
+        result.phaseSeconds["kmeans"] = phaseMax[2];
+        result.modeledSeconds = pipelineMax;
+    }
+}
+
+}  // namespace
+
+template <int D>
+GeographerResult partitionGeographer(std::span<const Point<D>> points,
+                                     std::span<const double> weights, std::int32_t k,
+                                     int ranks, const Settings& settings,
+                                     par::CostModel model) {
+    GEO_REQUIRE(k >= 1, "need at least one block");
+    GEO_REQUIRE(!points.empty(), "need points to partition");
+    GEO_REQUIRE(static_cast<std::int64_t>(points.size()) >= k,
+                "need at least k points");
+    GEO_REQUIRE(weights.empty() || weights.size() == points.size(),
+                "weights must be empty or match points");
+
+    GeographerResult result;
+    std::mutex resultMutex;
+    par::Machine machine(ranks, model);
+    result.runStats = machine.run([&](par::Comm& comm) {
+        spmdBody<D>(comm, points, weights, k, settings, result, resultMutex);
+    });
+
+    for (const auto b : result.partition)
+        GEO_CHECK(b >= 0, "every point must be assigned a block");
+    return result;
+}
+
+template GeographerResult partitionGeographer<2>(std::span<const Point2>,
+                                                 std::span<const double>, std::int32_t, int,
+                                                 const Settings&, par::CostModel);
+template GeographerResult partitionGeographer<3>(std::span<const Point3>,
+                                                 std::span<const double>, std::int32_t, int,
+                                                 const Settings&, par::CostModel);
+
+}  // namespace geo::core

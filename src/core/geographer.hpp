@@ -1,0 +1,58 @@
+// Geographer: the end-to-end partitioner (§4.1, §4.5, Algorithm 2).
+//
+// Pipeline per SPMD rank:
+//   1. compute Hilbert indices of the local points      (phase "hilbert")
+//   2. global sample sort + redistribution by index      (phase "redistribute")
+//   3. seed k centers equidistantly along the curve
+//   4. balanced k-means                                  (phase "kmeans")
+//
+// The phase split matches the component breakdown the paper reports in
+// §5.3.2. The number of blocks k is independent of the number of ranks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/balanced_kmeans.hpp"
+#include "core/settings.hpp"
+#include "graph/metrics.hpp"
+#include "par/comm.hpp"
+
+namespace geo::core {
+
+struct GeographerResult {
+    /// Block per original (input-order) point.
+    graph::Partition partition;
+    double imbalance = 0.0;
+    bool converged = false;
+    /// Loop counters summed over all ranks.
+    KMeansCounters counters;
+    /// Per-phase wall time, max over ranks: "hilbert", "redistribute",
+    /// "kmeans".
+    std::map<std::string, double> phaseSeconds;
+    /// Aggregate runtime statistics of the SPMD run (modeled comm time,
+    /// bytes, per-rank CPU time). Includes the diagnostic result gather.
+    par::RunStats runStats;
+    /// Modeled parallel time of the partitioning pipeline alone (max-rank
+    /// CPU + modeled comm up to the end of k-means, excluding the
+    /// diagnostic gather) — the number comparable to the paper's timings.
+    double modeledSeconds = 0.0;
+};
+
+/// Partition `points` into k blocks with `ranks` simulated MPI processes.
+/// `weights` may be empty (unit weights).
+template <int D>
+GeographerResult partitionGeographer(std::span<const Point<D>> points,
+                                     std::span<const double> weights, std::int32_t k,
+                                     int ranks, const Settings& settings,
+                                     par::CostModel model = {});
+
+extern template GeographerResult partitionGeographer<2>(std::span<const Point2>,
+                                                        std::span<const double>, std::int32_t,
+                                                        int, const Settings&, par::CostModel);
+extern template GeographerResult partitionGeographer<3>(std::span<const Point3>,
+                                                        std::span<const double>, std::int32_t,
+                                                        int, const Settings&, par::CostModel);
+
+}  // namespace geo::core

@@ -1,0 +1,94 @@
+// Tuning parameters of balanced k-means / Geographer (§4 of the paper).
+//
+// Every switch the paper describes as a "tuning parameter" or optimization
+// is independently toggleable so the ablation benches can quantify it.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace geo::core {
+
+/// Space-filling curve used for the sort/redistribution and center seeding.
+/// The paper uses Hilbert; Morton is provided for the curve ablation.
+enum class Curve { Hilbert, Morton };
+
+struct Settings {
+    /// Maximum allowed imbalance ε (paper uses 0.03 / 0.05).
+    double epsilon = 0.03;
+
+    /// Which space-filling curve drives phase 1 (§4.1).
+    Curve curve = Curve::Hilbert;
+
+    /// Outer iterations: center-movement rounds (Alg. 2 maxIter).
+    int maxIterations = 50;
+
+    /// Balance iterations between center movements (Alg. 1 maxBalanceIter).
+    int maxBalanceIterations = 20;
+
+    /// Convergence: stop when the largest center movement falls below this
+    /// fraction of the expected cluster radius (bbox diagonal / k^(1/d)).
+    double deltaThresholdFactor = 5e-3;
+
+    /// Maximum relative influence change per balance step (paper: 5%).
+    double influenceChangeCap = 0.05;
+
+    /// Influence erosion on center movement (Eq. 2–3).
+    bool influenceErosion = true;
+
+    /// Hamerly-style distance bounds adapted to effective distances (§4.3).
+    bool hamerlyBounds = true;
+
+    /// Bounding-box center pruning (§4.4).
+    bool boundingBoxPruning = true;
+
+    /// Assign points via a kd-tree over the centers instead of the linear
+    /// scan — the alternative §4.3 dismisses ("kd-trees are outperformed by
+    /// simpler distance bounds"); kept for the ablation that verifies the
+    /// claim. Composes with hamerlyBounds (the skip test still applies).
+    bool useKdTree = false;
+
+    /// Sampled initialization: start with 100 random points per rank and
+    /// double each round (§4.5 "random initialization").
+    bool sampledInitialization = true;
+    int initialSampleSize = 100;
+
+    /// RNG seed for the sampling permutation.
+    std::uint64_t seed = 1;
+
+    /// Optional non-uniform block size targets (paper footnote 1:
+    /// "when partitioning for heterogeneous architectures, this can easily
+    /// be adapted"). Empty = uniform; otherwise one positive fraction per
+    /// block, normalized internally.
+    std::vector<double> targetFractions;
+};
+
+/// Counters recorded inside the assignment loop; basis for the paper's
+/// "inner loop skipped in about 80% of the cases" claim and the ablation
+/// benches.
+struct KMeansCounters {
+    std::uint64_t pointEvaluations = 0;  ///< points visited in assignment loops
+    std::uint64_t boundSkips = 0;        ///< skipped entirely via ub < lb
+    std::uint64_t distanceCalcs = 0;     ///< effective-distance evaluations
+    std::uint64_t bboxBreaks = 0;        ///< inner loops cut short by bbox pruning
+    std::uint64_t balanceIterations = 0; ///< total assign-and-balance sweeps
+    int outerIterations = 0;             ///< center-movement rounds
+
+    [[nodiscard]] double skipFraction() const noexcept {
+        return pointEvaluations == 0
+                   ? 0.0
+                   : static_cast<double>(boundSkips) / static_cast<double>(pointEvaluations);
+    }
+
+    void merge(const KMeansCounters& o) noexcept {
+        pointEvaluations += o.pointEvaluations;
+        boundSkips += o.boundSkips;
+        distanceCalcs += o.distanceCalcs;
+        bboxBreaks += o.bboxBreaks;
+        balanceIterations += o.balanceIterations;
+        outerIterations = std::max(outerIterations, o.outerIterations);
+    }
+};
+
+}  // namespace geo::core

@@ -1,0 +1,19 @@
+// 3D respiratory-system style meshes (Alya test case analog).
+//
+// The Alya PRACE benchmarks mesh a branching airway geometry. We generate a
+// recursive bifurcating tube tree, sample points inside the tubes, and
+// connect them with a radius graph calibrated to tetrahedral-mesh degree
+// (~14 neighbors), reproducing the "3D, tubular, branching" character that
+// distinguishes this class from volumetric Delaunay cubes.
+#pragma once
+
+#include <cstdint>
+
+#include "gen/mesh.hpp"
+
+namespace geo::gen {
+
+/// n points in a bifurcating tube tree of the given depth (>= 1).
+Mesh3 alya3d(std::int64_t n, int depth, std::uint64_t seed);
+
+}  // namespace geo::gen

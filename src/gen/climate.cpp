@@ -1,0 +1,91 @@
+#include "gen/climate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "gen/delaunay2d.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace geo::gen {
+
+namespace {
+
+/// Smooth random field in [-1, 1]: sum of a few random plane waves.
+class WaveField {
+public:
+    WaveField(Xoshiro256& rng, int waves, double baseFrequency) {
+        for (int w = 0; w < waves; ++w) {
+            const double angle = rng.uniform(0.0, 2.0 * M_PI);
+            const double freq = baseFrequency * rng.uniform(0.6, 1.8);
+            waves_.push_back(Wave{freq * std::cos(angle), freq * std::sin(angle),
+                                  rng.uniform(0.0, 2.0 * M_PI),
+                                  rng.uniform(0.5, 1.0)});
+        }
+    }
+
+    [[nodiscard]] double operator()(const Point2& p) const {
+        double v = 0.0, wsum = 0.0;
+        for (const auto& w : waves_) {
+            v += w.amplitude * std::sin(w.kx * p[0] + w.ky * p[1] + w.phase);
+            wsum += w.amplitude;
+        }
+        return v / wsum;
+    }
+
+private:
+    struct Wave {
+        double kx, ky, phase, amplitude;
+    };
+    std::vector<Wave> waves_;
+};
+
+}  // namespace
+
+Mesh2 climate25d(std::int64_t n, int maxLevels, std::uint64_t seed) {
+    GEO_REQUIRE(n >= 3, "need n >= 3 points");
+    GEO_REQUIRE(maxLevels >= 1, "need at least one vertical level");
+    Xoshiro256 rng(seed);
+
+    // "Bathymetry" field: > 0 means ocean, depth proportional to the value;
+    // <= 0 is land (no mesh points there).
+    const WaveField bathymetry(rng, 8, 9.0);
+    const double coastWidth = 0.05;
+
+    // Oversample; keep ocean points, denser near the coastline.
+    std::vector<Point2> pts;
+    std::vector<double> weights;
+    pts.reserve(static_cast<std::size_t>(n));
+    std::int64_t attempts = 0;
+    const std::int64_t maxAttempts = n * 4000;
+    while (static_cast<std::int64_t>(pts.size()) < n) {
+        GEO_CHECK(attempts++ < maxAttempts, "climate sampling stalled (all land?)");
+        const Point2 p{{rng.uniform(), rng.uniform()}};
+        const double b = bathymetry(p);
+        if (b <= 0.0) continue;  // land
+        const double coastBoost = std::exp(-(b * b) / (2.0 * coastWidth * coastWidth));
+        const double density = 0.25 + 0.75 * coastBoost;
+        if (rng.uniform() >= density) continue;
+        pts.push_back(p);
+        // Vertical levels grow with depth: coastal cells are shallow.
+        const double depth = std::clamp(b, 0.0, 1.0);
+        weights.push_back(1.0 + std::floor(depth * (maxLevels - 1) + 0.5));
+    }
+
+    auto graph = delaunayTriangulate2d(pts);
+
+    // Delaunay of the ocean point cloud is connected by construction (it
+    // triangulates the convex hull), so no component filtering is needed;
+    // land areas simply have long skinny triangles crossing them, which
+    // mirrors how unstructured ocean meshes bridge narrow straits.
+    Mesh2 mesh;
+    mesh.name = "climate25d-n" + std::to_string(n) + "-L" + std::to_string(maxLevels);
+    mesh.meshClass = MeshClass::Dim25;
+    mesh.points = std::move(pts);
+    mesh.weights = std::move(weights);
+    mesh.graph = std::move(graph);
+    return mesh;
+}
+
+}  // namespace geo::gen

@@ -1,0 +1,21 @@
+// 2.5D climate-simulation meshes (FESOM analog).
+//
+// Atmosphere/ocean models partition a 2D surface mesh whose node weights
+// encode the number of vertical grid levels below each surface point (§1 of
+// the paper). We synthesize: a lon-lat style rectangle, land regions cut out
+// by a smooth random field (coastlines), mesh density increased near the
+// coastline (as in FESOM meshes), and node weights proportional to local
+// ocean depth drawn from the same field.
+#pragma once
+
+#include <cstdint>
+
+#include "gen/mesh.hpp"
+
+namespace geo::gen {
+
+/// n surface points; weights in [1, maxLevels]. The mesh is connected
+/// (largest ocean component is kept and re-indexed).
+Mesh2 climate25d(std::int64_t n, int maxLevels, std::uint64_t seed);
+
+}  // namespace geo::gen

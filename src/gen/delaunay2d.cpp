@@ -1,0 +1,254 @@
+#include "gen/delaunay2d.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "geometry/box.hpp"
+#include "sfc/hilbert.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace geo::gen {
+
+namespace {
+
+// Predicates in long double: sufficient for unit-scale inputs with a
+// moderately sized (64x span) super triangle; see DESIGN.md.
+using Real = long double;
+
+Real orient(const Point2& a, const Point2& b, const Point2& c) {
+    const Real abx = static_cast<Real>(b[0]) - a[0];
+    const Real aby = static_cast<Real>(b[1]) - a[1];
+    const Real acx = static_cast<Real>(c[0]) - a[0];
+    const Real acy = static_cast<Real>(c[1]) - a[1];
+    return abx * acy - aby * acx;
+}
+
+/// > 0 iff p strictly inside the circumcircle of CCW triangle (a, b, c).
+Real inCircle(const Point2& a, const Point2& b, const Point2& c, const Point2& p) {
+    const Real adx = static_cast<Real>(a[0]) - p[0];
+    const Real ady = static_cast<Real>(a[1]) - p[1];
+    const Real bdx = static_cast<Real>(b[0]) - p[0];
+    const Real bdy = static_cast<Real>(b[1]) - p[1];
+    const Real cdx = static_cast<Real>(c[0]) - p[0];
+    const Real cdy = static_cast<Real>(c[1]) - p[1];
+    const Real ad2 = adx * adx + ady * ady;
+    const Real bd2 = bdx * bdx + bdy * bdy;
+    const Real cd2 = cdx * cdx + cdy * cdy;
+    return adx * (bdy * cd2 - cdy * bd2) - ady * (bdx * cd2 - cdx * bd2) +
+           ad2 * (bdx * cdy - cdx * bdy);
+}
+
+struct Tri {
+    std::array<std::int32_t, 3> v;    // CCW vertices
+    std::array<std::int32_t, 3> nbr;  // nbr[i] = triangle across edge opposite v[i]
+    bool alive = true;
+};
+
+class Triangulation {
+public:
+    explicit Triangulation(std::span<const Point2> input)
+        : n_(static_cast<std::int32_t>(input.size())) {
+        GEO_REQUIRE(input.size() >= 3, "Delaunay needs >= 3 points");
+        pts_.assign(input.begin(), input.end());
+        // Super triangle: large enough that all points are strictly inside.
+        const auto bb = Box2::around(input);
+        const Point2 c = bb.center();
+        const double span = std::max({bb.hi[0] - bb.lo[0], bb.hi[1] - bb.lo[1], 1e-9});
+        const double r = 64.0 * span;
+        pts_.push_back(Point2{{c[0] - 2.0 * r, c[1] - r}});
+        pts_.push_back(Point2{{c[0] + 2.0 * r, c[1] - r}});
+        pts_.push_back(Point2{{c[0], c[1] + 2.0 * r}});
+        tris_.push_back(Tri{{n_, n_ + 1, n_ + 2}, {-1, -1, -1}, true});
+        mark_.push_back(0);
+
+        // Hilbert insertion order keeps the walking search short.
+        std::vector<std::pair<std::uint64_t, std::int32_t>> order;
+        order.reserve(input.size());
+        for (std::int32_t i = 0; i < n_; ++i)
+            order.emplace_back(sfc::hilbertIndex<2>(input[static_cast<std::size_t>(i)], bb), i);
+        std::sort(order.begin(), order.end());
+        for (const auto& [key, i] : order) insert(i);
+    }
+
+    [[nodiscard]] std::vector<std::array<std::int32_t, 3>> realTriangles() const {
+        std::vector<std::array<std::int32_t, 3>> out;
+        for (const auto& t : tris_) {
+            if (!t.alive) continue;
+            if (t.v[0] >= n_ || t.v[1] >= n_ || t.v[2] >= n_) continue;
+            out.push_back(t.v);
+        }
+        return out;
+    }
+
+private:
+    struct BoundaryEdge {
+        std::int32_t to;
+        std::int32_t outside;
+    };
+
+    const Point2& at(std::int32_t v) const { return pts_[static_cast<std::size_t>(v)]; }
+
+    /// Walk from `start` to a triangle containing p.
+    std::int32_t locate(const Point2& p, std::int32_t start) const {
+        std::int32_t t = start;
+        for (std::int64_t steps = 0; steps < static_cast<std::int64_t>(tris_.size()) + 8;
+             ++steps) {
+            const Tri& tri = tris_[static_cast<std::size_t>(t)];
+            bool moved = false;
+            for (int i = 0; i < 3; ++i) {
+                const auto a = tri.v[static_cast<std::size_t>((i + 1) % 3)];
+                const auto b = tri.v[static_cast<std::size_t>((i + 2) % 3)];
+                if (orient(at(a), at(b), p) < 0) {  // p strictly outside edge (a, b)
+                    const auto next = tri.nbr[static_cast<std::size_t>(i)];
+                    GEO_CHECK(next >= 0, "walk left the super triangle");
+                    t = next;
+                    moved = true;
+                    break;
+                }
+            }
+            if (!moved) return t;
+        }
+        GEO_CHECK(false, "point location walk did not terminate");
+        return -1;
+    }
+
+    bool inCavity(std::int32_t t) const {
+        return mark_[static_cast<std::size_t>(t)] == epoch_;
+    }
+
+    void insert(std::int32_t vp) {
+        const Point2& p = at(vp);
+        const std::int32_t seed = locate(p, lastTri_);
+        ++epoch_;
+
+        // Grow the cavity: all connected triangles whose circumcircle
+        // contains p.
+        cavity_.clear();
+        std::vector<std::int32_t> stack{seed};
+        mark_[static_cast<std::size_t>(seed)] = epoch_;
+        while (!stack.empty()) {
+            const auto t = stack.back();
+            stack.pop_back();
+            cavity_.push_back(t);
+            for (const auto nb : tris_[static_cast<std::size_t>(t)].nbr) {
+                if (nb < 0 || inCavity(nb)) continue;
+                const Tri& tri = tris_[static_cast<std::size_t>(nb)];
+                if (inCircle(at(tri.v[0]), at(tri.v[1]), at(tri.v[2]), p) > 0) {
+                    mark_[static_cast<std::size_t>(nb)] = epoch_;
+                    stack.push_back(nb);
+                }
+            }
+        }
+
+        // Boundary of the cavity: directed edges a -> b, CCW around the
+        // cavity, with the surviving outside triangle. A Delaunay cavity
+        // boundary is a simple polygon, so each `a` appears exactly once.
+        boundary_.clear();
+        for (const auto t : cavity_) {
+            const Tri& tri = tris_[static_cast<std::size_t>(t)];
+            for (int i = 0; i < 3; ++i) {
+                const auto nb = tri.nbr[static_cast<std::size_t>(i)];
+                if (nb >= 0 && inCavity(nb)) continue;
+                const auto a = tri.v[static_cast<std::size_t>((i + 1) % 3)];
+                const auto b = tri.v[static_cast<std::size_t>((i + 2) % 3)];
+                boundary_.emplace_back(a, BoundaryEdge{b, nb});
+            }
+        }
+        GEO_CHECK(boundary_.size() >= 3, "cavity boundary must be a polygon");
+        std::sort(boundary_.begin(), boundary_.end(),
+                  [](const auto& x, const auto& y) { return x.first < y.first; });
+        auto nextEdge = [&](std::int32_t from) -> const BoundaryEdge& {
+            const auto it = std::lower_bound(
+                boundary_.begin(), boundary_.end(), from,
+                [](const auto& e, std::int32_t key) { return e.first < key; });
+            GEO_CHECK(it != boundary_.end() && it->first == from,
+                      "cavity boundary is not a cycle");
+            return it->second;
+        };
+
+        for (const auto t : cavity_) tris_[static_cast<std::size_t>(t)].alive = false;
+
+        // Retriangulate as a fan around p, walking the boundary cycle.
+        const std::int32_t firstVertex = boundary_.front().first;
+        const auto firstNew = static_cast<std::int32_t>(tris_.size());
+        std::int32_t a = firstVertex;
+        std::size_t emitted = 0;
+        do {
+            const BoundaryEdge& e = nextEdge(a);
+            const auto id = static_cast<std::int32_t>(tris_.size());
+            // (p, a, b) is CCW: (a, b) runs CCW around the cavity that
+            // contains p.
+            tris_.push_back(Tri{{vp, a, e.to}, {e.outside, -1, -1}, true});
+            mark_.push_back(0);
+            if (e.outside >= 0) {
+                // Outside triangle's edge (e.to, a) now borders the new one.
+                Tri& out = tris_[static_cast<std::size_t>(e.outside)];
+                for (int i = 0; i < 3; ++i) {
+                    if (out.v[static_cast<std::size_t>((i + 1) % 3)] == e.to &&
+                        out.v[static_cast<std::size_t>((i + 2) % 3)] == a) {
+                        out.nbr[static_cast<std::size_t>(i)] = id;
+                        break;
+                    }
+                }
+            }
+            a = e.to;
+            ++emitted;
+            GEO_CHECK(emitted <= boundary_.size(), "cavity boundary walk looped");
+        } while (a != firstVertex);
+        GEO_CHECK(emitted == boundary_.size(), "cavity boundary visited exactly once");
+
+        // Stitch consecutive fan triangles: triangle j = (p, a_j, a_{j+1});
+        // its edge opposite a_j is (a_{j+1}, p) shared with triangle j+1,
+        // edge opposite a_{j+1} is (p, a_j) shared with triangle j-1.
+        const auto lastNew = static_cast<std::int32_t>(tris_.size()) - 1;
+        for (std::int32_t id = firstNew; id <= lastNew; ++id) {
+            tris_[static_cast<std::size_t>(id)].nbr[1] = (id == lastNew) ? firstNew : id + 1;
+            tris_[static_cast<std::size_t>(id)].nbr[2] = (id == firstNew) ? lastNew : id - 1;
+        }
+        lastTri_ = firstNew;
+    }
+
+    std::int32_t n_;
+    std::vector<Point2> pts_;
+    std::vector<Tri> tris_;
+    std::vector<std::uint32_t> mark_;  // epoch marker per triangle
+    std::uint32_t epoch_ = 0;
+    std::int32_t lastTri_ = 0;
+    std::vector<std::int32_t> cavity_;
+    std::vector<std::pair<std::int32_t, BoundaryEdge>> boundary_;
+};
+
+}  // namespace
+
+std::vector<std::array<std::int32_t, 3>> delaunayTriangles2d(std::span<const Point2> points) {
+    const Triangulation tr(points);
+    return tr.realTriangles();
+}
+
+graph::CsrGraph delaunayTriangulate2d(std::span<const Point2> points) {
+    const auto tris = delaunayTriangles2d(points);
+    graph::GraphBuilder builder(static_cast<graph::Vertex>(points.size()));
+    for (const auto& t : tris) {
+        builder.addEdge(t[0], t[1]);
+        builder.addEdge(t[1], t[2]);
+        builder.addEdge(t[2], t[0]);
+    }
+    return builder.build();
+}
+
+Mesh2 delaunay2d(std::int64_t n, std::uint64_t seed) {
+    GEO_REQUIRE(n >= 3, "delaunay2d needs >= 3 points");
+    Xoshiro256 rng(seed);
+    Mesh2 mesh;
+    mesh.name = "delaunay2d-n" + std::to_string(n);
+    mesh.meshClass = MeshClass::Dim2;
+    mesh.points.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i)
+        mesh.points.push_back(Point2{{rng.uniform(), rng.uniform()}});
+    mesh.graph = delaunayTriangulate2d(mesh.points);
+    return mesh;
+}
+
+}  // namespace geo::gen

@@ -1,0 +1,29 @@
+// 2D Delaunay triangulation (Bowyer–Watson, incremental with walking point
+// location in Hilbert insertion order — expected linear time on random
+// inputs).
+//
+// Reproduces the paper's DelaunayX instance series ("Delaunay triangulations
+// of X random 2D points in the unit square") and is reused as the
+// triangulator behind the FEM-style and climate mesh generators.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gen/mesh.hpp"
+
+namespace geo::gen {
+
+/// Triangulate an arbitrary point set; returns the primal edge graph
+/// (an edge per triangle side). Requires >= 3 non-collinear points.
+graph::CsrGraph delaunayTriangulate2d(std::span<const Point2> points);
+
+/// Triangle soup variant for consumers that need faces (SVG export, FEM
+/// assembly): each triple indexes `points`.
+std::vector<std::array<std::int32_t, 3>> delaunayTriangles2d(std::span<const Point2> points);
+
+/// The paper's DelaunayX series: n uniform random points in the unit square.
+Mesh2 delaunay2d(std::int64_t n, std::uint64_t seed);
+
+}  // namespace geo::gen

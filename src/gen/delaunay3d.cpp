@@ -1,0 +1,305 @@
+#include "gen/delaunay3d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "geometry/box.hpp"
+#include "sfc/hilbert.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace geo::gen {
+
+namespace {
+
+using Real = long double;
+
+/// > 0 iff d lies on the positive side of the oriented plane (a, b, c).
+Real orient3d(const Point3& a, const Point3& b, const Point3& c, const Point3& d) {
+    const Real adx = static_cast<Real>(a[0]) - d[0];
+    const Real ady = static_cast<Real>(a[1]) - d[1];
+    const Real adz = static_cast<Real>(a[2]) - d[2];
+    const Real bdx = static_cast<Real>(b[0]) - d[0];
+    const Real bdy = static_cast<Real>(b[1]) - d[1];
+    const Real bdz = static_cast<Real>(b[2]) - d[2];
+    const Real cdx = static_cast<Real>(c[0]) - d[0];
+    const Real cdy = static_cast<Real>(c[1]) - d[1];
+    const Real cdz = static_cast<Real>(c[2]) - d[2];
+    return adx * (bdy * cdz - bdz * cdy) - ady * (bdx * cdz - bdz * cdx) +
+           adz * (bdx * cdy - bdy * cdx);
+}
+
+/// inSphere determinant; the *sign convention* depends on the orientation of
+/// (a, b, c, d), so callers normalize with orient3d.
+Real inSphereRaw(const Point3& a, const Point3& b, const Point3& c, const Point3& d,
+                 const Point3& p) {
+    const auto row = [&](const Point3& q, Real out[4]) {
+        out[0] = static_cast<Real>(q[0]) - p[0];
+        out[1] = static_cast<Real>(q[1]) - p[1];
+        out[2] = static_cast<Real>(q[2]) - p[2];
+        out[3] = out[0] * out[0] + out[1] * out[1] + out[2] * out[2];
+    };
+    Real m[4][4];
+    row(a, m[0]);
+    row(b, m[1]);
+    row(c, m[2]);
+    row(d, m[3]);
+
+    auto det3 = [](Real a00, Real a01, Real a02, Real a10, Real a11, Real a12, Real a20,
+                   Real a21, Real a22) {
+        return a00 * (a11 * a22 - a12 * a21) - a01 * (a10 * a22 - a12 * a20) +
+               a02 * (a10 * a21 - a11 * a20);
+    };
+    Real det = 0;
+    for (int i = 0; i < 4; ++i) {
+        Real sub[3][3];
+        int rr = 0;
+        for (int r = 0; r < 4; ++r) {
+            if (r == i) continue;
+            sub[rr][0] = m[r][1];
+            sub[rr][1] = m[r][2];
+            sub[rr][2] = m[r][3];
+            ++rr;
+        }
+        const Real minor = det3(sub[0][0], sub[0][1], sub[0][2], sub[1][0], sub[1][1],
+                                sub[1][2], sub[2][0], sub[2][1], sub[2][2]);
+        det += ((i % 2 == 0) ? 1 : -1) * m[i][0] * minor;
+    }
+    return det;
+}
+
+struct Tet {
+    std::array<std::int32_t, 4> v;
+    std::array<std::int32_t, 4> nbr;  // nbr[i] = tet across face opposite v[i]
+    bool alive = true;
+};
+
+class Tetrahedralization {
+public:
+    explicit Tetrahedralization(std::span<const Point3> input)
+        : n_(static_cast<std::int32_t>(input.size())) {
+        GEO_REQUIRE(input.size() >= 4, "3D Delaunay needs >= 4 points");
+        pts_.assign(input.begin(), input.end());
+        const auto bb = Box3::around(input);
+        const Point3 c = bb.center();
+        const double span =
+            std::max({bb.hi[0] - bb.lo[0], bb.hi[1] - bb.lo[1], bb.hi[2] - bb.lo[2], 1e-9});
+        const double r = 64.0 * span;
+        // Large regular-ish tetrahedron around the domain.
+        pts_.push_back(Point3{{c[0] - 2.0 * r, c[1] - r, c[2] - r}});
+        pts_.push_back(Point3{{c[0] + 2.0 * r, c[1] - r, c[2] - r}});
+        pts_.push_back(Point3{{c[0], c[1] + 2.0 * r, c[2] - r}});
+        pts_.push_back(Point3{{c[0], c[1], c[2] + 2.0 * r}});
+        Tet super{{n_, n_ + 1, n_ + 2, n_ + 3}, {-1, -1, -1, -1}, true};
+        // Normalize orientation so orient3d(v0,v1,v2,v3) > 0.
+        if (orient3d(at(super.v[0]), at(super.v[1]), at(super.v[2]), at(super.v[3])) < 0)
+            std::swap(super.v[0], super.v[1]);
+        tets_.push_back(super);
+        mark_.push_back(0);
+
+        std::vector<std::pair<std::uint64_t, std::int32_t>> order;
+        order.reserve(input.size());
+        for (std::int32_t i = 0; i < n_; ++i)
+            order.emplace_back(sfc::hilbertIndex<3>(input[static_cast<std::size_t>(i)], bb), i);
+        std::sort(order.begin(), order.end());
+        for (const auto& [key, i] : order) insert(i);
+    }
+
+    [[nodiscard]] std::vector<std::array<std::int32_t, 4>> realTets() const {
+        std::vector<std::array<std::int32_t, 4>> out;
+        for (const auto& t : tets_) {
+            if (!t.alive) continue;
+            if (t.v[0] >= n_ || t.v[1] >= n_ || t.v[2] >= n_ || t.v[3] >= n_) continue;
+            out.push_back(t.v);
+        }
+        return out;
+    }
+
+private:
+    const Point3& at(std::int32_t v) const { return pts_[static_cast<std::size_t>(v)]; }
+
+    /// The three vertices of face i (opposite v[i]) in an order that has
+    /// positive orientation with v[i] on the inside.
+    std::array<std::int32_t, 3> face(const Tet& t, int i) const {
+        // For a positively oriented tet (v0,v1,v2,v3), the faces listed so
+        // that orient3d(face, v[i]) > 0:
+        static constexpr int idx[4][3] = {{1, 3, 2}, {0, 2, 3}, {0, 3, 1}, {0, 1, 2}};
+        return {t.v[static_cast<std::size_t>(idx[i][0])],
+                t.v[static_cast<std::size_t>(idx[i][1])],
+                t.v[static_cast<std::size_t>(idx[i][2])]};
+    }
+
+    std::int32_t locate(const Point3& p, std::int32_t start) const {
+        std::int32_t t = start;
+        for (std::int64_t steps = 0; steps < static_cast<std::int64_t>(tets_.size()) + 8;
+             ++steps) {
+            const Tet& tet = tets_[static_cast<std::size_t>(t)];
+            bool moved = false;
+            for (int i = 0; i < 4; ++i) {
+                const auto f = face(tet, i);
+                if (orient3d(at(f[0]), at(f[1]), at(f[2]), p) < 0) {
+                    const auto next = tet.nbr[static_cast<std::size_t>(i)];
+                    GEO_CHECK(next >= 0, "walk left the super tetrahedron");
+                    t = next;
+                    moved = true;
+                    break;
+                }
+            }
+            if (!moved) return t;
+        }
+        GEO_CHECK(false, "3D point location walk did not terminate");
+        return -1;
+    }
+
+    bool circumsphereContains(const Tet& t, const Point3& p) const {
+        const Real o = orient3d(at(t.v[0]), at(t.v[1]), at(t.v[2]), at(t.v[3]));
+        const Real s = inSphereRaw(at(t.v[0]), at(t.v[1]), at(t.v[2]), at(t.v[3]), p);
+        // For positively oriented tets the raw determinant is positive
+        // inside; normalize by the orientation sign for safety.
+        return (o > 0) ? (s > 0) : (s < 0);
+    }
+
+    bool inCavity(std::int32_t t) const { return mark_[static_cast<std::size_t>(t)] == epoch_; }
+
+    static std::uint64_t faceKey(std::int32_t a, std::int32_t b, std::int32_t c) {
+        std::array<std::int32_t, 3> s{a, b, c};
+        std::sort(s.begin(), s.end());
+        return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(s[0])) << 42) ^
+               (static_cast<std::uint64_t>(static_cast<std::uint32_t>(s[1])) << 21) ^
+               static_cast<std::uint64_t>(static_cast<std::uint32_t>(s[2]));
+    }
+
+    void insert(std::int32_t vp) {
+        const Point3& p = at(vp);
+        const std::int32_t seedTet = locate(p, lastTet_);
+        ++epoch_;
+
+        cavity_.clear();
+        std::vector<std::int32_t> stack{seedTet};
+        mark_[static_cast<std::size_t>(seedTet)] = epoch_;
+        while (!stack.empty()) {
+            const auto t = stack.back();
+            stack.pop_back();
+            cavity_.push_back(t);
+            for (const auto nb : tets_[static_cast<std::size_t>(t)].nbr) {
+                if (nb < 0 || inCavity(nb)) continue;
+                if (circumsphereContains(tets_[static_cast<std::size_t>(nb)], p)) {
+                    mark_[static_cast<std::size_t>(nb)] = epoch_;
+                    stack.push_back(nb);
+                }
+            }
+        }
+
+        // Boundary faces of the cavity with their outside tet.
+        struct BoundaryFace {
+            std::array<std::int32_t, 3> f;  // oriented: positive with p inside
+            std::int32_t outside;
+        };
+        std::vector<BoundaryFace> boundary;
+        for (const auto t : cavity_) {
+            const Tet& tet = tets_[static_cast<std::size_t>(t)];
+            for (int i = 0; i < 4; ++i) {
+                const auto nb = tet.nbr[static_cast<std::size_t>(i)];
+                if (nb >= 0 && inCavity(nb)) continue;
+                // face(tet, i) is oriented positively towards v[i], i.e.
+                // towards the cavity interior that contains p.
+                boundary.push_back(BoundaryFace{face(tet, i), nb});
+            }
+        }
+        GEO_CHECK(boundary.size() >= 4, "3D cavity boundary must enclose a volume");
+
+        for (const auto t : cavity_) tets_[static_cast<std::size_t>(t)].alive = false;
+
+        // Create one new tet per boundary face: (f0, f1, f2, p). Orientation
+        // is positive because the face is oriented with p on its positive
+        // side. Face opposite p is the boundary face (links outward); the
+        // other three faces are internal and shared pairwise between new
+        // tets — stitched via a face-key map.
+        std::unordered_map<std::uint64_t, std::pair<std::int32_t, int>> open;
+        open.reserve(boundary.size() * 3);
+        const auto firstNew = static_cast<std::int32_t>(tets_.size());
+        for (const auto& bf : boundary) {
+            const auto id = static_cast<std::int32_t>(tets_.size());
+            Tet tet;
+            tet.v = {bf.f[0], bf.f[1], bf.f[2], vp};
+            tet.nbr = {-1, -1, -1, bf.outside};
+            tets_.push_back(tet);
+            mark_.push_back(0);
+            if (bf.outside >= 0) {
+                Tet& out = tets_[static_cast<std::size_t>(bf.outside)];
+                for (int i = 0; i < 4; ++i) {
+                    const auto of = face(out, i);
+                    if (faceKey(of[0], of[1], of[2]) == faceKey(bf.f[0], bf.f[1], bf.f[2])) {
+                        out.nbr[static_cast<std::size_t>(i)] = id;
+                        break;
+                    }
+                }
+            }
+        }
+        const auto lastNew = static_cast<std::int32_t>(tets_.size()) - 1;
+        for (std::int32_t id = firstNew; id <= lastNew; ++id) {
+            // Internal faces are those containing vp: faces opposite
+            // v[0], v[1], v[2].
+            for (int i = 0; i < 3; ++i) {
+                const Tet& tet = tets_[static_cast<std::size_t>(id)];
+                const auto f = face(tet, i);
+                const auto key = faceKey(f[0], f[1], f[2]);
+                const auto it = open.find(key);
+                if (it == open.end()) {
+                    open.emplace(key, std::pair(id, i));
+                } else {
+                    const auto [otherId, otherFace] = it->second;
+                    tets_[static_cast<std::size_t>(id)].nbr[static_cast<std::size_t>(i)] =
+                        otherId;
+                    tets_[static_cast<std::size_t>(otherId)]
+                        .nbr[static_cast<std::size_t>(otherFace)] = id;
+                    open.erase(it);
+                }
+            }
+        }
+        GEO_CHECK(open.empty(), "unmatched internal faces after cavity fill");
+        lastTet_ = firstNew;
+    }
+
+    std::int32_t n_;
+    std::vector<Point3> pts_;
+    std::vector<Tet> tets_;
+    std::vector<std::uint32_t> mark_;
+    std::uint32_t epoch_ = 0;
+    std::int32_t lastTet_ = 0;
+    std::vector<std::int32_t> cavity_;
+};
+
+}  // namespace
+
+std::vector<std::array<std::int32_t, 4>> delaunayTets3d(std::span<const Point3> points) {
+    const Tetrahedralization tr(points);
+    return tr.realTets();
+}
+
+graph::CsrGraph delaunayTriangulate3d(std::span<const Point3> points) {
+    const auto tets = delaunayTets3d(points);
+    graph::GraphBuilder builder(static_cast<graph::Vertex>(points.size()));
+    for (const auto& t : tets) {
+        for (int i = 0; i < 4; ++i)
+            for (int j = i + 1; j < 4; ++j)
+                builder.addEdge(t[static_cast<std::size_t>(i)], t[static_cast<std::size_t>(j)]);
+    }
+    return builder.build();
+}
+
+Mesh3 delaunay3d(std::int64_t n, std::uint64_t seed) {
+    GEO_REQUIRE(n >= 4, "delaunay3d needs >= 4 points");
+    Xoshiro256 rng(seed);
+    Mesh3 mesh;
+    mesh.name = "delaunay3d-n" + std::to_string(n);
+    mesh.meshClass = MeshClass::Dim3;
+    mesh.points.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i)
+        mesh.points.push_back(Point3{{rng.uniform(), rng.uniform(), rng.uniform()}});
+    mesh.graph = delaunayTriangulate3d(mesh.points);
+    return mesh;
+}
+
+}  // namespace geo::gen

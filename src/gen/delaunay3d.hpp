@@ -1,0 +1,27 @@
+// 3D Delaunay triangulation (incremental Bowyer–Watson over tetrahedra).
+//
+// Reproduces the paper's 3D Delaunay instances ("five 3D Delaunay
+// triangulations ... using the generator of Funke et al."): uniform random
+// points in the unit cube, tetrahedralized, primal edge graph extracted.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gen/mesh.hpp"
+
+namespace geo::gen {
+
+/// Tetrahedralize an arbitrary point set; returns the primal edge graph.
+/// Requires >= 4 non-coplanar points in generic position (random inputs).
+graph::CsrGraph delaunayTriangulate3d(std::span<const Point3> points);
+
+/// Tetrahedron soup (each quadruple indexes `points`).
+std::vector<std::array<std::int32_t, 4>> delaunayTets3d(std::span<const Point3> points);
+
+/// The paper's 3D Delaunay series: n uniform random points in the unit cube.
+Mesh3 delaunay3d(std::int64_t n, std::uint64_t seed);
+
+}  // namespace geo::gen

@@ -1,0 +1,56 @@
+#include "gen/grid.hpp"
+
+#include "support/assert.hpp"
+
+namespace geo::gen {
+
+Mesh2 grid2d(std::int32_t nx, std::int32_t ny) {
+    GEO_REQUIRE(nx >= 1 && ny >= 1, "grid extents must be positive");
+    Mesh2 mesh;
+    mesh.name = "grid2d-" + std::to_string(nx) + "x" + std::to_string(ny);
+    mesh.meshClass = MeshClass::Dim2;
+    const auto n = static_cast<std::int64_t>(nx) * ny;
+    mesh.points.reserve(static_cast<std::size_t>(n));
+    graph::GraphBuilder builder(static_cast<graph::Vertex>(n));
+    auto id = [&](std::int32_t x, std::int32_t y) {
+        return static_cast<graph::Vertex>(static_cast<std::int64_t>(y) * nx + x);
+    };
+    for (std::int32_t y = 0; y < ny; ++y) {
+        for (std::int32_t x = 0; x < nx; ++x) {
+            mesh.points.push_back(Point2{{static_cast<double>(x), static_cast<double>(y)}});
+            if (x + 1 < nx) builder.addEdge(id(x, y), id(x + 1, y));
+            if (y + 1 < ny) builder.addEdge(id(x, y), id(x, y + 1));
+        }
+    }
+    mesh.graph = builder.build();
+    return mesh;
+}
+
+Mesh3 grid3d(std::int32_t nx, std::int32_t ny, std::int32_t nz) {
+    GEO_REQUIRE(nx >= 1 && ny >= 1 && nz >= 1, "grid extents must be positive");
+    Mesh3 mesh;
+    mesh.name = "grid3d-" + std::to_string(nx) + "x" + std::to_string(ny) + "x" +
+                std::to_string(nz);
+    mesh.meshClass = MeshClass::Dim3;
+    const auto n = static_cast<std::int64_t>(nx) * ny * nz;
+    mesh.points.reserve(static_cast<std::size_t>(n));
+    graph::GraphBuilder builder(static_cast<graph::Vertex>(n));
+    auto id = [&](std::int32_t x, std::int32_t y, std::int32_t z) {
+        return static_cast<graph::Vertex>((static_cast<std::int64_t>(z) * ny + y) * nx + x);
+    };
+    for (std::int32_t z = 0; z < nz; ++z) {
+        for (std::int32_t y = 0; y < ny; ++y) {
+            for (std::int32_t x = 0; x < nx; ++x) {
+                mesh.points.push_back(Point3{{static_cast<double>(x), static_cast<double>(y),
+                                              static_cast<double>(z)}});
+                if (x + 1 < nx) builder.addEdge(id(x, y, z), id(x + 1, y, z));
+                if (y + 1 < ny) builder.addEdge(id(x, y, z), id(x, y + 1, z));
+                if (z + 1 < nz) builder.addEdge(id(x, y, z), id(x, y, z + 1));
+            }
+        }
+    }
+    mesh.graph = builder.build();
+    return mesh;
+}
+
+}  // namespace geo::gen

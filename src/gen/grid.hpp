@@ -1,0 +1,18 @@
+// Structured grids with analytically known partition metrics — the ground
+// truth instances for unit tests (e.g. a k-way slab partition of an
+// nx × ny grid has a known edge cut).
+#pragma once
+
+#include <cstdint>
+
+#include "gen/mesh.hpp"
+
+namespace geo::gen {
+
+/// nx × ny unit-spaced grid with 4-neighbor connectivity.
+Mesh2 grid2d(std::int32_t nx, std::int32_t ny);
+
+/// nx × ny × nz grid with 6-neighbor connectivity.
+Mesh3 grid3d(std::int32_t nx, std::int32_t ny, std::int32_t nz);
+
+}  // namespace geo::gen

@@ -1,0 +1,50 @@
+// Mesh container: geometric points + primal connectivity + node weights.
+//
+// Instances stand in for the paper's benchmark families (DIMACS 2D meshes,
+// FESOM 2.5D climate meshes, Alya 3D meshes, Delaunay series); see DESIGN.md
+// §2 for the substitution rationale. Every generator returns this container
+// so partitioners and metrics code are instance-agnostic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "graph/csr.hpp"
+
+namespace geo::gen {
+
+/// Instance classes used for the paper's per-class aggregation (Fig. 2).
+enum class MeshClass {
+    Dim2,   ///< 2D meshes (DIMACS-style)
+    Dim25,  ///< 2.5D weighted climate meshes
+    Dim3,   ///< 3D meshes (Alya-style, 3D Delaunay)
+};
+
+[[nodiscard]] constexpr const char* toString(MeshClass c) noexcept {
+    switch (c) {
+        case MeshClass::Dim2: return "2D";
+        case MeshClass::Dim25: return "2.5D";
+        case MeshClass::Dim3: return "3D";
+    }
+    return "?";
+}
+
+template <int D>
+struct Mesh {
+    std::string name;
+    MeshClass meshClass = MeshClass::Dim2;
+    std::vector<Point<D>> points;
+    std::vector<double> weights;  ///< empty = unit node weights
+    graph::CsrGraph graph;        ///< primal mesh connectivity
+
+    [[nodiscard]] std::int64_t numVertices() const noexcept {
+        return static_cast<std::int64_t>(points.size());
+    }
+    [[nodiscard]] std::int64_t numEdges() const noexcept { return graph.numEdges(); }
+};
+
+using Mesh2 = Mesh<2>;
+using Mesh3 = Mesh<3>;
+
+}  // namespace geo::gen

@@ -1,0 +1,135 @@
+#include "gen/meshes2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "gen/delaunay2d.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace geo::gen {
+
+namespace {
+
+/// Rejection-sample n points in the unit square from density(x) in (0, 1].
+template <typename Density>
+std::vector<Point2> sampleDensity(std::int64_t n, Xoshiro256& rng, Density&& density) {
+    std::vector<Point2> pts;
+    pts.reserve(static_cast<std::size_t>(n));
+    std::int64_t attempts = 0;
+    const std::int64_t maxAttempts = n * 2000;
+    while (static_cast<std::int64_t>(pts.size()) < n) {
+        GEO_CHECK(attempts++ < maxAttempts, "density too low: rejection sampling stalled");
+        const Point2 p{{rng.uniform(), rng.uniform()}};
+        if (rng.uniform() < density(p)) pts.push_back(p);
+    }
+    return pts;
+}
+
+/// Distance from p to the closest vertex of a polyline.
+double polylineDistance(const Point2& p, const std::vector<Point2>& line) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& q : line) best = std::min(best, squaredDistance(p, q));
+    return std::sqrt(best);
+}
+
+}  // namespace
+
+Mesh2 refinedTriMesh(std::int64_t n, int traces, std::uint64_t seed) {
+    GEO_REQUIRE(n >= 3 && traces >= 1, "need n >= 3 points and >= 1 trace");
+    Xoshiro256 rng(seed);
+
+    // Random-walk feature curves the refinement follows.
+    std::vector<std::vector<Point2>> curves;
+    for (int t = 0; t < traces; ++t) {
+        std::vector<Point2> curve;
+        Point2 pos{{rng.uniform(0.1, 0.9), rng.uniform(0.1, 0.9)}};
+        double heading = rng.uniform(0.0, 2.0 * M_PI);
+        const int steps = 140;
+        for (int s = 0; s < steps; ++s) {
+            curve.push_back(pos);
+            heading += rng.uniform(-0.45, 0.45);
+            const double step = 0.012;
+            pos[0] = std::clamp(pos[0] + step * std::cos(heading), 0.02, 0.98);
+            pos[1] = std::clamp(pos[1] + step * std::sin(heading), 0.02, 0.98);
+        }
+        curves.push_back(std::move(curve));
+    }
+
+    const double featureWidth = 0.03;
+    auto density = [&](const Point2& p) {
+        double d = std::numeric_limits<double>::infinity();
+        for (const auto& c : curves) d = std::min(d, polylineDistance(p, c));
+        // 20:1 refinement ratio between trace neighborhood and background.
+        return 0.05 + 0.95 * std::exp(-(d * d) / (2.0 * featureWidth * featureWidth));
+    };
+
+    Mesh2 mesh;
+    mesh.name = "refinedtri-n" + std::to_string(n) + "-t" + std::to_string(traces);
+    mesh.meshClass = MeshClass::Dim2;
+    mesh.points = sampleDensity(n, rng, density);
+    mesh.graph = delaunayTriangulate2d(mesh.points);
+    return mesh;
+}
+
+Mesh2 bubbleMesh(std::int64_t n, int bubbles, std::uint64_t seed) {
+    GEO_REQUIRE(n >= 3 && bubbles >= 1, "need n >= 3 points and >= 1 bubble");
+    Xoshiro256 rng(seed);
+    struct Circle {
+        Point2 c;
+        double r;
+    };
+    std::vector<Circle> circles;
+    for (int b = 0; b < bubbles; ++b)
+        circles.push_back(Circle{Point2{{rng.uniform(0.15, 0.85), rng.uniform(0.15, 0.85)}},
+                                 rng.uniform(0.05, 0.2)});
+
+    const double shellWidth = 0.02;
+    auto density = [&](const Point2& p) {
+        double best = std::numeric_limits<double>::infinity();
+        for (const auto& c : circles)
+            best = std::min(best, std::abs(distance(p, c.c) - c.r));
+        return 0.05 + 0.95 * std::exp(-(best * best) / (2.0 * shellWidth * shellWidth));
+    };
+
+    Mesh2 mesh;
+    mesh.name = "bubbles-n" + std::to_string(n) + "-b" + std::to_string(bubbles);
+    mesh.meshClass = MeshClass::Dim2;
+    mesh.points = sampleDensity(n, rng, density);
+    mesh.graph = delaunayTriangulate2d(mesh.points);
+    return mesh;
+}
+
+Mesh2 femMesh2d(std::int64_t n, std::uint64_t seed) {
+    GEO_REQUIRE(n >= 3, "need n >= 3 points");
+    Xoshiro256 rng(seed);
+
+    // Elliptic "airfoil" body centered left of the domain middle; points
+    // inside the body are rejected (hole), density decays with distance
+    // from the body surface (boundary-layer grading).
+    const Point2 center{{0.35, 0.5}};
+    const double ax = 0.18, ay = 0.045;
+    auto bodyValue = [&](const Point2& p) {
+        const double dx = (p[0] - center[0]) / ax;
+        const double dy = (p[1] - center[1]) / ay;
+        return dx * dx + dy * dy;  // < 1 inside the body
+    };
+    auto density = [&](const Point2& p) {
+        const double v = bodyValue(p);
+        if (v < 1.0) return 0.0;  // hole
+        // Approximate surface distance through the level-set value.
+        const double d = (std::sqrt(v) - 1.0) * std::min(ax, ay);
+        return 0.04 + 0.96 * std::exp(-d / 0.05);
+    };
+
+    Mesh2 mesh;
+    mesh.name = "fem2d-n" + std::to_string(n);
+    mesh.meshClass = MeshClass::Dim2;
+    mesh.points = sampleDensity(n, rng, density);
+    mesh.graph = delaunayTriangulate2d(mesh.points);
+    return mesh;
+}
+
+}  // namespace geo::gen

@@ -1,0 +1,34 @@
+// Synthetic 2D mesh families standing in for the paper's DIMACS instances.
+//
+// hugetric / hugetrace / hugebubbles are adaptively refined triangular
+// meshes from the Marquardt–Schamberger benchmark generator; 333SP, AS365,
+// M6, NACA0015, NLR are FEM triangulations graded towards airfoil-like
+// geometry. We reproduce the geometric character by sampling points from a
+// spatially varying density field and Delaunay-triangulating them:
+//   * refinedTriMesh  — density concentrated along random walk "traces"
+//                       (hugetric/hugetrace character),
+//   * bubbleMesh      — density concentrated on circle boundaries
+//                       (hugebubbles character),
+//   * femMesh2d       — boundary-layer grading around an elliptic body with
+//                       a hole where the body sits (NACA/NLR character).
+#pragma once
+
+#include <cstdint>
+
+#include "gen/mesh.hpp"
+
+namespace geo::gen {
+
+/// Adaptively refined triangle mesh: density follows `traces` random-walk
+/// curves, refinement ratio ~20:1 between feature and background density.
+Mesh2 refinedTriMesh(std::int64_t n, int traces, std::uint64_t seed);
+
+/// Bubble-refined mesh: density peaks on the boundaries of `bubbles`
+/// random circles.
+Mesh2 bubbleMesh(std::int64_t n, int bubbles, std::uint64_t seed);
+
+/// FEM-style airfoil mesh: boundary-layer grading around an ellipse with a
+/// cut-out hole (points inside the body are rejected).
+Mesh2 femMesh2d(std::int64_t n, std::uint64_t seed);
+
+}  // namespace geo::gen

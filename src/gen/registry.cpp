@@ -1,0 +1,46 @@
+#include "gen/registry.hpp"
+
+#include "gen/alya.hpp"
+#include "gen/climate.hpp"
+#include "gen/delaunay2d.hpp"
+#include "gen/delaunay3d.hpp"
+#include "gen/meshes2d.hpp"
+#include "gen/rgg.hpp"
+
+namespace geo::gen {
+
+const std::vector<Instance2Spec>& catalog2d() {
+    static const std::vector<Instance2Spec> specs = {
+        {"hugetric-analog", MeshClass::Dim2,
+         [](std::int64_t n, std::uint64_t seed) { return refinedTriMesh(n, 3, seed); }},
+        {"hugetrace-analog", MeshClass::Dim2,
+         [](std::int64_t n, std::uint64_t seed) { return refinedTriMesh(n, 1, seed); }},
+        {"hugebubbles-analog", MeshClass::Dim2,
+         [](std::int64_t n, std::uint64_t seed) { return bubbleMesh(n, 4, seed); }},
+        {"fem2d-analog", MeshClass::Dim2,
+         [](std::int64_t n, std::uint64_t seed) { return femMesh2d(n, seed); }},
+        {"rgg2d", MeshClass::Dim2,
+         [](std::int64_t n, std::uint64_t seed) { return rgg2d(n, 0.0, seed); }},
+        {"delaunay2d", MeshClass::Dim2,
+         [](std::int64_t n, std::uint64_t seed) { return delaunay2d(n, seed); }},
+        {"fesom-analog", MeshClass::Dim25,
+         [](std::int64_t n, std::uint64_t seed) { return climate25d(n, 40, seed); }},
+        {"fesom-shallow-analog", MeshClass::Dim25,
+         [](std::int64_t n, std::uint64_t seed) { return climate25d(n, 10, seed); }},
+    };
+    return specs;
+}
+
+const std::vector<Instance3Spec>& catalog3d() {
+    static const std::vector<Instance3Spec> specs = {
+        {"alya-analog", MeshClass::Dim3,
+         [](std::int64_t n, std::uint64_t seed) { return alya3d(n, 6, seed); }},
+        {"delaunay3d", MeshClass::Dim3,
+         [](std::int64_t n, std::uint64_t seed) { return delaunay3d(n, seed); }},
+        {"rgg3d", MeshClass::Dim3,
+         [](std::int64_t n, std::uint64_t seed) { return rgg3d(n, 0.0, seed); }},
+    };
+    return specs;
+}
+
+}  // namespace geo::gen

@@ -1,0 +1,36 @@
+// Instance catalog: named, seeded, size-scalable factories for every mesh
+// family used in the paper's evaluation, grouped the way Fig. 2 groups them
+// (2D DIMACS-style / 2.5D climate / 3D). The benchmark binaries iterate
+// this catalog so tables and figures cover the same instance mix as the
+// paper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gen/mesh.hpp"
+
+namespace geo::gen {
+
+struct Instance2Spec {
+    std::string name;       ///< paper-family name, e.g. "hugetric-analog"
+    MeshClass meshClass;
+    /// Factory: (targetVertices, seed) -> mesh.
+    std::function<Mesh2(std::int64_t, std::uint64_t)> make;
+};
+
+struct Instance3Spec {
+    std::string name;
+    MeshClass meshClass;
+    std::function<Mesh3(std::int64_t, std::uint64_t)> make;
+};
+
+/// 2D + 2.5D families (DIMACS analogs and climate meshes).
+const std::vector<Instance2Spec>& catalog2d();
+
+/// 3D families (Alya analog, 3D Delaunay, 3D rgg).
+const std::vector<Instance3Spec>& catalog3d();
+
+}  // namespace geo::gen

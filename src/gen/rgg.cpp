@@ -1,0 +1,141 @@
+#include "gen/rgg.hpp"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "geometry/box.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace geo::gen {
+
+namespace {
+
+/// Uniform grid bucket index over the bounding box with cell size >= radius,
+/// so all neighbors of a point lie in the 3^D adjacent cells.
+template <int D>
+class BucketGrid {
+public:
+    BucketGrid(std::span<const Point<D>> points, double radius)
+        : points_(points), bounds_(Box<D>::around(points)), radius_(radius) {
+        GEO_REQUIRE(radius > 0.0, "radius must be positive");
+        for (int i = 0; i < D; ++i) {
+            const double extent = std::max(bounds_.hi[i] - bounds_.lo[i], 1e-300);
+            cells_[static_cast<std::size_t>(i)] =
+                std::max<std::int64_t>(1, static_cast<std::int64_t>(extent / radius));
+        }
+        std::int64_t totalCells = 1;
+        for (int i = 0; i < D; ++i) totalCells *= cells_[static_cast<std::size_t>(i)];
+        buckets_.resize(static_cast<std::size_t>(totalCells));
+        for (std::size_t p = 0; p < points.size(); ++p)
+            buckets_[cellOf(points[p])].push_back(static_cast<std::int32_t>(p));
+    }
+
+    /// Visit all point indices in the 3^D neighborhood of p's cell.
+    template <typename Visitor>
+    void forNeighborhood(const Point<D>& p, Visitor&& visit) const {
+        std::array<std::int64_t, D> c = coords(p);
+        std::array<std::int64_t, D> it{};
+        visitRec(c, it, 0, visit);
+    }
+
+private:
+    std::size_t cellOf(const Point<D>& p) const {
+        const auto c = coords(p);
+        std::int64_t idx = 0;
+        for (int i = 0; i < D; ++i) idx = idx * cells_[static_cast<std::size_t>(i)] + c[static_cast<std::size_t>(i)];
+        return static_cast<std::size_t>(idx);
+    }
+
+    std::array<std::int64_t, D> coords(const Point<D>& p) const {
+        std::array<std::int64_t, D> c{};
+        for (int i = 0; i < D; ++i) {
+            const double extent = std::max(bounds_.hi[i] - bounds_.lo[i], 1e-300);
+            auto v = static_cast<std::int64_t>((p[i] - bounds_.lo[i]) / extent *
+                                               static_cast<double>(cells_[static_cast<std::size_t>(i)]));
+            c[static_cast<std::size_t>(i)] =
+                std::clamp<std::int64_t>(v, 0, cells_[static_cast<std::size_t>(i)] - 1);
+        }
+        return c;
+    }
+
+    template <typename Visitor>
+    void visitRec(const std::array<std::int64_t, D>& center, std::array<std::int64_t, D>& it,
+                  int dim, Visitor& visit) const {
+        if (dim == D) {
+            std::int64_t idx = 0;
+            for (int i = 0; i < D; ++i) idx = idx * cells_[static_cast<std::size_t>(i)] + it[static_cast<std::size_t>(i)];
+            for (const auto p : buckets_[static_cast<std::size_t>(idx)]) visit(p);
+            return;
+        }
+        for (std::int64_t d = -1; d <= 1; ++d) {
+            const std::int64_t v = center[static_cast<std::size_t>(dim)] + d;
+            if (v < 0 || v >= cells_[static_cast<std::size_t>(dim)]) continue;
+            it[static_cast<std::size_t>(dim)] = v;
+            visitRec(center, it, dim + 1, visit);
+        }
+    }
+
+    std::span<const Point<D>> points_;
+    Box<D> bounds_;
+    double radius_;
+    std::array<std::int64_t, D> cells_{};
+    std::vector<std::vector<std::int32_t>> buckets_;
+};
+
+}  // namespace
+
+template <int D>
+graph::CsrGraph radiusGraph(std::span<const Point<D>> points, double radius) {
+    const BucketGrid<D> grid(points, radius);
+    graph::GraphBuilder builder(static_cast<graph::Vertex>(points.size()));
+    const double r2 = radius * radius;
+    for (std::size_t v = 0; v < points.size(); ++v) {
+        grid.forNeighborhood(points[v], [&](std::int32_t u) {
+            if (static_cast<std::size_t>(u) <= v) return;  // each pair once
+            if (squaredDistance(points[v], points[static_cast<std::size_t>(u)]) <= r2)
+                builder.addEdge(static_cast<graph::Vertex>(v), u);
+        });
+    }
+    return builder.build();
+}
+
+Mesh2 rgg2d(std::int64_t n, double radius, std::uint64_t seed) {
+    GEO_REQUIRE(n >= 2, "rgg needs at least 2 points");
+    if (radius <= 0.0) {
+        radius = 1.5 * std::sqrt(std::log(static_cast<double>(n)) /
+                                 (std::numbers::pi * static_cast<double>(n)));
+    }
+    Xoshiro256 rng(seed);
+    Mesh2 mesh;
+    mesh.name = "rgg2d-n" + std::to_string(n);
+    mesh.meshClass = MeshClass::Dim2;
+    mesh.points.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i)
+        mesh.points.push_back(Point2{{rng.uniform(), rng.uniform()}});
+    mesh.graph = radiusGraph<2>(mesh.points, radius);
+    return mesh;
+}
+
+Mesh3 rgg3d(std::int64_t n, double radius, std::uint64_t seed) {
+    GEO_REQUIRE(n >= 2, "rgg needs at least 2 points");
+    if (radius <= 0.0) {
+        radius = 1.5 * std::cbrt(std::log(static_cast<double>(n)) /
+                                 (std::numbers::pi * static_cast<double>(n)));
+    }
+    Xoshiro256 rng(seed);
+    Mesh3 mesh;
+    mesh.name = "rgg3d-n" + std::to_string(n);
+    mesh.meshClass = MeshClass::Dim3;
+    mesh.points.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i)
+        mesh.points.push_back(Point3{{rng.uniform(), rng.uniform(), rng.uniform()}});
+    mesh.graph = radiusGraph<3>(mesh.points, radius);
+    return mesh;
+}
+
+template graph::CsrGraph radiusGraph<2>(std::span<const Point2>, double);
+template graph::CsrGraph radiusGraph<3>(std::span<const Point3>, double);
+
+}  // namespace geo::gen

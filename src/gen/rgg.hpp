@@ -1,0 +1,27 @@
+// Random geometric graphs (the paper's rgg_n instances and the radius-graph
+// machinery reused by the Alya-like tube meshes).
+#pragma once
+
+#include <cstdint>
+
+#include "gen/mesh.hpp"
+
+namespace geo::gen {
+
+/// 2D random geometric graph: n uniform points in the unit square, edges
+/// between pairs closer than `radius`. radius <= 0 selects the connectivity
+/// threshold ~ sqrt(ln n / (pi n)) scaled by 1.5, matching the DIMACS rgg
+/// construction.
+Mesh2 rgg2d(std::int64_t n, double radius, std::uint64_t seed);
+
+/// 3D variant in the unit cube; default radius ~ (ln n / n)^(1/3) scaled.
+Mesh3 rgg3d(std::int64_t n, double radius, std::uint64_t seed);
+
+/// Radius graph over an arbitrary point cloud (grid-bucket accelerated).
+template <int D>
+graph::CsrGraph radiusGraph(std::span<const Point<D>> points, double radius);
+
+extern template graph::CsrGraph radiusGraph<2>(std::span<const Point2>, double);
+extern template graph::CsrGraph radiusGraph<3>(std::span<const Point3>, double);
+
+}  // namespace geo::gen

@@ -1,0 +1,100 @@
+#include "geometry/eigen.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace geo {
+
+template <int D>
+Point<D> centroid(std::span<const Point<D>> points, std::span<const double> weights) {
+    GEO_REQUIRE(!points.empty(), "centroid of empty point set");
+    GEO_REQUIRE(weights.empty() || weights.size() == points.size(),
+                "weights must be empty or match points");
+    Point<D> c{};
+    double totalWeight = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const double w = weights.empty() ? 1.0 : weights[i];
+        c += points[i] * w;
+        totalWeight += w;
+    }
+    GEO_REQUIRE(totalWeight > 0.0, "total weight must be positive");
+    return c / totalWeight;
+}
+
+template <int D>
+SymMatrix<D> covarianceMatrix(std::span<const Point<D>> points,
+                              std::span<const double> weights) {
+    const Point<D> mean = centroid<D>(points, weights);
+    SymMatrix<D> m{};
+    double totalWeight = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const double w = weights.empty() ? 1.0 : weights[i];
+        const Point<D> d = points[i] - mean;
+        for (int r = 0; r < D; ++r)
+            for (int c = 0; c < D; ++c) m[r][c] += w * d[r] * d[c];
+        totalWeight += w;
+    }
+    for (int r = 0; r < D; ++r)
+        for (int c = 0; c < D; ++c) m[r][c] /= totalWeight;
+    return m;
+}
+
+namespace {
+
+/// Power iteration with deflation fallback; robust enough for the tiny,
+/// well-conditioned covariance matrices RIB produces.
+template <int D>
+Point<D> powerIteration(const SymMatrix<D>& m) {
+    // Deterministic start vector not orthogonal to the dominant eigenvector
+    // for generic inputs; perturbed restart handles the unlucky case.
+    Point<D> v{};
+    for (int i = 0; i < D; ++i) v[i] = 1.0 + 0.01 * i;
+    double vn = norm(v);
+    v /= vn;
+
+    Point<D> prev = v;
+    for (int iter = 0; iter < 200; ++iter) {
+        Point<D> next{};
+        for (int r = 0; r < D; ++r)
+            for (int c = 0; c < D; ++c) next[r] += m[r][c] * v[c];
+        const double n = norm(next);
+        if (n < 1e-300) {
+            // Zero matrix (all points identical): any direction works.
+            Point<D> axis{};
+            axis[0] = 1.0;
+            return axis;
+        }
+        next /= n;
+        // Sign-stabilize so convergence checks work for negative eigenvalues
+        // (cannot happen for covariances, but keep the routine generic).
+        if (dot(next, v) < 0.0) next *= -1.0;
+        prev = v;
+        v = next;
+        if (squaredDistance(v, prev) < 1e-24) break;
+    }
+    return v;
+}
+
+}  // namespace
+
+template <int D>
+Point<D> principalAxis(const SymMatrix<D>& m) {
+    // Shift the spectrum so the dominant-magnitude eigenvalue is the largest
+    // algebraic one: add trace-based diagonal shift (covariances are PSD so
+    // this is belt-and-braces only).
+    SymMatrix<D> shifted = m;
+    double trace = 0.0;
+    for (int i = 0; i < D; ++i) trace += m[i][i];
+    for (int i = 0; i < D; ++i) shifted[i][i] += trace + 1e-12;
+    return powerIteration<D>(shifted);
+}
+
+template SymMatrix<2> covarianceMatrix<2>(std::span<const Point2>, std::span<const double>);
+template SymMatrix<3> covarianceMatrix<3>(std::span<const Point3>, std::span<const double>);
+template Point2 centroid<2>(std::span<const Point2>, std::span<const double>);
+template Point3 centroid<3>(std::span<const Point3>, std::span<const double>);
+template Point2 principalAxis<2>(const SymMatrix<2>&);
+template Point3 principalAxis<3>(const SymMatrix<3>&);
+
+}  // namespace geo

@@ -1,0 +1,41 @@
+// Small symmetric eigenproblems for recursive inertial bisection (RIB).
+//
+// RIB projects points onto the principal axis of their covariance matrix;
+// for D = 2 and D = 3 the symmetric eigenproblem is solved in closed form /
+// with a few Jacobi rotations — no external linear algebra dependency.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "geometry/point.hpp"
+
+namespace geo {
+
+/// Symmetric D×D matrix stored densely (only used for D = 2, 3).
+template <int D>
+using SymMatrix = std::array<std::array<double, D>, D>;
+
+/// Weighted covariance matrix of a point cloud about its weighted centroid.
+/// An empty weight span means unit weights.
+template <int D>
+SymMatrix<D> covarianceMatrix(std::span<const Point<D>> points,
+                              std::span<const double> weights = {});
+
+/// Weighted centroid. An empty weight span means unit weights.
+template <int D>
+Point<D> centroid(std::span<const Point<D>> points, std::span<const double> weights = {});
+
+/// Eigenvector of the largest eigenvalue of a symmetric matrix
+/// (the principal axis). Returns a unit vector.
+template <int D>
+Point<D> principalAxis(const SymMatrix<D>& m);
+
+extern template SymMatrix<2> covarianceMatrix<2>(std::span<const Point2>, std::span<const double>);
+extern template SymMatrix<3> covarianceMatrix<3>(std::span<const Point3>, std::span<const double>);
+extern template Point2 centroid<2>(std::span<const Point2>, std::span<const double>);
+extern template Point3 centroid<3>(std::span<const Point3>, std::span<const double>);
+extern template Point2 principalAxis<2>(const SymMatrix<2>&);
+extern template Point3 principalAxis<3>(const SymMatrix<3>&);
+
+}  // namespace geo

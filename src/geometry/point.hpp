@@ -1,0 +1,86 @@
+// Fixed-dimension geometric point type.
+//
+// The partitioner is templated on the spatial dimension D (2 or 3); 2.5D
+// climate meshes are D=2 points with node weights, following the paper.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+namespace geo {
+
+template <int D>
+struct Point {
+    static_assert(D >= 1 && D <= 3, "supported dimensions: 1..3");
+
+    std::array<double, D> x{};
+
+    constexpr double& operator[](int i) noexcept { return x[static_cast<std::size_t>(i)]; }
+    constexpr double operator[](int i) const noexcept { return x[static_cast<std::size_t>(i)]; }
+
+    constexpr Point& operator+=(const Point& o) noexcept {
+        for (int i = 0; i < D; ++i) x[i] += o.x[i];
+        return *this;
+    }
+    constexpr Point& operator-=(const Point& o) noexcept {
+        for (int i = 0; i < D; ++i) x[i] -= o.x[i];
+        return *this;
+    }
+    constexpr Point& operator*=(double s) noexcept {
+        for (auto& v : x) v *= s;
+        return *this;
+    }
+    constexpr Point& operator/=(double s) noexcept {
+        for (auto& v : x) v /= s;
+        return *this;
+    }
+
+    friend constexpr Point operator+(Point a, const Point& b) noexcept { return a += b; }
+    friend constexpr Point operator-(Point a, const Point& b) noexcept { return a -= b; }
+    friend constexpr Point operator*(Point a, double s) noexcept { return a *= s; }
+    friend constexpr Point operator*(double s, Point a) noexcept { return a *= s; }
+    friend constexpr Point operator/(Point a, double s) noexcept { return a /= s; }
+    friend constexpr bool operator==(const Point& a, const Point& b) noexcept {
+        return a.x == b.x;
+    }
+
+    friend std::ostream& operator<<(std::ostream& os, const Point& p) {
+        os << '(';
+        for (int i = 0; i < D; ++i) os << (i ? ", " : "") << p.x[static_cast<std::size_t>(i)];
+        return os << ')';
+    }
+};
+
+template <int D>
+constexpr double dot(const Point<D>& a, const Point<D>& b) noexcept {
+    double s = 0.0;
+    for (int i = 0; i < D; ++i) s += a[i] * b[i];
+    return s;
+}
+
+template <int D>
+constexpr double squaredDistance(const Point<D>& a, const Point<D>& b) noexcept {
+    double s = 0.0;
+    for (int i = 0; i < D; ++i) {
+        const double d = a[i] - b[i];
+        s += d * d;
+    }
+    return s;
+}
+
+template <int D>
+double distance(const Point<D>& a, const Point<D>& b) noexcept {
+    return std::sqrt(squaredDistance(a, b));
+}
+
+template <int D>
+double norm(const Point<D>& a) noexcept {
+    return std::sqrt(dot(a, a));
+}
+
+using Point2 = Point<2>;
+using Point3 = Point<3>;
+
+}  // namespace geo

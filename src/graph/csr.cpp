@@ -1,0 +1,121 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/assert.hpp"
+
+namespace geo::graph {
+
+CsrGraph::CsrGraph(std::vector<EdgeIndex> offsets, std::vector<Vertex> targets)
+    : offsets_(std::move(offsets)), targets_(std::move(targets)) {
+    GEO_REQUIRE(!offsets_.empty(), "offsets must contain at least the leading 0");
+    GEO_REQUIRE(offsets_.front() == 0, "offsets must start at 0");
+    GEO_REQUIRE(offsets_.back() == static_cast<EdgeIndex>(targets_.size()),
+                "offsets must end at targets.size()");
+}
+
+void CsrGraph::validate() const {
+    const Vertex n = numVertices();
+    for (Vertex v = 0; v < n; ++v) {
+        const auto nbrs = neighbors(v);
+        GEO_CHECK(std::is_sorted(nbrs.begin(), nbrs.end()), "adjacency must be sorted");
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            const Vertex u = nbrs[i];
+            GEO_CHECK(u >= 0 && u < n, "neighbor out of range");
+            GEO_CHECK(u != v, "self-loop");
+            GEO_CHECK(i == 0 || nbrs[i - 1] != u, "duplicate edge");
+            // Symmetry: v must appear in u's adjacency.
+            const auto back = neighbors(u);
+            GEO_CHECK(std::binary_search(back.begin(), back.end(), v),
+                      "missing reverse edge");
+        }
+    }
+}
+
+CsrGraph GraphBuilder::build() const {
+    // Symmetrize, sort, dedupe.
+    std::vector<std::pair<Vertex, Vertex>> dir;
+    dir.reserve(edges_.size() * 2);
+    for (const auto& [u, v] : edges_) {
+        GEO_REQUIRE(u >= 0 && u < numVertices_ && v >= 0 && v < numVertices_,
+                    "edge endpoint out of range");
+        if (u == v) continue;
+        dir.emplace_back(u, v);
+        dir.emplace_back(v, u);
+    }
+    std::sort(dir.begin(), dir.end());
+    dir.erase(std::unique(dir.begin(), dir.end()), dir.end());
+
+    std::vector<EdgeIndex> offsets(static_cast<std::size_t>(numVertices_) + 1, 0);
+    for (const auto& [u, v] : dir) offsets[static_cast<std::size_t>(u) + 1]++;
+    for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+    std::vector<Vertex> targets;
+    targets.reserve(dir.size());
+    for (const auto& [u, v] : dir) targets.push_back(v);
+    return CsrGraph(std::move(offsets), std::move(targets));
+}
+
+BfsResult bfs(const CsrGraph& g, Vertex source, std::span<const std::int32_t> mask,
+              std::int32_t maskValue) {
+    const Vertex n = g.numVertices();
+    GEO_REQUIRE(source >= 0 && source < n, "bfs source out of range");
+    GEO_REQUIRE(mask.empty() || static_cast<Vertex>(mask.size()) == n,
+                "mask must cover all vertices");
+    BfsResult out;
+    out.distance.assign(static_cast<std::size_t>(n), -1);
+    auto inScope = [&](Vertex v) {
+        return mask.empty() || mask[static_cast<std::size_t>(v)] == maskValue;
+    };
+    GEO_REQUIRE(inScope(source), "bfs source outside mask");
+
+    std::vector<Vertex> frontier{source};
+    out.distance[static_cast<std::size_t>(source)] = 0;
+    out.farthest = source;
+    std::int32_t level = 0;
+    std::vector<Vertex> next;
+    while (!frontier.empty()) {
+        next.clear();
+        ++level;
+        for (const Vertex v : frontier) {
+            for (const Vertex u : g.neighbors(v)) {
+                if (!inScope(u)) continue;
+                auto& d = out.distance[static_cast<std::size_t>(u)];
+                if (d < 0) {
+                    d = level;
+                    out.farthest = u;
+                    out.eccentricity = level;
+                    next.push_back(u);
+                }
+            }
+        }
+        frontier.swap(next);
+    }
+    return out;
+}
+
+Components connectedComponents(const CsrGraph& g) {
+    const Vertex n = g.numVertices();
+    Components out;
+    out.id.assign(static_cast<std::size_t>(n), -1);
+    std::vector<Vertex> stack;
+    for (Vertex s = 0; s < n; ++s) {
+        if (out.id[static_cast<std::size_t>(s)] >= 0) continue;
+        const std::int32_t c = out.count++;
+        stack.push_back(s);
+        out.id[static_cast<std::size_t>(s)] = c;
+        while (!stack.empty()) {
+            const Vertex v = stack.back();
+            stack.pop_back();
+            for (const Vertex u : g.neighbors(v)) {
+                if (out.id[static_cast<std::size_t>(u)] < 0) {
+                    out.id[static_cast<std::size_t>(u)] = c;
+                    stack.push_back(u);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace geo::graph

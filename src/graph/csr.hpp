@@ -1,0 +1,92 @@
+// Compressed-sparse-row graph: the mesh connectivity substrate.
+//
+// Partition quality in the paper is judged with graph metrics (edge cut,
+// communication volume, block diameter) over the primal mesh graph, and the
+// SpMV benchmark multiplies with its adjacency matrix. Vertices are 32-bit
+// (laptop-scale instances), edges undirected and stored symmetrically.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace geo::graph {
+
+using Vertex = std::int32_t;
+using EdgeIndex = std::int64_t;
+
+class CsrGraph {
+public:
+    CsrGraph() = default;
+    CsrGraph(std::vector<EdgeIndex> offsets, std::vector<Vertex> targets);
+
+    [[nodiscard]] Vertex numVertices() const noexcept {
+        return offsets_.empty() ? 0 : static_cast<Vertex>(offsets_.size() - 1);
+    }
+    /// Number of undirected edges (each stored twice internally).
+    [[nodiscard]] EdgeIndex numEdges() const noexcept {
+        return static_cast<EdgeIndex>(targets_.size()) / 2;
+    }
+
+    [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const noexcept {
+        const auto begin = offsets_[static_cast<std::size_t>(v)];
+        const auto end = offsets_[static_cast<std::size_t>(v) + 1];
+        return {targets_.data() + begin, static_cast<std::size_t>(end - begin)};
+    }
+
+    [[nodiscard]] EdgeIndex degree(Vertex v) const noexcept {
+        return offsets_[static_cast<std::size_t>(v) + 1] - offsets_[static_cast<std::size_t>(v)];
+    }
+
+    [[nodiscard]] const std::vector<EdgeIndex>& offsets() const noexcept { return offsets_; }
+    [[nodiscard]] const std::vector<Vertex>& targets() const noexcept { return targets_; }
+
+    /// Verify symmetry, sorted adjacency, no self-loops; throws on violation.
+    void validate() const;
+
+private:
+    std::vector<EdgeIndex> offsets_{0};
+    std::vector<Vertex> targets_;
+};
+
+/// Accumulates undirected edges and emits a deduplicated symmetric CSR.
+class GraphBuilder {
+public:
+    explicit GraphBuilder(Vertex numVertices) : numVertices_(numVertices) {}
+
+    /// Add undirected edge {u, v}; duplicates and self-loops are dropped at
+    /// build time.
+    void addEdge(Vertex u, Vertex v) {
+        edges_.emplace_back(u, v);
+    }
+
+    [[nodiscard]] CsrGraph build() const;
+
+    [[nodiscard]] Vertex numVertices() const noexcept { return numVertices_; }
+
+private:
+    Vertex numVertices_;
+    std::vector<std::pair<Vertex, Vertex>> edges_;
+};
+
+/// Breadth-first search from `source` restricted to vertices where
+/// mask[v] == maskValue (pass empty mask for whole-graph BFS).
+/// Returns (distances, farthest vertex); unreachable vertices get -1.
+struct BfsResult {
+    std::vector<std::int32_t> distance;
+    Vertex farthest = -1;
+    std::int32_t eccentricity = 0;
+};
+
+BfsResult bfs(const CsrGraph& g, Vertex source, std::span<const std::int32_t> mask = {},
+              std::int32_t maskValue = 0);
+
+/// Connected components; returns component id per vertex and component count.
+struct Components {
+    std::vector<std::int32_t> id;
+    std::int32_t count = 0;
+};
+
+Components connectedComponents(const CsrGraph& g);
+
+}  // namespace geo::graph

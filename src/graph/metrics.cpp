@@ -1,0 +1,187 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace geo::graph {
+
+void validatePartition(const CsrGraph& g, const Partition& part, std::int32_t k) {
+    GEO_REQUIRE(static_cast<Vertex>(part.size()) == g.numVertices(),
+                "partition must assign every vertex");
+    GEO_REQUIRE(k >= 1, "need at least one block");
+    for (const auto b : part)
+        GEO_REQUIRE(b >= 0 && b < k, "block id out of range");
+}
+
+std::int64_t edgeCut(const CsrGraph& g, const Partition& part) {
+    std::int64_t cut = 0;
+    const Vertex n = g.numVertices();
+    for (Vertex v = 0; v < n; ++v) {
+        const auto bv = part[static_cast<std::size_t>(v)];
+        for (const Vertex u : g.neighbors(v))
+            cut += (part[static_cast<std::size_t>(u)] != bv);
+    }
+    return cut / 2;  // each cut edge seen from both endpoints
+}
+
+std::vector<std::int64_t> externalEdges(const CsrGraph& g, const Partition& part,
+                                        std::int32_t k) {
+    std::vector<std::int64_t> ext(static_cast<std::size_t>(k), 0);
+    const Vertex n = g.numVertices();
+    for (Vertex v = 0; v < n; ++v) {
+        const auto bv = part[static_cast<std::size_t>(v)];
+        for (const Vertex u : g.neighbors(v))
+            if (part[static_cast<std::size_t>(u)] != bv) ext[static_cast<std::size_t>(bv)]++;
+    }
+    return ext;
+}
+
+std::vector<std::int64_t> communicationVolume(const CsrGraph& g, const Partition& part,
+                                              std::int32_t k) {
+    std::vector<std::int64_t> comm(static_cast<std::size_t>(k), 0);
+    const Vertex n = g.numVertices();
+    // Scratch marker: last vertex that touched block b, avoids clearing a
+    // k-sized array per vertex.
+    std::vector<Vertex> lastSeen(static_cast<std::size_t>(k), -1);
+    for (Vertex v = 0; v < n; ++v) {
+        const auto bv = part[static_cast<std::size_t>(v)];
+        std::int64_t foreign = 0;
+        for (const Vertex u : g.neighbors(v)) {
+            const auto bu = part[static_cast<std::size_t>(u)];
+            if (bu != bv && lastSeen[static_cast<std::size_t>(bu)] != v) {
+                lastSeen[static_cast<std::size_t>(bu)] = v;
+                ++foreign;
+            }
+        }
+        comm[static_cast<std::size_t>(bv)] += foreign;
+    }
+    return comm;
+}
+
+double imbalance(const Partition& part, std::int32_t k, std::span<const double> weights) {
+    GEO_REQUIRE(k >= 1, "need at least one block");
+    GEO_REQUIRE(weights.empty() || weights.size() == part.size(),
+                "weights must be empty or match vertices");
+    std::vector<double> blockWeight(static_cast<std::size_t>(k), 0.0);
+    double total = 0.0;
+    for (std::size_t v = 0; v < part.size(); ++v) {
+        const double w = weights.empty() ? 1.0 : weights[v];
+        blockWeight[static_cast<std::size_t>(part[v])] += w;
+        total += w;
+    }
+    const double target = std::ceil(total / k);
+    if (target <= 0.0) return 0.0;
+    const double heaviest = *std::max_element(blockWeight.begin(), blockWeight.end());
+    return heaviest / target - 1.0;
+}
+
+std::int32_t blockDiameterLowerBound(const CsrGraph& g, std::span<const std::int32_t> mask,
+                                     std::int32_t value, int sweeps) {
+    // Find any vertex of the block.
+    Vertex start = -1;
+    std::size_t blockSize = 0;
+    for (std::size_t v = 0; v < mask.size(); ++v) {
+        if (mask[v] == value) {
+            if (start < 0) start = static_cast<Vertex>(v);
+            ++blockSize;
+        }
+    }
+    if (start < 0) return -1;
+    if (blockSize == 1) return 0;
+
+    // Double-sweep: BFS from an arbitrary vertex, then repeatedly from the
+    // farthest vertex found (iFUB's initialization). The largest observed
+    // eccentricity is a diameter lower bound and a 2-approximation.
+    std::int32_t best = 0;
+    Vertex source = start;
+    std::size_t reached = 0;
+    for (int i = 0; i < sweeps; ++i) {
+        const BfsResult r = bfs(g, source, mask, value);
+        if (i == 0) {
+            reached = static_cast<std::size_t>(
+                std::count_if(r.distance.begin(), r.distance.end(),
+                              [](std::int32_t d) { return d >= 0; }));
+            if (reached < blockSize) return kInfiniteDiameter;  // disconnected
+        }
+        best = std::max(best, r.eccentricity);
+        if (r.farthest == source) break;  // converged (single vertex or tie)
+        source = r.farthest;
+    }
+    return best;
+}
+
+double harmonicMeanDiameter(std::span<const std::int32_t> diameters) {
+    double invSum = 0.0;
+    int counted = 0;
+    for (const auto d : diameters) {
+        if (d < 0) continue;  // empty block
+        ++counted;
+        if (d == kInfiniteDiameter) continue;  // 1/inf = 0
+        if (d == 0) return 0.0;  // a singleton block dominates the harmonic mean
+        invSum += 1.0 / static_cast<double>(d);
+    }
+    if (counted == 0 || invSum == 0.0) return 0.0;
+    return static_cast<double>(counted) / invSum;
+}
+
+std::vector<std::int32_t> blockComponents(const CsrGraph& g, const Partition& part,
+                                          std::int32_t k) {
+    const Vertex n = g.numVertices();
+    std::vector<std::int32_t> comps(static_cast<std::size_t>(k), 0);
+    std::vector<char> visited(static_cast<std::size_t>(n), 0);
+    std::vector<Vertex> stack;
+    for (Vertex s = 0; s < n; ++s) {
+        if (visited[static_cast<std::size_t>(s)]) continue;
+        const auto block = part[static_cast<std::size_t>(s)];
+        comps[static_cast<std::size_t>(block)]++;
+        visited[static_cast<std::size_t>(s)] = 1;
+        stack.push_back(s);
+        while (!stack.empty()) {
+            const Vertex v = stack.back();
+            stack.pop_back();
+            for (const Vertex u : g.neighbors(v)) {
+                if (!visited[static_cast<std::size_t>(u)] &&
+                    part[static_cast<std::size_t>(u)] == block) {
+                    visited[static_cast<std::size_t>(u)] = 1;
+                    stack.push_back(u);
+                }
+            }
+        }
+    }
+    return comps;
+}
+
+PartitionMetrics evaluatePartition(const CsrGraph& g, const Partition& part, std::int32_t k,
+                                   std::span<const double> weights, bool computeDiameter) {
+    validatePartition(g, part, k);
+    PartitionMetrics m;
+    m.edgeCut = edgeCut(g, part);
+    const auto ext = externalEdges(g, part, k);
+    m.maxExternalEdges = ext.empty() ? 0 : *std::max_element(ext.begin(), ext.end());
+    const auto comm = communicationVolume(g, part, k);
+    for (const auto c : comm) {
+        m.maxCommVolume = std::max(m.maxCommVolume, c);
+        m.totalCommVolume += c;
+    }
+    m.imbalance = imbalance(part, k, weights);
+
+    std::vector<std::size_t> blockSize(static_cast<std::size_t>(k), 0);
+    for (const auto b : part) blockSize[static_cast<std::size_t>(b)]++;
+    for (const auto s : blockSize) m.emptyBlocks += (s == 0);
+
+    if (computeDiameter) {
+        std::vector<std::int32_t> diam(static_cast<std::size_t>(k));
+        for (std::int32_t b = 0; b < k; ++b) {
+            diam[static_cast<std::size_t>(b)] =
+                blockDiameterLowerBound(g, part, b);
+            if (diam[static_cast<std::size_t>(b)] == kInfiniteDiameter)
+                m.disconnectedBlocks++;
+        }
+        m.harmonicMeanDiameter = harmonicMeanDiameter(diam);
+    }
+    return m;
+}
+
+}  // namespace geo::graph

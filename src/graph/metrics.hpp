@@ -1,0 +1,78 @@
+// Partition quality metrics from §2 of the paper.
+//
+// For a partition Π = (V_1 … V_k):
+//   ext(V_i)   — edges leaving the block,
+//   comm(V_i)  — Σ_{v∈V_i} #{foreign blocks adjacent to v}  (communication
+//                volume: each foreign adjacent block means one ghost copy),
+//   diam(V_i)  — graph diameter of the induced block subgraph; ∞ when the
+//                block is disconnected.
+// The paper reports edge cut, max/total comm volume, the *harmonic* mean of
+// block diameters (robust to ∞), imbalance, and SpMV comm time. Diameters
+// use the iFUB-style lower bound of Crescenzi et al.: a few double-sweep BFS
+// rounds, which is a 2-approximation and usually tight on meshes.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace geo::graph {
+
+/// Block assignment: part[v] in [0, k).
+using Partition = std::vector<std::int32_t>;
+
+struct PartitionMetrics {
+    std::int64_t edgeCut = 0;          ///< undirected cut edges
+    std::int64_t maxExternalEdges = 0; ///< max_i ext(V_i)
+    std::int64_t maxCommVolume = 0;    ///< max_i comm(V_i)
+    std::int64_t totalCommVolume = 0;  ///< Σ_i comm(V_i)
+    double imbalance = 0.0;            ///< max_i w(V_i)/ceil(W/k) − 1
+    double harmonicMeanDiameter = 0.0; ///< harmonic mean of block diameters
+    std::int32_t disconnectedBlocks = 0;
+    std::int32_t emptyBlocks = 0;
+};
+
+/// Validate that part assigns every vertex a block in [0, k).
+void validatePartition(const CsrGraph& g, const Partition& part, std::int32_t k);
+
+/// Edge cut: number of undirected edges with endpoints in different blocks.
+std::int64_t edgeCut(const CsrGraph& g, const Partition& part);
+
+/// Per-block external edge counts (each cut edge counted at both blocks).
+std::vector<std::int64_t> externalEdges(const CsrGraph& g, const Partition& part,
+                                        std::int32_t k);
+
+/// Per-block communication volume comm(V_i).
+std::vector<std::int64_t> communicationVolume(const CsrGraph& g, const Partition& part,
+                                              std::int32_t k);
+
+/// max_i weight(V_i) / ceil(totalWeight/k) − 1. Empty weights = unit weights.
+double imbalance(const Partition& part, std::int32_t k,
+                 std::span<const double> weights = {});
+
+/// iFUB-style diameter lower bound for the subgraph induced by mask==value;
+/// `sweeps` double-sweep rounds (paper uses 3). Returns −1 for an empty
+/// block and max int32 when disconnected (infinite diameter).
+std::int32_t blockDiameterLowerBound(const CsrGraph& g, std::span<const std::int32_t> mask,
+                                     std::int32_t value, int sweeps = 3);
+
+/// Harmonic mean over block diameters; infinite diameters contribute 0
+/// (matching the paper's choice of harmonic aggregation), empty blocks are
+/// skipped.
+double harmonicMeanDiameter(std::span<const std::int32_t> diameters);
+
+/// Number of connected components inside each block.
+std::vector<std::int32_t> blockComponents(const CsrGraph& g, const Partition& part,
+                                          std::int32_t k);
+
+/// One-call evaluation of all §2 metrics.
+PartitionMetrics evaluatePartition(const CsrGraph& g, const Partition& part, std::int32_t k,
+                                   std::span<const double> weights = {},
+                                   bool computeDiameter = true);
+
+inline constexpr std::int32_t kInfiniteDiameter = std::numeric_limits<std::int32_t>::max();
+
+}  // namespace geo::graph

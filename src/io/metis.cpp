@@ -1,0 +1,128 @@
+#include "io/metis.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "geometry/point.hpp"
+#include "support/assert.hpp"
+
+namespace geo::io {
+
+namespace {
+
+std::ifstream openIn(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open for reading: " + path);
+    return in;
+}
+
+std::ofstream openOut(const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open for writing: " + path);
+    return out;
+}
+
+/// Next non-comment line (METIS comments start with '%').
+bool nextLine(std::ifstream& in, std::string& line) {
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] != '%') return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+void writeMetis(const std::string& path, const graph::CsrGraph& g,
+                const std::vector<double>& vertexWeights) {
+    GEO_REQUIRE(vertexWeights.empty() ||
+                    static_cast<graph::Vertex>(vertexWeights.size()) == g.numVertices(),
+                "weights must be empty or match vertices");
+    auto out = openOut(path);
+    const bool weighted = !vertexWeights.empty();
+    out << g.numVertices() << ' ' << g.numEdges();
+    if (weighted) out << " 010";
+    out << '\n';
+    for (graph::Vertex v = 0; v < g.numVertices(); ++v) {
+        bool first = true;
+        if (weighted) {
+            out << static_cast<long long>(vertexWeights[static_cast<std::size_t>(v)]);
+            first = false;
+        }
+        for (const auto u : g.neighbors(v)) {
+            if (!first) out << ' ';
+            out << (u + 1);  // 1-based
+            first = false;
+        }
+        out << '\n';
+    }
+    GEO_CHECK(out.good(), "write failed: " + path);
+}
+
+MetisGraph readMetis(const std::string& path) {
+    auto in = openIn(path);
+    std::string line;
+    if (!nextLine(in, line)) throw std::runtime_error("empty METIS file: " + path);
+    std::istringstream header(line);
+    std::int64_t n = 0, m = 0;
+    std::string fmt;
+    if (!(header >> n >> m) || n < 0 || m < 0)
+        throw std::runtime_error("bad METIS header: " + path);
+    header >> fmt;  // optional format field
+    const bool weighted = fmt.size() >= 2 && fmt[fmt.size() - 2] == '1';
+
+    MetisGraph out;
+    graph::GraphBuilder builder(static_cast<graph::Vertex>(n));
+    if (weighted) out.vertexWeights.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t v = 0; v < n; ++v) {
+        if (!nextLine(in, line))
+            throw std::runtime_error("unexpected end of METIS file: " + path);
+        std::istringstream row(line);
+        if (weighted) {
+            double w;
+            if (!(row >> w)) throw std::runtime_error("missing vertex weight: " + path);
+            out.vertexWeights.push_back(w);
+        }
+        std::int64_t u;
+        while (row >> u) {
+            if (u < 1 || u > n) throw std::runtime_error("neighbor out of range: " + path);
+            if (u - 1 > v)  // each undirected edge once
+                builder.addEdge(static_cast<graph::Vertex>(v),
+                                static_cast<graph::Vertex>(u - 1));
+        }
+    }
+    out.graph = builder.build();
+    if (out.graph.numEdges() != m)
+        throw std::runtime_error("edge count mismatch in METIS file: " + path);
+    return out;
+}
+
+void writePartition(const std::string& path, const graph::Partition& part) {
+    auto out = openOut(path);
+    for (const auto b : part) out << b << '\n';
+    GEO_CHECK(out.good(), "write failed: " + path);
+}
+
+graph::Partition readPartition(const std::string& path) {
+    auto in = openIn(path);
+    graph::Partition part;
+    std::int32_t b;
+    while (in >> b) part.push_back(b);
+    return part;
+}
+
+void writeCoordinates(const std::string& path, const std::vector<Point2>& points) {
+    auto out = openOut(path);
+    out.precision(17);
+    for (const auto& p : points) out << p[0] << ' ' << p[1] << '\n';
+    GEO_CHECK(out.good(), "write failed: " + path);
+}
+
+std::vector<Point2> readCoordinates(const std::string& path) {
+    auto in = openIn(path);
+    std::vector<Point2> points;
+    double x, y;
+    while (in >> x >> y) points.push_back(Point2{{x, y}});
+    return points;
+}
+
+}  // namespace geo::io

@@ -1,0 +1,39 @@
+// METIS / Chaco graph file format: the interchange format the DIMACS
+// benchmark meshes ship in, so generated instances can be exported for
+// cross-checking against external partitioners, and external meshes can be
+// imported.
+//
+// Format: first line "n m [fmt]", then one line per vertex listing its
+// 1-based neighbors (with leading vertex weight when fmt has the 10 bit).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "graph/csr.hpp"
+#include "graph/metrics.hpp"
+
+namespace geo::io {
+
+struct MetisGraph {
+    graph::CsrGraph graph;
+    std::vector<double> vertexWeights;  ///< empty when the file has none
+};
+
+/// Write graph (+ optional vertex weights) in METIS format.
+void writeMetis(const std::string& path, const graph::CsrGraph& g,
+                const std::vector<double>& vertexWeights = {});
+
+/// Read a METIS file; throws std::runtime_error on malformed input.
+MetisGraph readMetis(const std::string& path);
+
+/// One block id per line (the format METIS/KaHIP partition files use).
+void writePartition(const std::string& path, const graph::Partition& part);
+graph::Partition readPartition(const std::string& path);
+
+/// 2D coordinates, one "x y" pair per line.
+void writeCoordinates(const std::string& path, const std::vector<Point2>& points);
+std::vector<Point2> readCoordinates(const std::string& path);
+
+}  // namespace geo::io

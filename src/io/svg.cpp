@@ -1,0 +1,52 @@
+#include "io/svg.hpp"
+
+#include <array>
+#include <fstream>
+
+#include "geometry/box.hpp"
+#include "support/assert.hpp"
+
+namespace geo::io {
+
+namespace {
+
+// Qualitative palette (ColorBrewer Set1 + Dark2 extension).
+constexpr std::array<const char*, 16> kPalette = {
+    "#e41a1c", "#377eb8", "#4daf4a", "#984ea3", "#ff7f00", "#ffff33", "#a65628", "#f781bf",
+    "#1b9e77", "#d95f02", "#7570b3", "#e7298a", "#66a61e", "#e6ab02", "#a6761d", "#666666"};
+
+}  // namespace
+
+void writeSvgPartition(const std::string& path, const std::vector<Point2>& points,
+                       const graph::Partition& part, std::int32_t k, int widthPx,
+                       const std::string& title) {
+    GEO_REQUIRE(points.size() == part.size(), "one block per point");
+    GEO_REQUIRE(k >= 1, "need at least one block");
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open for writing: " + path);
+
+    const auto bb = Box2::around(std::span<const Point2>(points));
+    const double extentX = std::max(bb.hi[0] - bb.lo[0], 1e-12);
+    const double extentY = std::max(bb.hi[1] - bb.lo[1], 1e-12);
+    const int heightPx = static_cast<int>(widthPx * extentY / extentX);
+    const double radius = std::max(0.8, widthPx / 500.0);
+
+    out << "<svg xmlns='http://www.w3.org/2000/svg' width='" << widthPx << "' height='"
+        << heightPx << "' viewBox='0 0 " << widthPx << ' ' << heightPx << "'>\n";
+    if (!title.empty())
+        out << "<title>" << title << "</title>\n";
+    out << "<rect width='100%' height='100%' fill='white'/>\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const double x = (points[i][0] - bb.lo[0]) / extentX * widthPx;
+        // SVG y grows downward.
+        const double y = heightPx - (points[i][1] - bb.lo[1]) / extentY * heightPx;
+        const char* color =
+            kPalette[static_cast<std::size_t>(part[i]) % kPalette.size()];
+        out << "<circle cx='" << x << "' cy='" << y << "' r='" << radius << "' fill='"
+            << color << "'/>\n";
+    }
+    out << "</svg>\n";
+    GEO_CHECK(out.good(), "write failed: " + path);
+}
+
+}  // namespace geo::io

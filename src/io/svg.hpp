@@ -1,0 +1,19 @@
+// SVG rendering of 2D partitions — regenerates the visual comparison of
+// Fig. 1 (partition shapes per tool).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "graph/metrics.hpp"
+
+namespace geo::io {
+
+/// Render points colored by block into an SVG file. Colors cycle through a
+/// fixed qualitative palette; the viewport is fitted to the point cloud.
+void writeSvgPartition(const std::string& path, const std::vector<Point2>& points,
+                       const graph::Partition& part, std::int32_t k, int widthPx = 800,
+                       const std::string& title = "");
+
+}  // namespace geo::io

@@ -1,0 +1,46 @@
+#include "io/vtk.hpp"
+
+#include <fstream>
+
+#include "support/assert.hpp"
+
+namespace geo::io {
+
+template <int D>
+void writeVtk(const std::string& path, const std::vector<Point<D>>& points,
+              const graph::CsrGraph& graph, const graph::Partition& part) {
+    GEO_REQUIRE(points.size() == part.size(), "one block per point");
+    GEO_REQUIRE(static_cast<graph::Vertex>(points.size()) == graph.numVertices(),
+                "points must match graph vertices");
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open for writing: " + path);
+
+    out << "# vtk DataFile Version 3.0\n"
+        << "geographer partition\n"
+        << "ASCII\n"
+        << "DATASET POLYDATA\n";
+    out << "POINTS " << points.size() << " double\n";
+    out.precision(12);
+    for (const auto& p : points) {
+        out << p[0] << ' ' << p[1] << ' ' << (D == 3 ? p[2] : 0.0) << '\n';
+    }
+
+    const auto edges = graph.numEdges();
+    out << "LINES " << edges << ' ' << 3 * edges << '\n';
+    for (graph::Vertex v = 0; v < graph.numVertices(); ++v)
+        for (const auto u : graph.neighbors(v))
+            if (u > v) out << "2 " << v << ' ' << u << '\n';
+
+    out << "POINT_DATA " << points.size() << '\n'
+        << "SCALARS block int 1\n"
+        << "LOOKUP_TABLE default\n";
+    for (const auto b : part) out << b << '\n';
+    GEO_CHECK(out.good(), "write failed: " + path);
+}
+
+template void writeVtk<2>(const std::string&, const std::vector<Point2>&,
+                          const graph::CsrGraph&, const graph::Partition&);
+template void writeVtk<3>(const std::string&, const std::vector<Point3>&,
+                          const graph::CsrGraph&, const graph::Partition&);
+
+}  // namespace geo::io

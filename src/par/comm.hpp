@@ -1,0 +1,328 @@
+// Thread-SPMD simulated message-passing runtime.
+//
+// This substitutes for MPI on SuperMUC (see DESIGN.md §2). Every logical
+// rank runs the same SPMD function a real MPI rank would run, against a
+// `Comm` handle providing the collectives Geographer needs: barrier,
+// allreduce (sum/min/max), broadcast, allgather(v), alltoallv, exscan.
+//
+// Semantics match MPI: collectives must be called by all ranks of the
+// communicator in the same order; data races are prevented by a two-phase
+// publish/read protocol around a central barrier.
+//
+// Every collective updates per-rank statistics (bytes, rounds) and a modeled
+// communication time from `CostModel`, so scaling experiments can report a
+// latency–bandwidth estimate alongside measured per-rank CPU time.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "par/cost_model.hpp"
+#include "support/assert.hpp"
+
+namespace geo::par {
+
+/// Per-rank communication statistics accumulated by the runtime.
+struct CommStats {
+    std::uint64_t bytesSent = 0;
+    std::uint64_t bytesReceived = 0;
+    std::uint64_t collectives = 0;
+    double modeledCommSeconds = 0.0;
+
+    void merge(const CommStats& o) noexcept {
+        bytesSent += o.bytesSent;
+        bytesReceived += o.bytesReceived;
+        collectives += o.collectives;
+        modeledCommSeconds += o.modeledCommSeconds;
+    }
+};
+
+/// Aggregate over all ranks of one SPMD run.
+struct RunStats {
+    double maxCpuSeconds = 0.0;       ///< slowest rank's on-CPU compute time
+    double maxModeledCommSeconds = 0; ///< slowest rank's modeled comm time
+    std::uint64_t totalBytes = 0;     ///< sum of bytes sent by all ranks
+    std::uint64_t collectives = 0;    ///< collectives per rank (same on all)
+
+    /// Modeled parallel makespan: slowest compute + slowest communication.
+    [[nodiscard]] double modeledSeconds() const noexcept {
+        return maxCpuSeconds + maxModeledCommSeconds;
+    }
+};
+
+namespace detail {
+
+/// Central sense-reversing barrier (condition-variable based, so waiting
+/// ranks release the core — essential when simulating many ranks on few
+/// cores).
+class Barrier {
+public:
+    explicit Barrier(int parties) : parties_(parties) {}
+
+    void arriveAndWait() {
+        std::unique_lock lock(mutex_);
+        const std::uint64_t gen = generation_;
+        if (++arrived_ == parties_) {
+            arrived_ = 0;
+            ++generation_;
+            cv_.notify_all();
+        } else {
+            cv_.wait(lock, [&] { return generation_ != gen; });
+        }
+    }
+
+private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    int parties_;
+    int arrived_ = 0;
+    std::uint64_t generation_ = 0;
+};
+
+/// Shared state of one machine run: publication slots + barrier.
+struct SharedState {
+    explicit SharedState(int ranks, CostModel model)
+        : size(ranks), cost(model), barrier(ranks), slots(static_cast<std::size_t>(ranks)),
+          stats(static_cast<std::size_t>(ranks)) {}
+
+    int size;
+    CostModel cost;
+    Barrier barrier;
+    std::vector<const void*> slots;  ///< per-rank published pointer
+    std::vector<CommStats> stats;
+    std::vector<double> cpuSeconds = std::vector<double>(static_cast<std::size_t>(size), 0.0);
+};
+
+double threadCpuSeconds() noexcept;
+
+}  // namespace detail
+
+/// Communicator handle owned by one logical rank inside an SPMD region.
+class Comm {
+public:
+    Comm(int rank, detail::SharedState& shared) : rank_(rank), shared_(&shared) {}
+
+    [[nodiscard]] int rank() const noexcept { return rank_; }
+    [[nodiscard]] int size() const noexcept { return shared_->size; }
+    [[nodiscard]] bool isRoot() const noexcept { return rank_ == 0; }
+    [[nodiscard]] const CostModel& costModel() const noexcept { return shared_->cost; }
+
+    void barrier() { shared_->barrier.arriveAndWait(); }
+
+    /// Element-wise sum-allreduce of a vector, in place (MPI_Allreduce SUM).
+    template <typename T>
+    void allreduceSum(std::span<T> inout) {
+        allreduceImpl(inout, [](T& a, const T& b) { a += b; });
+    }
+
+    /// Element-wise min / max allreduce, in place.
+    template <typename T>
+    void allreduceMin(std::span<T> inout) {
+        allreduceImpl(inout, [](T& a, const T& b) { if (b < a) a = b; });
+    }
+    template <typename T>
+    void allreduceMax(std::span<T> inout) {
+        allreduceImpl(inout, [](T& a, const T& b) { if (a < b) a = b; });
+    }
+
+    /// Scalar conveniences.
+    template <typename T>
+    [[nodiscard]] T allreduceSum(T v) {
+        allreduceSum(std::span<T>(&v, 1));
+        return v;
+    }
+    template <typename T>
+    [[nodiscard]] T allreduceMin(T v) {
+        allreduceMin(std::span<T>(&v, 1));
+        return v;
+    }
+    template <typename T>
+    [[nodiscard]] T allreduceMax(T v) {
+        allreduceMax(std::span<T>(&v, 1));
+        return v;
+    }
+
+    /// Broadcast root's buffer to everyone. All ranks pass equally-sized
+    /// buffers (MPI_Bcast).
+    template <typename T>
+    void broadcast(std::span<T> data, int root = 0) {
+        if (size() == 1) return;
+        publish(data.data());
+        barrier();
+        if (rank_ != root) {
+            const T* src = static_cast<const T*>(shared_->slots[static_cast<std::size_t>(root)]);
+            std::copy(src, src + data.size(), data.begin());
+        }
+        barrier();
+        const std::size_t bytes = data.size() * sizeof(T);
+        account(rank_ == root ? bytes : 0, rank_ == root ? 0 : bytes,
+                shared_->cost.broadcast(size(), bytes));
+    }
+
+    /// Gather one value from each rank; every rank receives the full vector
+    /// ordered by rank (MPI_Allgather).
+    template <typename T>
+    [[nodiscard]] std::vector<T> allgather(const T& mine) {
+        std::vector<T> local(1, mine);
+        return allgatherv(std::span<const T>(local));
+    }
+
+    /// Variable-size allgather: concatenation of all ranks' spans in rank
+    /// order (MPI_Allgatherv).
+    template <typename T>
+    [[nodiscard]] std::vector<T> allgatherv(std::span<const T> mine) {
+        if (size() == 1) return std::vector<T>(mine.begin(), mine.end());
+        struct Contribution {
+            const T* data;
+            std::size_t count;
+        } contrib{mine.data(), mine.size()};
+        publish(&contrib);
+        barrier();
+        std::vector<T> out;
+        std::size_t total = 0;
+        for (int r = 0; r < size(); ++r) {
+            const auto* c = static_cast<const Contribution*>(shared_->slots[static_cast<std::size_t>(r)]);
+            total += c->count;
+        }
+        out.reserve(total);
+        for (int r = 0; r < size(); ++r) {
+            const auto* c = static_cast<const Contribution*>(shared_->slots[static_cast<std::size_t>(r)]);
+            out.insert(out.end(), c->data, c->data + c->count);
+        }
+        barrier();
+        const std::size_t totalBytes = total * sizeof(T);
+        account(mine.size() * sizeof(T), totalBytes - mine.size() * sizeof(T),
+                shared_->cost.allgather(size(), totalBytes));
+        return out;
+    }
+
+    /// Personalized all-to-all: sendTo[r] is this rank's message for rank r;
+    /// the result concatenates, in rank order, what every rank sent to this
+    /// one (MPI_Alltoallv).
+    template <typename T>
+    [[nodiscard]] std::vector<T> alltoallv(const std::vector<std::vector<T>>& sendTo) {
+        GEO_REQUIRE(static_cast<int>(sendTo.size()) == size(),
+                    "alltoallv needs one bucket per rank");
+        if (size() == 1) return sendTo[0];
+        publish(&sendTo);
+        barrier();
+        std::vector<T> out;
+        std::size_t recvCount = 0;
+        for (int r = 0; r < size(); ++r) {
+            const auto* buckets = static_cast<const std::vector<std::vector<T>>*>(
+                shared_->slots[static_cast<std::size_t>(r)]);
+            recvCount += (*buckets)[static_cast<std::size_t>(rank_)].size();
+        }
+        out.reserve(recvCount);
+        for (int r = 0; r < size(); ++r) {
+            const auto* buckets = static_cast<const std::vector<std::vector<T>>*>(
+                shared_->slots[static_cast<std::size_t>(r)]);
+            const auto& msg = (*buckets)[static_cast<std::size_t>(rank_)];
+            out.insert(out.end(), msg.begin(), msg.end());
+        }
+        barrier();
+        std::size_t sent = 0;
+        for (int r = 0; r < size(); ++r)
+            if (r != rank_) sent += sendTo[static_cast<std::size_t>(r)].size() * sizeof(T);
+        const std::size_t selfBytes = sendTo[static_cast<std::size_t>(rank_)].size() * sizeof(T);
+        const std::size_t received = recvCount * sizeof(T) - selfBytes;
+        account(sent, received, shared_->cost.alltoallv(size(), sent, received));
+        return out;
+    }
+
+    /// Exclusive prefix sum over ranks (MPI_Exscan); rank 0 receives 0.
+    template <typename T>
+    [[nodiscard]] T exscanSum(const T& mine) {
+        const auto all = allgather(mine);
+        T acc{};
+        for (int r = 0; r < rank_; ++r) acc += all[static_cast<std::size_t>(r)];
+        return acc;
+    }
+
+    /// Record non-collective communication performed through shared memory
+    /// (e.g. the SpMV halo exchange) in the stats and cost model.
+    void accountNeighborExchange(int neighbors, std::size_t sentBytes,
+                                 std::size_t recvBytes) {
+        account(sentBytes, recvBytes,
+                shared_->cost.neighborExchange(size(), neighbors, sentBytes + recvBytes));
+    }
+
+    [[nodiscard]] const CommStats& stats() const noexcept {
+        return shared_->stats[static_cast<std::size_t>(rank_)];
+    }
+    void resetStats() noexcept {
+        shared_->stats[static_cast<std::size_t>(rank_)] = CommStats{};
+    }
+
+    /// On-CPU time consumed by this rank's thread so far (excludes time
+    /// blocked in barriers) — the simulator's stand-in for per-rank compute
+    /// wall time on a dedicated core.
+    [[nodiscard]] double cpuSeconds() const noexcept { return detail::threadCpuSeconds(); }
+
+private:
+    template <typename T, typename Op>
+    void allreduceImpl(std::span<T> inout, Op op) {
+        if (size() == 1) return;
+        // Publish a copy so in-place accumulation cannot race with readers.
+        std::vector<T> mine(inout.begin(), inout.end());
+        publish(mine.data());
+        barrier();
+        // Fold strictly in rank order on EVERY rank: replicated algorithm
+        // state (k-means centers, influence values) must stay bit-identical
+        // across ranks, which a rank-dependent summation order would break.
+        const T* first = static_cast<const T*>(shared_->slots[0]);
+        std::copy(first, first + inout.size(), inout.begin());
+        for (int r = 1; r < size(); ++r) {
+            const T* other = static_cast<const T*>(shared_->slots[static_cast<std::size_t>(r)]);
+            for (std::size_t i = 0; i < inout.size(); ++i) op(inout[i], other[i]);
+        }
+        barrier();
+        const std::size_t bytes = inout.size() * sizeof(T);
+        account(bytes, bytes, shared_->cost.allreduce(size(), bytes));
+    }
+
+    void publish(const void* ptr) noexcept {
+        shared_->slots[static_cast<std::size_t>(rank_)] = ptr;
+    }
+
+    void account(std::size_t sent, std::size_t received, double modeledSeconds) noexcept {
+        auto& s = shared_->stats[static_cast<std::size_t>(rank_)];
+        s.bytesSent += sent;
+        s.bytesReceived += received;
+        s.collectives += 1;
+        s.modeledCommSeconds += modeledSeconds;
+    }
+
+    int rank_;
+    detail::SharedState* shared_;
+};
+
+/// Owns an SPMD execution: spawns one thread per logical rank and runs the
+/// given body with a rank-local Comm. Usable repeatedly; each run() returns
+/// aggregated statistics.
+class Machine {
+public:
+    explicit Machine(int ranks, CostModel model = {});
+
+    /// Run the SPMD body on all ranks; rethrows the first rank exception.
+    RunStats run(const std::function<void(Comm&)>& body);
+
+    [[nodiscard]] int ranks() const noexcept { return ranks_; }
+
+private:
+    int ranks_;
+    CostModel model_;
+};
+
+/// Convenience: single SPMD run.
+RunStats runSpmd(int ranks, const std::function<void(Comm&)>& body,
+                 CostModel model = {});
+
+}  // namespace geo::par

@@ -1,0 +1,65 @@
+// Analytic communication-cost model for the simulated runtime.
+//
+// The paper's scaling experiments (Fig. 3, Fig. 4) ran on SuperMUC with IBM
+// MPI; we have one node. The runtime counts every byte and collective round
+// each logical rank performs; this model converts those counts into a
+// latency–bandwidth time estimate so scaling *shape* can be reproduced.
+//
+// Parameters default to SuperMUC-like values: α ≈ 5 µs per message round,
+// β ≈ 1 ns/byte, and a penalty factor once the rank count exceeds one
+// "island" (8192 cores), mirroring the cross-island slowdown the paper
+// observes between 8192 and 16384 processes (§5.3.2).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace geo::par {
+
+struct CostModel {
+    double alpha = 5e-6;             ///< latency per message round [s]
+    double beta = 1.0e-9;            ///< inverse bandwidth [s/byte]
+    int islandSize = 8192;           ///< ranks per interconnect island
+    double crossIslandFactor = 2.5;  ///< bandwidth penalty across islands
+
+    [[nodiscard]] double effectiveBeta(int ranks) const noexcept {
+        return ranks > islandSize ? beta * crossIslandFactor : beta;
+    }
+
+    [[nodiscard]] static double log2Ceil(int ranks) noexcept {
+        return ranks <= 1 ? 0.0 : std::ceil(std::log2(static_cast<double>(ranks)));
+    }
+
+    /// Recursive-doubling allreduce: 2·log2(p) rounds, 2·bytes moved.
+    [[nodiscard]] double allreduce(int ranks, std::size_t bytes) const noexcept {
+        return 2.0 * log2Ceil(ranks) * alpha +
+               2.0 * static_cast<double>(bytes) * effectiveBeta(ranks);
+    }
+
+    /// Binomial-tree broadcast.
+    [[nodiscard]] double broadcast(int ranks, std::size_t bytes) const noexcept {
+        return log2Ceil(ranks) * alpha + static_cast<double>(bytes) * effectiveBeta(ranks);
+    }
+
+    /// Ring/recursive allgather of `totalBytes` across the communicator.
+    [[nodiscard]] double allgather(int ranks, std::size_t totalBytes) const noexcept {
+        return log2Ceil(ranks) * alpha + static_cast<double>(totalBytes) * effectiveBeta(ranks);
+    }
+
+    /// Personalized all-to-all as seen by one rank sending/receiving
+    /// `sentBytes`/`recvBytes` in up to p−1 messages.
+    [[nodiscard]] double alltoallv(int ranks, std::size_t sentBytes,
+                                   std::size_t recvBytes) const noexcept {
+        return static_cast<double>(ranks - 1) * alpha +
+               static_cast<double>(sentBytes + recvBytes) * effectiveBeta(ranks);
+    }
+
+    /// Sparse neighbor exchange (halo): one round per neighbor.
+    [[nodiscard]] double neighborExchange(int ranks, int neighbors,
+                                          std::size_t bytes) const noexcept {
+        return static_cast<double>(neighbors) * alpha +
+               static_cast<double>(bytes) * effectiveBeta(ranks);
+    }
+};
+
+}  // namespace geo::par

@@ -1,0 +1,132 @@
+// Distributed sorting and redistribution over the simulated runtime.
+//
+// Geographer's first phase globally sorts all points by Hilbert index and
+// redistributes them so each rank holds a contiguous curve segment (§4.1).
+// The paper uses the schizophrenic quicksort of Axtmann et al.; we implement
+// the classic sample sort with regular sampling, which has the same
+// communication structure (one splitter allgather + one alltoallv).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "par/comm.hpp"
+#include "support/assert.hpp"
+
+namespace geo::par {
+
+/// Globally sort (key, value) records by key across all ranks.
+/// On return, each rank holds a sorted run and rank r's largest key is
+/// <= rank r+1's smallest key. Sizes may differ slightly between ranks
+/// (splitter granularity), as with any sample sort.
+template <typename Key, typename Value>
+struct KeyedRecord {
+    Key key;
+    Value value;
+    friend bool operator<(const KeyedRecord& a, const KeyedRecord& b) {
+        return a.key < b.key;
+    }
+};
+
+template <typename Key, typename Value>
+std::vector<KeyedRecord<Key, Value>> sampleSort(Comm& comm,
+                                                std::vector<KeyedRecord<Key, Value>> local,
+                                                int oversampling = 16) {
+    using Record = KeyedRecord<Key, Value>;
+    std::sort(local.begin(), local.end());
+    const int p = comm.size();
+    if (p == 1) return local;
+
+    // Regular sampling: each rank contributes `oversampling` evenly spaced
+    // keys from its sorted run (fewer if it holds fewer records).
+    std::vector<Key> samples;
+    const std::size_t n = local.size();
+    const int s = std::min<std::size_t>(static_cast<std::size_t>(oversampling), n);
+    samples.reserve(static_cast<std::size_t>(s));
+    for (int i = 0; i < s; ++i) {
+        const std::size_t idx = (n * static_cast<std::size_t>(2 * i + 1)) /
+                                static_cast<std::size_t>(2 * s);
+        samples.push_back(local[idx].key);
+    }
+    std::vector<Key> allSamples = comm.allgatherv(std::span<const Key>(samples));
+    std::sort(allSamples.begin(), allSamples.end());
+
+    // p-1 splitters at regular positions in the sample.
+    std::vector<Key> splitters;
+    splitters.reserve(static_cast<std::size_t>(p - 1));
+    if (!allSamples.empty()) {
+        for (int i = 1; i < p; ++i) {
+            const std::size_t idx =
+                std::min(allSamples.size() - 1,
+                         (allSamples.size() * static_cast<std::size_t>(i)) /
+                             static_cast<std::size_t>(p));
+            splitters.push_back(allSamples[idx]);
+        }
+    }
+
+    // Bucket local records by destination rank.
+    std::vector<std::vector<Record>> sendTo(static_cast<std::size_t>(p));
+    std::size_t begin = 0;
+    for (int r = 0; r < p; ++r) {
+        std::size_t end = local.size();
+        if (r < p - 1 && !splitters.empty()) {
+            const Record probe{splitters[static_cast<std::size_t>(r)], Value{}};
+            end = static_cast<std::size_t>(
+                std::upper_bound(local.begin() + static_cast<std::ptrdiff_t>(begin),
+                                 local.end(), probe) -
+                local.begin());
+        }
+        sendTo[static_cast<std::size_t>(r)].assign(
+            local.begin() + static_cast<std::ptrdiff_t>(begin),
+            local.begin() + static_cast<std::ptrdiff_t>(end));
+        begin = end;
+    }
+
+    std::vector<Record> received = comm.alltoallv(sendTo);
+    std::sort(received.begin(), received.end());
+    return received;
+}
+
+/// Rebalance sorted runs so every rank holds exactly its block-distribution
+/// share: rank r gets records [r*N/p, (r+1)*N/p) of the global order.
+/// Precondition: runs are globally sorted (as produced by sampleSort).
+template <typename Record>
+std::vector<Record> rebalanceSorted(Comm& comm, std::vector<Record> local) {
+    const int p = comm.size();
+    if (p == 1) return local;
+    const auto localCount = static_cast<std::uint64_t>(local.size());
+    const std::uint64_t before = comm.exscanSum(localCount);
+    const std::uint64_t total = comm.allreduceSum(localCount);
+
+    auto targetStart = [&](int r) {
+        return (total * static_cast<std::uint64_t>(r)) / static_cast<std::uint64_t>(p);
+    };
+
+    std::vector<std::vector<Record>> sendTo(static_cast<std::size_t>(p));
+    for (std::size_t i = 0; i < local.size(); ++i) {
+        const std::uint64_t globalPos = before + i;
+        // Destination rank: the unique r with targetStart(r) <= pos < targetStart(r+1).
+        int r = static_cast<int>((globalPos * static_cast<std::uint64_t>(p)) / std::max<std::uint64_t>(total, 1));
+        while (r > 0 && globalPos < targetStart(r)) --r;
+        while (r < p - 1 && globalPos >= targetStart(r + 1)) ++r;
+        sendTo[static_cast<std::size_t>(r)].push_back(local[i]);
+    }
+    return comm.alltoallv(sendTo);
+}
+
+/// Redistribute records to explicit destination ranks.
+template <typename Record>
+std::vector<Record> redistribute(Comm& comm, std::span<const Record> local,
+                                 std::span<const int> destination) {
+    GEO_REQUIRE(local.size() == destination.size(), "one destination per record");
+    const int p = comm.size();
+    std::vector<std::vector<Record>> sendTo(static_cast<std::size_t>(p));
+    for (std::size_t i = 0; i < local.size(); ++i) {
+        GEO_REQUIRE(destination[i] >= 0 && destination[i] < p, "destination rank out of range");
+        sendTo[static_cast<std::size_t>(destination[i])].push_back(local[i]);
+    }
+    return comm.alltoallv(sendTo);
+}
+
+}  // namespace geo::par

@@ -1,0 +1,128 @@
+#include "refine/fm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace geo::refine {
+
+namespace {
+
+/// Best move for vertex v: target block and edge-cut gain.
+struct Move {
+    std::int32_t target = -1;
+    std::int64_t gain = 0;
+};
+
+Move bestMove(const graph::CsrGraph& g, const graph::Partition& part, graph::Vertex v,
+              std::vector<std::int64_t>& edgesTo, std::vector<std::int32_t>& touched) {
+    const auto own = part[static_cast<std::size_t>(v)];
+    std::int64_t internal = 0;
+    for (const auto u : g.neighbors(v)) {
+        const auto b = part[static_cast<std::size_t>(u)];
+        if (b == own) {
+            ++internal;
+        } else {
+            if (edgesTo[static_cast<std::size_t>(b)] == 0) touched.push_back(b);
+            edgesTo[static_cast<std::size_t>(b)]++;
+        }
+    }
+    Move best;
+    for (const auto b : touched) {
+        const std::int64_t gain = edgesTo[static_cast<std::size_t>(b)] - internal;
+        if (best.target < 0 || gain > best.gain ||
+            (gain == best.gain && b < best.target)) {
+            best.target = b;
+            best.gain = gain;
+        }
+        edgesTo[static_cast<std::size_t>(b)] = 0;  // reset scratch
+    }
+    touched.clear();
+    return best;
+}
+
+}  // namespace
+
+FmResult fmRefine(const graph::CsrGraph& g, graph::Partition& part, std::int32_t k,
+                  std::span<const double> weights, const FmSettings& settings) {
+    graph::validatePartition(g, part, k);
+    GEO_REQUIRE(weights.empty() || weights.size() == part.size(),
+                "weights must be empty or match vertices");
+    GEO_REQUIRE(settings.maxPasses >= 1, "need at least one pass");
+
+    const graph::Vertex n = g.numVertices();
+    auto weightOf = [&](graph::Vertex v) {
+        return weights.empty() ? 1.0 : weights[static_cast<std::size_t>(v)];
+    };
+
+    std::vector<double> blockWeight(static_cast<std::size_t>(k), 0.0);
+    double total = 0.0;
+    for (graph::Vertex v = 0; v < n; ++v) {
+        blockWeight[static_cast<std::size_t>(part[static_cast<std::size_t>(v)])] +=
+            weightOf(v);
+        total += weightOf(v);
+    }
+    const double maxBlockWeight =
+        (1.0 + settings.epsilon) * std::ceil(total / static_cast<double>(k));
+
+    FmResult result;
+    result.cutBefore = graph::edgeCut(g, part);
+
+    std::vector<std::int64_t> edgesToScratch(static_cast<std::size_t>(k), 0);
+    std::vector<std::int32_t> touchedScratch;
+
+    for (int pass = 0; pass < settings.maxPasses; ++pass) {
+        result.passes = pass + 1;
+
+        // Boundary vertices with their current best gain, processed in
+        // descending gain order (one bucket sort pass; gains are small).
+        struct Candidate {
+            graph::Vertex v;
+            std::int64_t gain;
+        };
+        std::vector<Candidate> candidates;
+        for (graph::Vertex v = 0; v < n; ++v) {
+            const auto own = part[static_cast<std::size_t>(v)];
+            bool boundary = false;
+            for (const auto u : g.neighbors(v))
+                if (part[static_cast<std::size_t>(u)] != own) {
+                    boundary = true;
+                    break;
+                }
+            if (!boundary) continue;
+            const Move m = bestMove(g, part, v, edgesToScratch, touchedScratch);
+            if (m.gain > 0) candidates.push_back(Candidate{v, m.gain});
+        }
+        std::sort(candidates.begin(), candidates.end(),
+                  [](const Candidate& a, const Candidate& b) {
+                      return a.gain != b.gain ? a.gain > b.gain : a.v < b.v;
+                  });
+
+        std::int64_t movedThisPass = 0;
+        for (const auto& cand : candidates) {
+            // Re-evaluate: earlier moves may have changed the neighborhood.
+            const Move m = bestMove(g, part, cand.v, edgesToScratch, touchedScratch);
+            if (m.target < 0 || m.gain <= 0) continue;
+            const auto own = part[static_cast<std::size_t>(cand.v)];
+            const double w = weightOf(cand.v);
+            if (blockWeight[static_cast<std::size_t>(m.target)] + w > maxBlockWeight)
+                continue;  // would overload the target block
+            part[static_cast<std::size_t>(cand.v)] = m.target;
+            blockWeight[static_cast<std::size_t>(own)] -= w;
+            blockWeight[static_cast<std::size_t>(m.target)] += w;
+            ++movedThisPass;
+        }
+        result.movedVertices += movedThisPass;
+        if (movedThisPass == 0) break;
+    }
+
+    result.cutAfter = graph::edgeCut(g, part);
+    GEO_CHECK(result.cutAfter <= result.cutBefore,
+              "refinement must never worsen the cut");
+    return result;
+}
+
+}  // namespace geo::refine

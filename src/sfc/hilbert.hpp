@@ -1,0 +1,56 @@
+// Hilbert space-filling curve indices for 2D and 3D points.
+//
+// Geographer (§4.1) sorts all points by their Hilbert index to (i) give each
+// process a spatially compact local point set and (ii) bootstrap the initial
+// k-means centers at equidistant positions along the curve. The locality
+// property of the Hilbert curve — points close in index are close in space —
+// is what makes both uses effective.
+//
+// Implementation: Skilling's transpose-based algorithm (AIP Conf. Proc. 707,
+// 2004), which maps between axis coordinates and the "transpose" form of the
+// Hilbert index for arbitrary dimension; we instantiate D = 2, 3 and pack
+// the result into a single 64-bit key (D * bitsPerDim <= 62).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/box.hpp"
+#include "geometry/point.hpp"
+
+namespace geo::sfc {
+
+/// Number of bits of resolution per dimension used for 64-bit keys.
+template <int D>
+inline constexpr int kBitsPerDim = (D == 2) ? 31 : 20;
+
+/// Map a point inside `bounds` to its Hilbert curve index.
+/// Points on the upper boundary are clamped to the last cell.
+template <int D>
+std::uint64_t hilbertIndex(const Point<D>& p, const Box<D>& bounds);
+
+/// Inverse: center of the cell with the given Hilbert index, in `bounds`.
+template <int D>
+Point<D> hilbertPoint(std::uint64_t index, const Box<D>& bounds);
+
+/// Convenience: indices for a whole point set (bounds computed if invalid).
+template <int D>
+std::vector<std::uint64_t> hilbertIndices(std::span<const Point<D>> points,
+                                          const Box<D>& bounds);
+
+/// Morton (Z-order) index; used as a cheaper, lower-locality comparator
+/// in ablation experiments.
+template <int D>
+std::uint64_t mortonIndex(const Point<D>& p, const Box<D>& bounds);
+
+extern template std::uint64_t hilbertIndex<2>(const Point2&, const Box2&);
+extern template std::uint64_t hilbertIndex<3>(const Point3&, const Box3&);
+extern template Point2 hilbertPoint<2>(std::uint64_t, const Box2&);
+extern template Point3 hilbertPoint<3>(std::uint64_t, const Box3&);
+extern template std::vector<std::uint64_t> hilbertIndices<2>(std::span<const Point2>, const Box2&);
+extern template std::vector<std::uint64_t> hilbertIndices<3>(std::span<const Point3>, const Box3&);
+extern template std::uint64_t mortonIndex<2>(const Point2&, const Box2&);
+extern template std::uint64_t mortonIndex<3>(const Point3&, const Box3&);
+
+}  // namespace geo::sfc

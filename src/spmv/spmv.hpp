@@ -1,0 +1,63 @@
+// Distributed SpMV benchmark (§2 and §5.2.4 of the paper).
+//
+// "To measure the quality of a partition empirically, we redistribute the
+//  input graph according to it, perform sparse matrix-vector multiplications
+//  with the adjacency matrix ... and measure the communication time needed
+//  within the SpMV", averaged over 100 multiplications.
+//
+// We redistribute the graph into one subdomain per block, build the halo
+// (ghost-vertex) exchange plan, and execute the multiplications. Per
+// iteration we measure the wall time of the ghost exchange (the shared-
+// memory stand-in for MPI point-to-point traffic) and also report a modeled
+// network time from the latency–bandwidth cost model, which is the number
+// comparable to the paper's timeSpMVComm column.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/metrics.hpp"
+#include "par/cost_model.hpp"
+
+namespace geo::spmv {
+
+/// Halo exchange plan: for every block, which foreign vertices it reads.
+struct HaloPlan {
+    std::int32_t k = 0;
+    /// ghosts[b] = sorted foreign vertices block b needs (its receive list).
+    std::vector<std::vector<graph::Vertex>> ghosts;
+    /// neighborCount[b] = number of distinct blocks b receives from.
+    std::vector<std::int32_t> neighborCount;
+
+    [[nodiscard]] std::int64_t totalGhosts() const noexcept {
+        std::int64_t s = 0;
+        for (const auto& g : ghosts) s += static_cast<std::int64_t>(g.size());
+        return s;
+    }
+    [[nodiscard]] std::int64_t maxGhosts() const noexcept {
+        std::int64_t m = 0;
+        for (const auto& g : ghosts) m = std::max(m, static_cast<std::int64_t>(g.size()));
+        return m;
+    }
+};
+
+HaloPlan buildHaloPlan(const graph::CsrGraph& g, const graph::Partition& part,
+                       std::int32_t k);
+
+struct SpmvTiming {
+    double commSecondsPerIteration = 0.0;     ///< measured ghost-exchange wall time
+    double modeledCommSecondsPerIteration = 0.0;  ///< latency–bandwidth estimate
+    double computeSecondsPerIteration = 0.0;  ///< local multiply wall time
+    std::int64_t totalGhosts = 0;
+    std::int64_t maxGhosts = 0;
+    std::int32_t maxNeighbors = 0;
+    int iterations = 0;
+};
+
+/// Run `iterations` SpMVs y = A·x on the block-distributed graph and report
+/// per-iteration communication cost. Deterministic given the graph.
+SpmvTiming runSpmv(const graph::CsrGraph& g, const graph::Partition& part, std::int32_t k,
+                   int iterations = 100, const par::CostModel& model = {});
+
+}  // namespace geo::spmv

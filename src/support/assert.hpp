@@ -1,0 +1,41 @@
+// Lightweight always-on invariant checks for library internals.
+//
+// GEO_REQUIRE is used for preconditions on public API boundaries (throws
+// std::invalid_argument), GEO_CHECK for internal invariants (throws
+// std::logic_error). Both stay enabled in release builds: partitioning a
+// mesh wrongly is far more expensive than the branch.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace geo::detail {
+
+[[noreturn]] inline void requireFail(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+    std::ostringstream os;
+    os << "precondition failed: " << expr << " at " << file << ':' << line;
+    if (!msg.empty()) os << " — " << msg;
+    throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void checkFail(const char* expr, const char* file, int line,
+                                   const std::string& msg) {
+    std::ostringstream os;
+    os << "invariant violated: " << expr << " at " << file << ':' << line;
+    if (!msg.empty()) os << " — " << msg;
+    throw std::logic_error(os.str());
+}
+
+}  // namespace geo::detail
+
+#define GEO_REQUIRE(expr, msg)                                            \
+    do {                                                                  \
+        if (!(expr)) ::geo::detail::requireFail(#expr, __FILE__, __LINE__, (msg)); \
+    } while (false)
+
+#define GEO_CHECK(expr, msg)                                              \
+    do {                                                                  \
+        if (!(expr)) ::geo::detail::checkFail(#expr, __FILE__, __LINE__, (msg)); \
+    } while (false)

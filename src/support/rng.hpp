@@ -1,0 +1,99 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All stochastic behaviour in the library flows through these generators so
+// that every experiment is reproducible from a single 64-bit seed.
+// Xoshiro256** is the workhorse; SplitMix64 seeds it and derives independent
+// per-rank streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace geo {
+
+/// SplitMix64: tiny generator used to expand one seed into many.
+class SplitMix64 {
+public:
+    explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+    constexpr std::uint64_t next() noexcept {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// Xoshiro256**: high-quality 64-bit generator (Blackman & Vigna).
+/// Satisfies UniformRandomBitGenerator so it plugs into <random>.
+class Xoshiro256 {
+public:
+    using result_type = std::uint64_t;
+
+    explicit Xoshiro256(std::uint64_t seed) noexcept {
+        SplitMix64 sm(seed);
+        for (auto& s : state_) s = sm.next();
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    result_type operator()() noexcept {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() noexcept {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) noexcept {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /// Uniform integer in [0, n). n must be > 0.
+    std::uint64_t below(std::uint64_t n) noexcept {
+        // Lemire's nearly-divisionless bounded generation.
+        __uint128_t m = static_cast<__uint128_t>((*this)()) * n;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < n) {
+            const std::uint64_t threshold = (0 - n) % n;
+            while (lo < threshold) {
+                m = static_cast<__uint128_t>((*this)()) * n;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /// Derive an independent stream, e.g. one per logical rank.
+    Xoshiro256 split(std::uint64_t streamId) noexcept {
+        SplitMix64 sm((*this)() ^ (0x9e3779b97f4a7c15ULL * (streamId + 1)));
+        Xoshiro256 out(sm.next());
+        return out;
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace geo

@@ -1,0 +1,47 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace geo {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+    GEO_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void Table::addRow(std::vector<std::string> cells) {
+    GEO_REQUIRE(cells.size() == header_.size(), "row arity must match header");
+    rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+    std::ostringstream os;
+    os << std::setprecision(precision) << value;
+    return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]) + 2) << row[c];
+        }
+        os << '\n';
+    };
+    emit(header_);
+    std::size_t total = 0;
+    for (auto w : width) total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace geo

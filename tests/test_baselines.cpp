@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "baseline/hsfc.hpp"
+#include "baseline/multijagged.hpp"
+#include "baseline/rcb.hpp"
+#include "baseline/rcb_dist.hpp"
+#include "baseline/rib.hpp"
+#include "baseline/tools.hpp"
+#include "gen/delaunay2d.hpp"
+#include "gen/delaunay3d.hpp"
+#include "gen/grid.hpp"
+#include "geometry/box.hpp"
+#include "graph/metrics.hpp"
+#include "sfc/hilbert.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace geo;
+using namespace geo::baseline;
+
+std::vector<Point2> uniformPoints(int n, std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    std::vector<Point2> pts;
+    for (int i = 0; i < n; ++i) pts.push_back(Point2{{rng.uniform(), rng.uniform()}});
+    return pts;
+}
+
+void expectValidBalancedPartition(const graph::Partition& part, std::int32_t k,
+                                  std::span<const double> weights = {},
+                                  double tolerance = 0.05) {
+    std::set<std::int32_t> used(part.begin(), part.end());
+    EXPECT_EQ(used.size(), static_cast<std::size_t>(k)) << "all blocks non-empty";
+    EXPECT_GE(*used.begin(), 0);
+    EXPECT_LT(*used.rbegin(), k);
+    EXPECT_LE(graph::imbalance(part, k, weights), tolerance);
+}
+
+struct ToolCase {
+    const char* name;
+    graph::Partition (*run)(std::span<const Point2>, std::span<const double>, std::int32_t);
+};
+
+class BaselineSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+INSTANTIATE_TEST_SUITE_P(Shapes, BaselineSweep,
+                         ::testing::Combine(::testing::Values(2, 3, 7, 8, 16),
+                                            ::testing::Values(500, 3000)));
+
+TEST_P(BaselineSweep, RcbIsBalancedAndComplete) {
+    const auto [k, n] = GetParam();
+    const auto pts = uniformPoints(n, 3);
+    expectValidBalancedPartition(rcb<2>(pts, {}, k), k);
+}
+
+TEST_P(BaselineSweep, RibIsBalancedAndComplete) {
+    const auto [k, n] = GetParam();
+    const auto pts = uniformPoints(n, 5);
+    expectValidBalancedPartition(rib<2>(pts, {}, k), k);
+}
+
+TEST_P(BaselineSweep, MultiJaggedIsBalancedAndComplete) {
+    const auto [k, n] = GetParam();
+    const auto pts = uniformPoints(n, 7);
+    expectValidBalancedPartition(multiJagged<2>(pts, {}, k), k, {}, 0.1);
+}
+
+TEST_P(BaselineSweep, HsfcIsBalancedAndComplete) {
+    const auto [k, n] = GetParam();
+    const auto pts = uniformPoints(n, 9);
+    expectValidBalancedPartition(hsfc<2>(pts, {}, k), k);
+}
+
+TEST(Rcb, SplitsAlongWidestAxis) {
+    // Points stretched along x: the k=2 cut must separate left from right.
+    Xoshiro256 rng(11);
+    std::vector<Point2> pts;
+    for (int i = 0; i < 1000; ++i)
+        pts.push_back(Point2{{rng.uniform(0.0, 10.0), rng.uniform(0.0, 1.0)}});
+    const auto part = rcb<2>(pts, {}, 2);
+    for (std::size_t i = 0; i < pts.size(); ++i)
+        for (std::size_t j = 0; j < pts.size(); ++j)
+            if (pts[i][0] < 4.0 && pts[j][0] > 6.0) EXPECT_NE(part[i], part[j]);
+}
+
+TEST(Rib, CutsOrthogonallyToDiagonalSpread) {
+    // Points along the diagonal: RIB should separate the two diagonal ends,
+    // which axis-aligned RCB does too here, but RIB must do it via the
+    // inertial projection.
+    Xoshiro256 rng(13);
+    std::vector<Point2> pts;
+    for (int i = 0; i < 2000; ++i) {
+        const double t = rng.uniform(-1.0, 1.0);
+        pts.push_back(Point2{{t + 0.05 * rng.uniform(), t - 0.05 * rng.uniform()}});
+    }
+    const auto part = rib<2>(pts, {}, 2);
+    // Ends of the diagonal are in different blocks.
+    std::size_t lowEnd = 0, highEnd = 0;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        if (pts[i][0] + pts[i][1] < pts[lowEnd][0] + pts[lowEnd][1]) lowEnd = i;
+        if (pts[i][0] + pts[i][1] > pts[highEnd][0] + pts[highEnd][1]) highEnd = i;
+    }
+    EXPECT_NE(part[lowEnd], part[highEnd]);
+}
+
+TEST(MultiJagged, ProducesJaggedRectangles) {
+    // For k = a*b on a uniform square, MJ cuts into a columns of b cells:
+    // block regions must be x-monotone (each block's x-range confined).
+    const auto pts = uniformPoints(4000, 17);
+    const auto part = multiJagged<2>(pts, {}, 9);
+    expectValidBalancedPartition(part, 9, {}, 0.1);
+}
+
+TEST(Hsfc, BlocksAreContiguousOnCurve) {
+    const auto pts = uniformPoints(1500, 19);
+    const auto part = hsfc<2>(pts, {}, 5);
+    // Along Hilbert order, block ids must be non-decreasing.
+    const auto bb = Box2::around(std::span<const Point2>(pts));
+    std::vector<std::pair<std::uint64_t, std::size_t>> order;
+    for (std::size_t i = 0; i < pts.size(); ++i)
+        order.emplace_back(sfc::hilbertIndex<2>(pts[i], bb), i);
+    std::sort(order.begin(), order.end());
+    for (std::size_t i = 1; i < order.size(); ++i)
+        EXPECT_LE(part[order[i - 1].second], part[order[i].second]);
+}
+
+TEST(Baselines, RespectWeights) {
+    Xoshiro256 rng(23);
+    std::vector<Point2> pts;
+    std::vector<double> w;
+    for (int i = 0; i < 3000; ++i) {
+        const Point2 p{{rng.uniform(), rng.uniform()}};
+        pts.push_back(p);
+        w.push_back(p[0] < 0.3 ? 8.0 : 1.0);
+    }
+    expectValidBalancedPartition(rcb<2>(pts, w, 4), 4, w, 0.06);
+    expectValidBalancedPartition(rib<2>(pts, w, 4), 4, w, 0.06);
+    expectValidBalancedPartition(hsfc<2>(pts, w, 4), 4, w, 0.06);
+    expectValidBalancedPartition(multiJagged<2>(pts, w, 4), 4, w, 0.12);
+}
+
+TEST(Baselines, WorkIn3d) {
+    Xoshiro256 rng(29);
+    std::vector<Point3> pts;
+    for (int i = 0; i < 3000; ++i)
+        pts.push_back(Point3{{rng.uniform(), rng.uniform(), rng.uniform()}});
+    for (int k : {2, 8, 13}) {
+        expectValidBalancedPartition(rcb<3>(pts, {}, k), k);
+        expectValidBalancedPartition(rib<3>(pts, {}, k), k);
+        expectValidBalancedPartition(hsfc<3>(pts, {}, k), k);
+        expectValidBalancedPartition(multiJagged<3>(pts, {}, k), k, {}, 0.15);
+    }
+}
+
+TEST(Baselines, RejectBadArguments) {
+    const auto pts = uniformPoints(10, 31);
+    EXPECT_THROW((void)rcb<2>(pts, {}, 0), std::invalid_argument);
+    EXPECT_THROW((void)rib<2>(pts, {}, 100), std::invalid_argument);
+    const std::vector<double> wrongWeights(3, 1.0);
+    EXPECT_THROW((void)hsfc<2>(pts, wrongWeights, 2), std::invalid_argument);
+}
+
+TEST(DistributedRcb, BalancedAndRankCountInvariant) {
+    // The level-synchronous median search uses only global reductions, so
+    // the produced partition must be identical for every rank count.
+    const auto pts = uniformPoints(3000, 71);
+    graph::Partition reference;
+    for (const int ranks : {1, 2, 5}) {
+        graph::Partition global(pts.size());
+        geo::par::runSpmd(ranks, [&](geo::par::Comm& comm) {
+            const auto n = static_cast<std::int64_t>(pts.size());
+            const std::int64_t lo = n * comm.rank() / ranks;
+            const std::int64_t hi = n * (comm.rank() + 1) / ranks;
+            std::vector<Point2> local(pts.begin() + lo, pts.begin() + hi);
+            const auto mine = rcbDistributed<2>(comm, local, {}, 8);
+            const auto all = comm.allgatherv(std::span<const std::int32_t>(mine));
+            if (comm.isRoot()) global.assign(all.begin(), all.end());
+        });
+        expectValidBalancedPartition(global, 8, {}, 0.06);
+        if (reference.empty())
+            reference = global;
+        else
+            EXPECT_EQ(global, reference) << ranks << " ranks";
+    }
+}
+
+TEST(DistributedRcb, MatchesSerialRcbQuality) {
+    // Same algorithm, different median mechanics: cut quality must agree
+    // within a few percent on a mesh.
+    const auto mesh = gen::delaunay2d(4000, 73);
+    const auto serial = rcb<2>(mesh.points, {}, 8);
+    graph::Partition distributed(mesh.points.size());
+    geo::par::runSpmd(1, [&](geo::par::Comm& comm) {
+        const auto mine = rcbDistributed<2>(comm, mesh.points, {}, 8);
+        distributed.assign(mine.begin(), mine.end());
+    });
+    const auto cutSerial = graph::edgeCut(mesh.graph, serial);
+    const auto cutDist = graph::edgeCut(mesh.graph, distributed);
+    EXPECT_NEAR(static_cast<double>(cutDist), static_cast<double>(cutSerial),
+                0.1 * static_cast<double>(cutSerial));
+}
+
+TEST(DistributedRcb, HandlesWeightsIn3d) {
+    Xoshiro256 rng(79);
+    std::vector<Point3> pts;
+    std::vector<double> w;
+    for (int i = 0; i < 2000; ++i) {
+        pts.push_back(Point3{{rng.uniform(), rng.uniform(), rng.uniform()}});
+        w.push_back(pts.back()[2] < 0.5 ? 4.0 : 1.0);
+    }
+    geo::par::runSpmd(3, [&](geo::par::Comm& comm) {
+        const auto n = static_cast<std::int64_t>(pts.size());
+        const std::int64_t lo = n * comm.rank() / 3, hi = n * (comm.rank() + 1) / 3;
+        std::vector<Point3> local(pts.begin() + lo, pts.begin() + hi);
+        std::vector<double> localW(w.begin() + lo, w.begin() + hi);
+        const auto mine = rcbDistributed<3>(comm, local, localW, 6);
+        const auto allAssign = comm.allgatherv(std::span<const std::int32_t>(mine));
+        if (comm.isRoot()) {
+            graph::Partition part(allAssign.begin(), allAssign.end());
+            expectValidBalancedPartition(part, 6, w, 0.06);
+        }
+    });
+}
+
+TEST(Tools, RegistryRunsAllFiveTools) {
+    const auto mesh = gen::delaunay2d(2000, 37);
+    ASSERT_EQ(tools2().size(), 5u);
+    EXPECT_EQ(tools2().front().name, "geoKmeans");
+    for (const auto& tool : tools2()) {
+        const auto res = tool.run(mesh.points, {}, 4, 0.05, 1, 1);
+        EXPECT_EQ(res.partition.size(), mesh.points.size()) << tool.name;
+        EXPECT_LE(graph::imbalance(res.partition, 4), 0.12) << tool.name;
+        EXPECT_GE(res.seconds, 0.0);
+    }
+}
+
+TEST(Tools, Registry3dRunsAllFiveTools) {
+    const auto mesh = gen::delaunay3d(1200, 41);
+    ASSERT_EQ(tools3().size(), 5u);
+    for (const auto& tool : tools3()) {
+        const auto res = tool.run(mesh.points, {}, 4, 0.05, 1, 1);
+        EXPECT_EQ(res.partition.size(), mesh.points.size()) << tool.name;
+        EXPECT_LE(graph::imbalance(res.partition, 4), 0.12) << tool.name;
+    }
+}
+
+TEST(ScalingModel, RecursiveMethodsDegradeFasterThanMJ) {
+    const par::CostModel m;
+    const double serial = 10.0;
+    const std::int64_t n = 100000000;
+    // At high rank counts the bisection tools pay log(k) data migrations;
+    // MJ pays only `dim`.
+    const auto rcbEst = modeledScaling(ToolKind::Rcb, n, 8192, 8192, 2, serial, m);
+    const auto mjEst = modeledScaling(ToolKind::MultiJagged, n, 8192, 8192, 2, serial, m);
+    EXPECT_GT(rcbEst.commSeconds, mjEst.commSeconds * 2.0);
+}
+
+TEST(ScalingModel, ComputeShrinksWithRanks) {
+    const par::CostModel m;
+    const auto a = modeledScaling(ToolKind::Hsfc, 1000000, 64, 2, 2, 8.0, m);
+    const auto b = modeledScaling(ToolKind::Hsfc, 1000000, 64, 64, 2, 8.0, m);
+    EXPECT_GT(a.computeSeconds, b.computeSeconds * 16);
+}
+
+TEST(ScalingModel, SerialHasNoComm) {
+    const par::CostModel m;
+    const auto est = modeledScaling(ToolKind::Rcb, 1000, 4, 1, 2, 1.0, m);
+    EXPECT_DOUBLE_EQ(est.commSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(est.computeSeconds, 1.0);
+}
+
+TEST(Quality, GeographerBeatsSfcOnTotalCommVolume) {
+    // The paper's headline: Geographer yields lower total communication
+    // volume than HSFC on 2D meshes.
+    const auto mesh = gen::delaunay2d(6000, 43);
+    const auto geoRes = tools2()[0].run(mesh.points, {}, 8, 0.05, 1, 1);
+    const auto sfcPart = hsfc<2>(mesh.points, {}, 8);
+    const auto mGeo = graph::evaluatePartition(mesh.graph, geoRes.partition, 8, {}, false);
+    const auto mSfc = graph::evaluatePartition(mesh.graph, sfcPart, 8, {}, false);
+    EXPECT_LT(mGeo.totalCommVolume, mSfc.totalCommVolume);
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/balanced_kmeans.hpp"
+#include "core/center_tree.hpp"
+#include "par/comm.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace geo;
+using geo::core::CenterKdTree;
+
+template <int D>
+std::vector<Point<D>> randomPoints(int n, std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    std::vector<Point<D>> pts;
+    for (int i = 0; i < n; ++i) {
+        Point<D> p;
+        for (int d = 0; d < D; ++d) p[d] = rng.uniform();
+        pts.push_back(p);
+    }
+    return pts;
+}
+
+class TreeSweep : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(CenterCounts, TreeSweep, ::testing::Values(1, 2, 5, 16, 64, 257));
+
+TEST_P(TreeSweep, MatchesBruteForceWithUniformInfluence) {
+    const int k = GetParam();
+    const auto centers = randomPoints<2>(k, 11);
+    const std::vector<double> influence(static_cast<std::size_t>(k), 1.0);
+    const CenterKdTree<2> tree(centers, influence);
+    const auto queries = randomPoints<2>(300, 13);
+    for (const auto& q : queries) {
+        const auto res = tree.query(q);
+        double best = std::numeric_limits<double>::infinity();
+        std::int32_t bestIdx = -1;
+        for (std::size_t c = 0; c < centers.size(); ++c) {
+            const double d = distance(q, centers[c]);
+            if (d < best) {
+                best = d;
+                bestIdx = static_cast<std::int32_t>(c);
+            }
+        }
+        EXPECT_EQ(res.best, bestIdx);
+        EXPECT_NEAR(res.bestDistance, best, 1e-12);
+    }
+}
+
+TEST_P(TreeSweep, MatchesBruteForceWithVariedInfluence) {
+    const int k = GetParam();
+    const auto centers = randomPoints<2>(k, 17);
+    Xoshiro256 rng(19);
+    std::vector<double> influence;
+    for (int c = 0; c < k; ++c) influence.push_back(rng.uniform(0.25, 4.0));
+    const CenterKdTree<2> tree(centers, influence);
+    const auto queries = randomPoints<2>(300, 23);
+    for (const auto& q : queries) {
+        const auto res = tree.query(q);
+        double best = std::numeric_limits<double>::infinity(), second = best;
+        std::int32_t bestIdx = -1;
+        for (std::size_t c = 0; c < centers.size(); ++c) {
+            const double d = distance(q, centers[c]) / influence[c];
+            if (d < best) {
+                second = best;
+                best = d;
+                bestIdx = static_cast<std::int32_t>(c);
+            } else if (d < second) {
+                second = d;
+            }
+        }
+        EXPECT_EQ(res.best, bestIdx);
+        EXPECT_NEAR(res.bestDistance, best, 1e-12);
+        if (k > 1) EXPECT_NEAR(res.secondDistance, second, 1e-12);
+    }
+}
+
+TEST(CenterKdTree, WorksIn3d) {
+    const auto centers = randomPoints<3>(40, 29);
+    Xoshiro256 rng(31);
+    std::vector<double> influence;
+    for (int c = 0; c < 40; ++c) influence.push_back(rng.uniform(0.5, 2.0));
+    const CenterKdTree<3> tree(centers, influence);
+    for (const auto& q : randomPoints<3>(100, 37)) {
+        const auto res = tree.query(q);
+        double best = std::numeric_limits<double>::infinity();
+        std::int32_t bestIdx = -1;
+        for (std::size_t c = 0; c < centers.size(); ++c) {
+            const double d = distance(q, centers[c]) / influence[c];
+            if (d < best) {
+                best = d;
+                bestIdx = static_cast<std::int32_t>(c);
+            }
+        }
+        EXPECT_EQ(res.best, bestIdx);
+    }
+}
+
+TEST(CenterKdTree, RejectsBadInput) {
+    const std::vector<Point2> none;
+    const std::vector<double> noInfluence;
+    EXPECT_THROW(CenterKdTree<2>(none, noInfluence), std::invalid_argument);
+    const auto centers = randomPoints<2>(3, 41);
+    const std::vector<double> wrong(2, 1.0);
+    EXPECT_THROW(CenterKdTree<2>(centers, wrong), std::invalid_argument);
+}
+
+TEST(KMeansWithKdTree, SameResultAsLinearScan) {
+    const auto pts = randomPoints<2>(3000, 43);
+    Xoshiro256 rng(47);
+    std::vector<Point2> centers;
+    for (int c = 0; c < 8; ++c) centers.push_back(Point2{{rng.uniform(), rng.uniform()}});
+    core::Settings scan, tree;
+    scan.sampledInitialization = tree.sampledInitialization = false;
+    tree.useKdTree = true;
+    tree.hamerlyBounds = false;  // isolate the kd-tree path
+    scan.hamerlyBounds = false;
+    scan.boundingBoxPruning = false;
+    std::vector<std::int32_t> a, b;
+    par::runSpmd(1, [&](par::Comm& comm) {
+        a = core::balancedKMeans<2>(comm, pts, {}, centers, scan).assignment;
+    });
+    par::runSpmd(1, [&](par::Comm& comm) {
+        b = core::balancedKMeans<2>(comm, pts, {}, centers, tree).assignment;
+    });
+    EXPECT_EQ(a, b);
+}
+
+TEST(HeterogeneousTargets, NonUniformBlockSizesAreHonored) {
+    // Paper footnote 1: non-uniform target sizes for heterogeneous
+    // architectures. Ask for a 60/25/15 split.
+    const auto pts = randomPoints<2>(4000, 53);
+    Xoshiro256 rng(59);
+    std::vector<Point2> centers;
+    for (int c = 0; c < 3; ++c) centers.push_back(Point2{{rng.uniform(), rng.uniform()}});
+    core::Settings s;
+    s.targetFractions = {0.6, 0.25, 0.15};
+    s.epsilon = 0.05;
+    s.maxIterations = 80;
+    par::runSpmd(1, [&](par::Comm& comm) {
+        const auto out = core::balancedKMeans<2>(comm, pts, {}, centers, s);
+        std::vector<double> sizes(3, 0.0);
+        for (const auto a : out.assignment) sizes[static_cast<std::size_t>(a)] += 1.0;
+        EXPECT_NEAR(sizes[0] / 4000.0, 0.60, 0.05);
+        EXPECT_NEAR(sizes[1] / 4000.0, 0.25, 0.04);
+        EXPECT_NEAR(sizes[2] / 4000.0, 0.15, 0.03);
+    });
+}
+
+TEST(HeterogeneousTargets, RejectsBadFractions) {
+    const auto pts = randomPoints<2>(100, 61);
+    std::vector<Point2> centers{Point2{{0.2, 0.2}}, Point2{{0.8, 0.8}}};
+    core::Settings s;
+    s.targetFractions = {0.5};  // wrong arity
+    par::runSpmd(1, [&](par::Comm& comm) {
+        EXPECT_THROW((void)core::balancedKMeans<2>(comm, pts, {}, centers, s),
+                     std::invalid_argument);
+    });
+    s.targetFractions = {0.5, -0.5};
+    par::runSpmd(1, [&](par::Comm& comm) {
+        EXPECT_THROW((void)core::balancedKMeans<2>(comm, pts, {}, centers, s),
+                     std::invalid_argument);
+    });
+}
+
+}  // namespace

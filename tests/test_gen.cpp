@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "gen/alya.hpp"
+#include "gen/climate.hpp"
+#include "gen/delaunay2d.hpp"
+#include "gen/delaunay3d.hpp"
+#include "gen/meshes2d.hpp"
+#include "gen/registry.hpp"
+#include "gen/rgg.hpp"
+#include "geometry/box.hpp"
+#include "graph/csr.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace geo;
+using namespace geo::gen;
+
+TEST(Rgg2d, EdgesRespectRadius) {
+    const double r = 0.05;
+    const auto mesh = rgg2d(2000, r, 7);
+    for (graph::Vertex v = 0; v < mesh.graph.numVertices(); ++v)
+        for (const auto u : mesh.graph.neighbors(v))
+            EXPECT_LE(distance(mesh.points[static_cast<std::size_t>(v)],
+                               mesh.points[static_cast<std::size_t>(u)]),
+                      r + 1e-12);
+}
+
+TEST(Rgg2d, NoMissingEdgesWithinRadius) {
+    const double r = 0.08;
+    const auto mesh = rgg2d(500, r, 9);
+    for (graph::Vertex v = 0; v < mesh.graph.numVertices(); ++v) {
+        const auto nbrs = mesh.graph.neighbors(v);
+        const std::set<graph::Vertex> nbrSet(nbrs.begin(), nbrs.end());
+        for (graph::Vertex u = 0; u < mesh.graph.numVertices(); ++u) {
+            if (u == v) continue;
+            const bool close = distance(mesh.points[static_cast<std::size_t>(v)],
+                                        mesh.points[static_cast<std::size_t>(u)]) <= r;
+            EXPECT_EQ(close, nbrSet.count(u) > 0) << "pair " << v << "," << u;
+        }
+    }
+}
+
+TEST(Rgg2d, DefaultRadiusYieldsConnectedGraph) {
+    const auto mesh = rgg2d(4000, 0.0, 11);
+    EXPECT_EQ(graph::connectedComponents(mesh.graph).count, 1);
+}
+
+TEST(Rgg3d, DefaultRadiusYieldsConnectedGraph) {
+    const auto mesh = rgg3d(3000, 0.0, 13);
+    EXPECT_EQ(graph::connectedComponents(mesh.graph).count, 1);
+    EXPECT_EQ(mesh.meshClass, MeshClass::Dim3);
+}
+
+TEST(Rgg, IsDeterministicPerSeed) {
+    const auto a = rgg2d(300, 0.1, 5);
+    const auto b = rgg2d(300, 0.1, 5);
+    EXPECT_EQ(a.points, b.points);
+    EXPECT_EQ(a.graph.targets(), b.graph.targets());
+}
+
+// --- Delaunay 2D ---
+
+/// Verify the empty-circumcircle property on every triangle against all
+/// points (brute force — keep n small).
+void expectDelaunay2d(std::span<const Point2> pts) {
+    const auto tris = delaunayTriangles2d(pts);
+    ASSERT_FALSE(tris.empty());
+    for (const auto& t : tris) {
+        const Point2 &a = pts[static_cast<std::size_t>(t[0])],
+                     &b = pts[static_cast<std::size_t>(t[1])],
+                     &c = pts[static_cast<std::size_t>(t[2])];
+        // Circumcenter via perpendicular bisector intersection.
+        const double d = 2.0 * (a[0] * (b[1] - c[1]) + b[0] * (c[1] - a[1]) +
+                                c[0] * (a[1] - b[1]));
+        ASSERT_NE(d, 0.0);
+        const double a2 = a[0] * a[0] + a[1] * a[1];
+        const double b2 = b[0] * b[0] + b[1] * b[1];
+        const double c2 = c[0] * c[0] + c[1] * c[1];
+        const Point2 center{{(a2 * (b[1] - c[1]) + b2 * (c[1] - a[1]) + c2 * (a[1] - b[1])) / d,
+                             (a2 * (c[0] - b[0]) + b2 * (a[0] - c[0]) + c2 * (b[0] - a[0])) / d}};
+        const double r = distance(center, a);
+        for (std::size_t p = 0; p < pts.size(); ++p) {
+            if (static_cast<std::int32_t>(p) == t[0] || static_cast<std::int32_t>(p) == t[1] ||
+                static_cast<std::int32_t>(p) == t[2])
+                continue;
+            EXPECT_GE(distance(center, pts[p]), r - 1e-9)
+                << "point " << p << " inside circumcircle";
+        }
+    }
+}
+
+TEST(Delaunay2d, EmptyCircumcircleProperty) {
+    Xoshiro256 rng(101);
+    std::vector<Point2> pts;
+    for (int i = 0; i < 200; ++i) pts.push_back(Point2{{rng.uniform(), rng.uniform()}});
+    expectDelaunay2d(pts);
+}
+
+TEST(Delaunay2d, EulerFormulaHolds) {
+    // For a Delaunay triangulation of points in general position:
+    // triangles = 2n - 2 - h, edges = 3n - 3 - h (h = hull vertices).
+    const auto mesh = delaunay2d(3000, 17);
+    const auto tris = delaunayTriangles2d(mesh.points);
+    const auto n = static_cast<std::int64_t>(mesh.points.size());
+    const std::int64_t f = static_cast<std::int64_t>(tris.size());
+    const std::int64_t e = mesh.graph.numEdges();
+    // Euler: n - e + (f + 1) = 2  =>  e = n + f - 1.
+    EXPECT_EQ(e, n + f - 1);
+    EXPECT_EQ(graph::connectedComponents(mesh.graph).count, 1);
+}
+
+TEST(Delaunay2d, HandlesSmallInputs) {
+    std::vector<Point2> tri{{{0.0, 0.0}}, {{1.0, 0.0}}, {{0.5, 1.0}}};
+    const auto tris = delaunayTriangles2d(tri);
+    ASSERT_EQ(tris.size(), 1u);
+    const auto g = delaunayTriangulate2d(tri);
+    EXPECT_EQ(g.numEdges(), 3);
+    std::vector<Point2> two{{{0.0, 0.0}}, {{1.0, 0.0}}};
+    EXPECT_THROW((void)delaunayTriangulate2d(two), std::invalid_argument);
+}
+
+TEST(Delaunay2d, GraphIsValidOnClusteredInput) {
+    // Highly nonuniform input stresses the cavity machinery.
+    Xoshiro256 rng(19);
+    std::vector<Point2> pts;
+    for (int i = 0; i < 1000; ++i) {
+        const double cluster = rng.below(3) * 0.31;
+        pts.push_back(Point2{{cluster + 0.01 * rng.uniform(), cluster + 0.01 * rng.uniform()}});
+    }
+    const auto g = delaunayTriangulate2d(pts);
+    EXPECT_NO_THROW(g.validate());
+    EXPECT_EQ(graph::connectedComponents(g).count, 1);
+}
+
+TEST(Delaunay2d, MeanDegreeIsNearSix) {
+    const auto mesh = delaunay2d(5000, 23);
+    const double meanDegree =
+        2.0 * static_cast<double>(mesh.numEdges()) / static_cast<double>(mesh.numVertices());
+    EXPECT_GT(meanDegree, 5.5);
+    EXPECT_LT(meanDegree, 6.0);
+}
+
+// --- Delaunay 3D ---
+
+TEST(Delaunay3d, EmptyCircumsphereProperty) {
+    Xoshiro256 rng(103);
+    std::vector<Point3> pts;
+    for (int i = 0; i < 120; ++i)
+        pts.push_back(Point3{{rng.uniform(), rng.uniform(), rng.uniform()}});
+    const auto tets = delaunayTets3d(pts);
+    ASSERT_FALSE(tets.empty());
+    for (const auto& t : tets) {
+        // Circumcenter: solve |x-a|^2 = |x-b|^2 = |x-c|^2 = |x-d|^2 via 3x3
+        // linear system.
+        const Point3 &a = pts[static_cast<std::size_t>(t[0])],
+                     &b = pts[static_cast<std::size_t>(t[1])],
+                     &c = pts[static_cast<std::size_t>(t[2])],
+                     &d = pts[static_cast<std::size_t>(t[3])];
+        double m[3][4];
+        const Point3 rows[3] = {b - a, c - a, d - a};
+        const double rhs[3] = {0.5 * (dot(b, b) - dot(a, a)), 0.5 * (dot(c, c) - dot(a, a)),
+                               0.5 * (dot(d, d) - dot(a, a))};
+        for (int r = 0; r < 3; ++r) {
+            for (int col = 0; col < 3; ++col) m[r][col] = rows[r][col];
+            m[r][3] = rhs[r];
+        }
+        // Gaussian elimination.
+        for (int col = 0; col < 3; ++col) {
+            int piv = col;
+            for (int r = col + 1; r < 3; ++r)
+                if (std::abs(m[r][col]) > std::abs(m[piv][col])) piv = r;
+            std::swap(m[col], m[piv]);
+            ASSERT_NE(m[col][col], 0.0);
+            for (int r = 0; r < 3; ++r) {
+                if (r == col) continue;
+                const double f = m[r][col] / m[col][col];
+                for (int cc = col; cc < 4; ++cc) m[r][cc] -= f * m[col][cc];
+            }
+        }
+        const Point3 center{{m[0][3] / m[0][0], m[1][3] / m[1][1], m[2][3] / m[2][2]}};
+        const double radius = distance(center, a);
+        for (std::size_t p = 0; p < pts.size(); ++p) {
+            if (std::find(t.begin(), t.end(), static_cast<std::int32_t>(p)) != t.end())
+                continue;
+            EXPECT_GE(distance(center, pts[p]), radius - 1e-8);
+        }
+    }
+}
+
+TEST(Delaunay3d, GraphIsConnectedAndValid) {
+    const auto mesh = delaunay3d(2000, 29);
+    EXPECT_NO_THROW(mesh.graph.validate());
+    EXPECT_EQ(graph::connectedComponents(mesh.graph).count, 1);
+    const double meanDegree =
+        2.0 * static_cast<double>(mesh.numEdges()) / static_cast<double>(mesh.numVertices());
+    // Random 3D Delaunay has mean degree ~15.5.
+    EXPECT_GT(meanDegree, 12.0);
+    EXPECT_LT(meanDegree, 18.0);
+}
+
+TEST(Delaunay3d, MinimalTetrahedron) {
+    std::vector<Point3> pts{{{0.0, 0.0, 0.0}},
+                            {{1.0, 0.0, 0.0}},
+                            {{0.0, 1.0, 0.0}},
+                            {{0.0, 0.0, 1.0}}};
+    const auto tets = delaunayTets3d(pts);
+    ASSERT_EQ(tets.size(), 1u);
+    const auto g = delaunayTriangulate3d(pts);
+    EXPECT_EQ(g.numEdges(), 6);
+}
+
+// --- Synthetic mesh families ---
+
+TEST(RefinedTriMesh, IsConnectedAndGraded) {
+    const auto mesh = refinedTriMesh(4000, 2, 31);
+    EXPECT_EQ(static_cast<std::int64_t>(mesh.points.size()), 4000);
+    EXPECT_EQ(graph::connectedComponents(mesh.graph).count, 1);
+    EXPECT_NO_THROW(mesh.graph.validate());
+}
+
+TEST(BubbleMesh, GeneratesRequestedSize) {
+    const auto mesh = bubbleMesh(3000, 3, 37);
+    EXPECT_EQ(mesh.numVertices(), 3000);
+    EXPECT_EQ(graph::connectedComponents(mesh.graph).count, 1);
+}
+
+TEST(FemMesh2d, BodyHoleIsEmpty) {
+    const auto mesh = femMesh2d(3000, 41);
+    // No point inside the elliptic body.
+    for (const auto& p : mesh.points) {
+        const double dx = (p[0] - 0.35) / 0.18;
+        const double dy = (p[1] - 0.5) / 0.045;
+        EXPECT_GE(dx * dx + dy * dy, 1.0);
+    }
+    EXPECT_EQ(graph::connectedComponents(mesh.graph).count, 1);
+}
+
+TEST(Climate25d, WeightsAreLevelCounts) {
+    const auto mesh = climate25d(3000, 40, 43);
+    ASSERT_EQ(mesh.weights.size(), mesh.points.size());
+    EXPECT_EQ(mesh.meshClass, MeshClass::Dim25);
+    double minW = 1e9, maxW = -1e9;
+    for (const double w : mesh.weights) {
+        EXPECT_GE(w, 1.0);
+        EXPECT_LE(w, 40.0);
+        EXPECT_DOUBLE_EQ(w, std::floor(w));
+        minW = std::min(minW, w);
+        maxW = std::max(maxW, w);
+    }
+    EXPECT_LT(minW, maxW);  // real variation (both shallow and deep cells)
+    EXPECT_EQ(graph::connectedComponents(mesh.graph).count, 1);
+}
+
+TEST(Alya3d, TubeMeshIsConnectedIsh) {
+    const auto mesh = alya3d(4000, 5, 47);
+    EXPECT_EQ(mesh.numVertices(), 4000);
+    EXPECT_NO_THROW(mesh.graph.validate());
+    // The dominant component must cover nearly all vertices (thin branch
+    // tips may detach).
+    const auto comps = graph::connectedComponents(mesh.graph);
+    std::vector<std::int64_t> sizes(static_cast<std::size_t>(comps.count), 0);
+    for (const auto c : comps.id) sizes[static_cast<std::size_t>(c)]++;
+    EXPECT_GE(*std::max_element(sizes.begin(), sizes.end()), 3600);
+    // No isolated vertices (repair pass).
+    for (graph::Vertex v = 0; v < mesh.graph.numVertices(); ++v)
+        EXPECT_GT(mesh.graph.degree(v), 0);
+}
+
+TEST(Alya3d, IsAnisotropic) {
+    // Tube meshes are elongated: bounding box extents differ measurably
+    // from a cube-filling cloud.
+    const auto mesh = alya3d(2000, 6, 53);
+    const auto bb = Box3::around(mesh.points);
+    const auto ext = bb.extent();
+    const double maxExt = std::max({ext[0], ext[1], ext[2]});
+    const double volume = ext[0] * ext[1] * ext[2];
+    // Points occupy far less than the bounding volume (tubes are thin).
+    double meanNearest = 0.0;
+    (void)meanNearest;
+    EXPECT_LT(static_cast<double>(mesh.numVertices()), 1e9 * volume);
+    EXPECT_GT(maxExt, 0.2);
+}
+
+TEST(Registry, CatalogsAreNonEmptyAndProduceMeshes) {
+    for (const auto& spec : catalog2d()) {
+        const auto mesh = spec.make(800, 61);
+        EXPECT_GE(mesh.numVertices(), 800) << spec.name;
+        EXPECT_GT(mesh.numEdges(), 0) << spec.name;
+        EXPECT_EQ(mesh.meshClass, spec.meshClass) << spec.name;
+    }
+    for (const auto& spec : catalog3d()) {
+        const auto mesh = spec.make(800, 61);
+        EXPECT_GE(mesh.numVertices(), 800) << spec.name;
+        EXPECT_GT(mesh.numEdges(), 0) << spec.name;
+    }
+}
+
+TEST(Registry, WeightedFamiliesDeclareWeights) {
+    for (const auto& spec : catalog2d()) {
+        const auto mesh = spec.make(500, 67);
+        if (spec.meshClass == MeshClass::Dim25) {
+            EXPECT_EQ(mesh.weights.size(), mesh.points.size()) << spec.name;
+        }
+    }
+}
+
+}  // namespace

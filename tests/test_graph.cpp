@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gen/grid.hpp"
+#include "graph/csr.hpp"
+
+namespace {
+
+using geo::graph::bfs;
+using geo::graph::connectedComponents;
+using geo::graph::CsrGraph;
+using geo::graph::GraphBuilder;
+using geo::graph::Vertex;
+
+CsrGraph path(int n) {
+    GraphBuilder b(n);
+    for (int i = 0; i + 1 < n; ++i) b.addEdge(i, i + 1);
+    return b.build();
+}
+
+TEST(GraphBuilder, BuildsSymmetricSortedCsr) {
+    GraphBuilder b(4);
+    b.addEdge(0, 1);
+    b.addEdge(2, 1);
+    b.addEdge(3, 0);
+    const auto g = b.build();
+    EXPECT_EQ(g.numVertices(), 4);
+    EXPECT_EQ(g.numEdges(), 3);
+    EXPECT_NO_THROW(g.validate());
+    const auto nbrs1 = g.neighbors(1);
+    EXPECT_EQ(std::vector<Vertex>(nbrs1.begin(), nbrs1.end()), (std::vector<Vertex>{0, 2}));
+}
+
+TEST(GraphBuilder, DeduplicatesAndDropsSelfLoops) {
+    GraphBuilder b(3);
+    b.addEdge(0, 1);
+    b.addEdge(1, 0);
+    b.addEdge(0, 1);
+    b.addEdge(2, 2);
+    const auto g = b.build();
+    EXPECT_EQ(g.numEdges(), 1);
+    EXPECT_EQ(g.degree(2), 0);
+    EXPECT_NO_THROW(g.validate());
+}
+
+TEST(GraphBuilder, RejectsOutOfRangeEndpoint) {
+    GraphBuilder b(2);
+    b.addEdge(0, 5);
+    EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(Csr, EmptyGraph) {
+    GraphBuilder b(0);
+    const auto g = b.build();
+    EXPECT_EQ(g.numVertices(), 0);
+    EXPECT_EQ(g.numEdges(), 0);
+}
+
+TEST(Csr, ConstructorValidatesOffsets) {
+    EXPECT_THROW(CsrGraph({}, {}), std::invalid_argument);
+    EXPECT_THROW(CsrGraph({0, 5}, {1}), std::invalid_argument);
+}
+
+TEST(Bfs, DistancesOnPath) {
+    const auto g = path(6);
+    const auto r = bfs(g, 0);
+    for (int i = 0; i < 6; ++i) EXPECT_EQ(r.distance[static_cast<std::size_t>(i)], i);
+    EXPECT_EQ(r.farthest, 5);
+    EXPECT_EQ(r.eccentricity, 5);
+}
+
+TEST(Bfs, UnreachableVerticesGetMinusOne) {
+    GraphBuilder b(4);
+    b.addEdge(0, 1);  // 2, 3 disconnected
+    b.addEdge(2, 3);
+    const auto g = b.build();
+    const auto r = bfs(g, 0);
+    EXPECT_EQ(r.distance[1], 1);
+    EXPECT_EQ(r.distance[2], -1);
+    EXPECT_EQ(r.distance[3], -1);
+}
+
+TEST(Bfs, MaskRestrictsTraversal) {
+    const auto g = path(6);
+    // Only vertices 0..2 in scope.
+    std::vector<std::int32_t> mask{7, 7, 7, 8, 8, 8};
+    const auto r = bfs(g, 0, mask, 7);
+    EXPECT_EQ(r.distance[2], 2);
+    EXPECT_EQ(r.distance[3], -1);
+    EXPECT_EQ(r.eccentricity, 2);
+}
+
+TEST(Bfs, SourceOutsideMaskThrows) {
+    const auto g = path(3);
+    std::vector<std::int32_t> mask{1, 0, 0};
+    EXPECT_THROW(bfs(g, 1, mask, 1), std::invalid_argument);
+}
+
+TEST(Components, CountsAndLabels) {
+    GraphBuilder b(7);
+    b.addEdge(0, 1);
+    b.addEdge(1, 2);
+    b.addEdge(3, 4);
+    // 5, 6 isolated
+    const auto g = b.build();
+    const auto c = connectedComponents(g);
+    EXPECT_EQ(c.count, 4);
+    EXPECT_EQ(c.id[0], c.id[2]);
+    EXPECT_EQ(c.id[3], c.id[4]);
+    EXPECT_NE(c.id[0], c.id[3]);
+    EXPECT_NE(c.id[5], c.id[6]);
+}
+
+TEST(Components, GridIsConnected) {
+    const auto mesh = geo::gen::grid2d(13, 9);
+    const auto c = connectedComponents(mesh.graph);
+    EXPECT_EQ(c.count, 1);
+}
+
+TEST(Grid2d, StructureIsCorrect) {
+    const auto mesh = geo::gen::grid2d(4, 3);
+    EXPECT_EQ(mesh.graph.numVertices(), 12);
+    // Edges: 3*3 horizontal + 4*2 vertical = 17.
+    EXPECT_EQ(mesh.graph.numEdges(), 17);
+    EXPECT_NO_THROW(mesh.graph.validate());
+    // Corner has degree 2, interior degree 4.
+    EXPECT_EQ(mesh.graph.degree(0), 2);
+    EXPECT_EQ(mesh.graph.degree(5), 4);
+}
+
+TEST(Grid3d, StructureIsCorrect) {
+    const auto mesh = geo::gen::grid3d(3, 3, 3);
+    EXPECT_EQ(mesh.graph.numVertices(), 27);
+    // Edges: 3 directions * 2*3*3 = 54.
+    EXPECT_EQ(mesh.graph.numEdges(), 54);
+    // Center vertex has degree 6.
+    EXPECT_EQ(mesh.graph.degree(13), 6);
+    EXPECT_NO_THROW(mesh.graph.validate());
+}
+
+TEST(Grid3d, BfsDiameterMatchesManhattan) {
+    const auto mesh = geo::gen::grid3d(4, 4, 4);
+    const auto r = bfs(mesh.graph, 0);
+    EXPECT_EQ(r.eccentricity, 9);  // (4-1)*3
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// End-to-end integration tests: the full pipeline a user runs —
+// generate mesh -> partition -> evaluate -> SpMV -> export/import —
+// including the paper's headline quality relations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "baseline/tools.hpp"
+#include "core/geographer.hpp"
+#include "gen/climate.hpp"
+#include "gen/delaunay2d.hpp"
+#include "gen/meshes2d.hpp"
+#include "gen/registry.hpp"
+#include "graph/metrics.hpp"
+#include "io/metis.hpp"
+#include "io/svg.hpp"
+#include "io/vtk.hpp"
+#include "spmv/spmv.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace geo;
+
+class Pipeline : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = fs::temp_directory_path() / "geo_integration";
+        fs::create_directories(dir_);
+    }
+    void TearDown() override { fs::remove_all(dir_); }
+    std::string path(const std::string& n) const { return (dir_ / n).string(); }
+    fs::path dir_;
+};
+
+TEST_F(Pipeline, GenerateParticipateEvaluateExportReimport) {
+    const auto mesh = gen::refinedTriMesh(5000, 2, 1);
+    core::Settings s;
+    const auto res = core::partitionGeographer<2>(mesh.points, {}, 8, 4, s);
+    const auto before = graph::evaluatePartition(mesh.graph, res.partition, 8);
+
+    // Export everything, read it back, metrics must be identical.
+    io::writeMetis(path("mesh.metis"), mesh.graph);
+    io::writePartition(path("mesh.part"), res.partition);
+    io::writeCoordinates(path("mesh.xy"), mesh.points);
+    const auto metis = io::readMetis(path("mesh.metis"));
+    const auto part = io::readPartition(path("mesh.part"));
+    const auto coords = io::readCoordinates(path("mesh.xy"));
+    const auto after = graph::evaluatePartition(metis.graph, part, 8);
+    EXPECT_EQ(before.edgeCut, after.edgeCut);
+    EXPECT_EQ(before.totalCommVolume, after.totalCommVolume);
+    EXPECT_EQ(before.maxCommVolume, after.maxCommVolume);
+    EXPECT_EQ(coords.size(), mesh.points.size());
+
+    // Renderers accept the pipeline output.
+    EXPECT_NO_THROW(io::writeSvgPartition(path("mesh.svg"), mesh.points, part, 8));
+    EXPECT_NO_THROW(io::writeVtk<2>(path("mesh.vtk"), mesh.points, mesh.graph, part));
+    EXPECT_GT(fs::file_size(path("mesh.svg")), 1000u);
+    EXPECT_GT(fs::file_size(path("mesh.vtk")), 1000u);
+}
+
+TEST_F(Pipeline, HeadlineGeographerLeadsTotalCommVolumeOn2D) {
+    // Fig. 2a: Geographer's total communication volume beats every
+    // competitor on 2D DIMACS-style meshes (geometric mean over families;
+    // individual instances may flip, the aggregate must not).
+    double logRatioSum[4] = {0, 0, 0, 0};
+    int count = 0;
+    for (const auto& spec : gen::catalog2d()) {
+        if (spec.meshClass != gen::MeshClass::Dim2) continue;
+        const auto mesh = spec.make(6000, 3);
+        const auto& tools = baseline::tools2();
+        const auto geoRes = tools[0].run(mesh.points, {}, 8, 0.03, 1, 1);
+        const auto geoVol = graph::evaluatePartition(mesh.graph, geoRes.partition, 8, {}, false)
+                                .totalCommVolume;
+        ASSERT_GT(geoVol, 0);
+        for (std::size_t t = 1; t < tools.size(); ++t) {
+            const auto res = tools[t].run(mesh.points, {}, 8, 0.03, 1, 1);
+            const auto vol =
+                graph::evaluatePartition(mesh.graph, res.partition, 8, {}, false)
+                    .totalCommVolume;
+            logRatioSum[t - 1] +=
+                std::log(static_cast<double>(vol) / static_cast<double>(geoVol));
+        }
+        ++count;
+    }
+    ASSERT_GT(count, 0);
+    for (int t = 0; t < 4; ++t) {
+        const double geomean = std::exp(logRatioSum[t] / count);
+        EXPECT_GT(geomean, 1.0) << baseline::tools2()[static_cast<std::size_t>(t + 1)].name
+                                << " should trail geoKmeans on 2D totCommVol";
+    }
+}
+
+TEST_F(Pipeline, WeightedClimatePipeline) {
+    // 2.5D: weighted partition -> SpMV; weighted imbalance within eps while
+    // the SpMV plan stays consistent.
+    const auto mesh = gen::climate25d(6000, 30, 5);
+    core::Settings s;
+    s.epsilon = 0.05;
+    const auto res =
+        core::partitionGeographer<2>(mesh.points, mesh.weights, 6, 3, s);
+    EXPECT_LE(graph::imbalance(res.partition, 6, mesh.weights), 0.05 + 1e-9);
+    const auto t = spmv::runSpmv(mesh.graph, res.partition, 6, 10);
+    EXPECT_GT(t.totalGhosts, 0);
+    EXPECT_GT(t.modeledCommSecondsPerIteration, 0.0);
+}
+
+TEST_F(Pipeline, SpmvCommTimeTracksCommVolumeAcrossTools) {
+    // The modeled SpMV comm time must be monotone in max ghost volume
+    // across tools on the same mesh (paper: timeComm correlates with the
+    // comm volume metrics, if noisily).
+    const auto mesh = gen::delaunay2d(8000, 9);
+    struct Obs {
+        std::int64_t ghosts;
+        std::int32_t neighbors;
+        double time;
+    };
+    std::vector<Obs> observations;
+    for (const auto& tool : baseline::tools2()) {
+        const auto res = tool.run(mesh.points, {}, 8, 0.03, 1, 1);
+        const auto t = spmv::runSpmv(mesh.graph, res.partition, 8, 5);
+        observations.push_back(
+            Obs{t.maxGhosts, t.maxNeighbors, t.modeledCommSecondsPerIteration});
+    }
+    // Modeled time = alpha * neighbors + beta * ghosts: monotone whenever
+    // BOTH components are dominated.
+    for (const auto& a : observations)
+        for (const auto& b : observations)
+            if (a.ghosts <= b.ghosts && a.neighbors <= b.neighbors)
+                EXPECT_LE(a.time, b.time + 1e-9);
+}
+
+TEST_F(Pipeline, RanksAndBlocksFullyIndependent) {
+    // k != p in all combinations still produces valid balanced partitions.
+    const auto mesh = gen::delaunay2d(3000, 11);
+    core::Settings s;
+    for (const int ranks : {1, 3, 6}) {
+        for (const std::int32_t k : {2, 7, 24}) {
+            const auto res = core::partitionGeographer<2>(mesh.points, {}, k, ranks, s);
+            EXPECT_LE(graph::imbalance(res.partition, k), s.epsilon + 1e-9)
+                << "ranks=" << ranks << " k=" << k;
+        }
+    }
+}
+
+TEST_F(Pipeline, MortonCurveVariantWorks) {
+    const auto mesh = gen::delaunay2d(3000, 13);
+    core::Settings s;
+    s.curve = core::Curve::Morton;
+    const auto res = core::partitionGeographer<2>(mesh.points, {}, 6, 2, s);
+    EXPECT_LE(graph::imbalance(res.partition, 6), s.epsilon + 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "gen/delaunay2d.hpp"
+#include "gen/grid.hpp"
+#include "io/metis.hpp"
+#include "io/svg.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace geo;
+
+class IoTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = fs::temp_directory_path() / "geo_io_test";
+        fs::create_directories(dir_);
+    }
+    void TearDown() override { fs::remove_all(dir_); }
+
+    std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+    fs::path dir_;
+};
+
+TEST_F(IoTest, MetisRoundTripUnweighted) {
+    const auto mesh = gen::grid2d(7, 5);
+    io::writeMetis(path("g.metis"), mesh.graph);
+    const auto back = io::readMetis(path("g.metis"));
+    EXPECT_EQ(back.graph.numVertices(), mesh.graph.numVertices());
+    EXPECT_EQ(back.graph.numEdges(), mesh.graph.numEdges());
+    EXPECT_EQ(back.graph.offsets(), mesh.graph.offsets());
+    EXPECT_EQ(back.graph.targets(), mesh.graph.targets());
+    EXPECT_TRUE(back.vertexWeights.empty());
+}
+
+TEST_F(IoTest, MetisRoundTripWeighted) {
+    const auto mesh = gen::grid2d(4, 4);
+    std::vector<double> w(16);
+    for (std::size_t i = 0; i < w.size(); ++i) w[i] = static_cast<double>(1 + i % 5);
+    io::writeMetis(path("w.metis"), mesh.graph, w);
+    const auto back = io::readMetis(path("w.metis"));
+    EXPECT_EQ(back.vertexWeights, w);
+    EXPECT_EQ(back.graph.targets(), mesh.graph.targets());
+}
+
+TEST_F(IoTest, MetisRejectsMalformedFiles) {
+    {
+        std::ofstream out(path("bad1.metis"));
+        out << "not a header\n";
+    }
+    EXPECT_THROW((void)io::readMetis(path("bad1.metis")), std::runtime_error);
+    {
+        std::ofstream out(path("bad2.metis"));
+        out << "2 1\n5\n1\n";  // neighbor out of range
+    }
+    EXPECT_THROW((void)io::readMetis(path("bad2.metis")), std::runtime_error);
+    {
+        std::ofstream out(path("bad3.metis"));
+        out << "3 5\n2\n1\n\n";  // edge count mismatch
+    }
+    EXPECT_THROW((void)io::readMetis(path("bad3.metis")), std::runtime_error);
+    EXPECT_THROW((void)io::readMetis(path("missing.metis")), std::runtime_error);
+}
+
+TEST_F(IoTest, MetisSkipsComments) {
+    {
+        std::ofstream out(path("c.metis"));
+        out << "% a comment\n2 1\n% another\n2\n1\n";
+    }
+    const auto g = io::readMetis(path("c.metis"));
+    EXPECT_EQ(g.graph.numVertices(), 2);
+    EXPECT_EQ(g.graph.numEdges(), 1);
+}
+
+TEST_F(IoTest, PartitionRoundTrip) {
+    const graph::Partition part{0, 3, 2, 2, 1, 0};
+    io::writePartition(path("p.part"), part);
+    EXPECT_EQ(io::readPartition(path("p.part")), part);
+}
+
+TEST_F(IoTest, CoordinatesRoundTrip) {
+    const std::vector<Point2> pts{{{0.125, -3.5}}, {{1e-17, 42.0}}};
+    io::writeCoordinates(path("c.xy"), pts);
+    const auto back = io::readCoordinates(path("c.xy"));
+    ASSERT_EQ(back.size(), pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        EXPECT_DOUBLE_EQ(back[i][0], pts[i][0]);
+        EXPECT_DOUBLE_EQ(back[i][1], pts[i][1]);
+    }
+}
+
+TEST_F(IoTest, SvgContainsAllPointsAndPalette) {
+    const auto mesh = gen::delaunay2d(100, 3);
+    graph::Partition part(100);
+    for (std::size_t i = 0; i < 100; ++i) part[i] = static_cast<std::int32_t>(i % 4);
+    io::writeSvgPartition(path("p.svg"), mesh.points, part, 4, 400, "test");
+    std::ifstream in(path("p.svg"));
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_NE(content.find("<svg"), std::string::npos);
+    EXPECT_NE(content.find("<title>test</title>"), std::string::npos);
+    // 100 circles.
+    std::size_t circles = 0, pos = 0;
+    while ((pos = content.find("<circle", pos)) != std::string::npos) {
+        ++circles;
+        pos += 7;
+    }
+    EXPECT_EQ(circles, 100u);
+    EXPECT_NE(content.find("#e41a1c"), std::string::npos);
+}
+
+TEST_F(IoTest, SvgRejectsMismatchedSizes) {
+    const std::vector<Point2> pts{{{0.0, 0.0}}};
+    const graph::Partition part{0, 1};
+    EXPECT_THROW(io::writeSvgPartition(path("x.svg"), pts, part, 2),
+                 std::invalid_argument);
+}
+
+}  // namespace

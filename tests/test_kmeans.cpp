@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/balanced_kmeans.hpp"
+#include "par/comm.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using geo::Point2;
+using geo::Point3;
+using geo::Xoshiro256;
+using geo::core::balancedKMeans;
+using geo::core::KMeansOutcome;
+using geo::core::Settings;
+using geo::par::Comm;
+using geo::par::runSpmd;
+
+std::vector<Point2> uniformPoints(int n, std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    std::vector<Point2> pts;
+    pts.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) pts.push_back(Point2{{rng.uniform(), rng.uniform()}});
+    return pts;
+}
+
+/// Evenly spread deterministic centers for tests.
+std::vector<Point2> seedCenters(int k, std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    std::vector<Point2> centers;
+    for (int i = 0; i < k; ++i) centers.push_back(Point2{{rng.uniform(), rng.uniform()}});
+    return centers;
+}
+
+double globalImbalance(std::span<const std::int32_t> assignment, int k,
+                       std::span<const double> weights = {}) {
+    std::vector<double> sizes(static_cast<std::size_t>(k), 0.0);
+    double total = 0.0;
+    for (std::size_t i = 0; i < assignment.size(); ++i) {
+        const double w = weights.empty() ? 1.0 : weights[i];
+        sizes[static_cast<std::size_t>(assignment[i])] += w;
+        total += w;
+    }
+    return *std::max_element(sizes.begin(), sizes.end()) / std::ceil(total / k) - 1.0;
+}
+
+TEST(BalancedKMeans, SerialAchievesBalanceOnUniformPoints) {
+    const auto pts = uniformPoints(4000, 3);
+    Settings s;
+    s.epsilon = 0.03;
+    runSpmd(1, [&](Comm& comm) {
+        const auto out = balancedKMeans<2>(comm, pts, {}, seedCenters(8, 99), s);
+        ASSERT_EQ(out.assignment.size(), pts.size());
+        EXPECT_LE(out.imbalance, s.epsilon + 1e-9);
+        EXPECT_LE(globalImbalance(out.assignment, 8), s.epsilon + 1e-9);
+    });
+}
+
+class KMeansRankSweep : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Ranks, KMeansRankSweep, ::testing::Values(1, 2, 4, 8));
+
+TEST_P(KMeansRankSweep, DistributedBalanceAndFullAssignment) {
+    const int p = GetParam();
+    const int k = 6;
+    const auto all = uniformPoints(3000, 5);
+    Settings s;
+    s.epsilon = 0.05;
+    runSpmd(p, [&](Comm& comm) {
+        // Block-distribute the points.
+        const auto n = static_cast<std::int64_t>(all.size());
+        const std::int64_t lo = n * comm.rank() / p, hi = n * (comm.rank() + 1) / p;
+        std::vector<Point2> local(all.begin() + lo, all.begin() + hi);
+        const auto out = balancedKMeans<2>(comm, local, {}, seedCenters(k, 7), s);
+        ASSERT_EQ(out.assignment.size(), local.size());
+        for (const auto a : out.assignment) {
+            EXPECT_GE(a, 0);
+            EXPECT_LT(a, k);
+        }
+        EXPECT_LE(out.imbalance, s.epsilon + 1e-9);
+
+        // Centers and influence are replicated bit-identically.
+        auto flat = std::vector<double>();
+        for (const auto& c : out.centers) {
+            flat.push_back(c[0]);
+            flat.push_back(c[1]);
+        }
+        flat.insert(flat.end(), out.influence.begin(), out.influence.end());
+        auto maxv = flat, minv = flat;
+        comm.allreduceMax(std::span<double>(maxv));
+        comm.allreduceMin(std::span<double>(minv));
+        for (std::size_t i = 0; i < flat.size(); ++i) EXPECT_EQ(maxv[i], minv[i]);
+    });
+}
+
+TEST(BalancedKMeans, RespectsNodeWeights) {
+    // Heavily weighted cluster of points in one corner: without balancing
+    // by weight, one block would be overloaded.
+    Xoshiro256 rng(11);
+    std::vector<Point2> pts;
+    std::vector<double> w;
+    for (int i = 0; i < 2000; ++i) {
+        const Point2 pt{{rng.uniform(), rng.uniform()}};
+        pts.push_back(pt);
+        // Weight gradient: left half much heavier.
+        w.push_back(pt[0] < 0.5 ? 9.0 : 1.0);
+    }
+    Settings s;
+    s.epsilon = 0.05;
+    s.maxIterations = 80;
+    runSpmd(1, [&](Comm& comm) {
+        const auto out = balancedKMeans<2>(comm, pts, w, seedCenters(5, 13), s);
+        EXPECT_LE(globalImbalance(out.assignment, 5, w), s.epsilon + 1e-9);
+    });
+}
+
+TEST(BalancedKMeans, UnbalancedPlainLloydWouldFail) {
+    // Two dense clusters + sparse background; plain k-means with k=4 would
+    // give wildly unequal blocks. Balanced version must not.
+    Xoshiro256 rng(17);
+    std::vector<Point2> pts;
+    for (int i = 0; i < 1800; ++i)
+        pts.push_back(Point2{{0.1 + 0.05 * rng.uniform(), 0.1 + 0.05 * rng.uniform()}});
+    for (int i = 0; i < 1800; ++i)
+        pts.push_back(Point2{{0.9 - 0.05 * rng.uniform(), 0.9 - 0.05 * rng.uniform()}});
+    for (int i = 0; i < 400; ++i) pts.push_back(Point2{{rng.uniform(), rng.uniform()}});
+    Settings s;
+    s.epsilon = 0.05;
+    s.maxIterations = 100;
+    runSpmd(1, [&](Comm& comm) {
+        const auto out = balancedKMeans<2>(comm, pts, {}, seedCenters(4, 23), s);
+        EXPECT_LE(out.imbalance, s.epsilon + 1e-9);
+    });
+}
+
+TEST(BalancedKMeans, InfluenceDeviatesFromOneUnderImbalance) {
+    Xoshiro256 rng(19);
+    std::vector<Point2> pts;
+    for (int i = 0; i < 1500; ++i)
+        pts.push_back(Point2{{0.2 * rng.uniform(), rng.uniform()}});  // dense strip
+    for (int i = 0; i < 500; ++i)
+        pts.push_back(Point2{{0.2 + 0.8 * rng.uniform(), rng.uniform()}});
+    Settings s;
+    runSpmd(1, [&](Comm& comm) {
+        const auto out = balancedKMeans<2>(comm, pts, {}, seedCenters(4, 29), s);
+        double spread = 0.0;
+        for (const double inf : out.influence) spread = std::max(spread, std::abs(inf - 1.0));
+        EXPECT_GT(spread, 0.001);  // balancing actually used influence
+        for (const double inf : out.influence) EXPECT_GT(inf, 0.0);
+    });
+}
+
+TEST(BalancedKMeans, HamerlyBoundsDoNotChangeResult) {
+    const auto pts = uniformPoints(2500, 31);
+    Settings withBounds, without;
+    withBounds.hamerlyBounds = true;
+    without.hamerlyBounds = false;
+    withBounds.sampledInitialization = without.sampledInitialization = false;
+    std::vector<std::int32_t> a, b;
+    runSpmd(1, [&](Comm& comm) {
+        a = balancedKMeans<2>(comm, pts, {}, seedCenters(6, 37), withBounds).assignment;
+    });
+    runSpmd(1, [&](Comm& comm) {
+        b = balancedKMeans<2>(comm, pts, {}, seedCenters(6, 37), without).assignment;
+    });
+    EXPECT_EQ(a, b);
+}
+
+TEST(BalancedKMeans, BboxPruningDoesNotChangeResult) {
+    const auto pts = uniformPoints(2500, 41);
+    Settings withPruning, without;
+    withPruning.boundingBoxPruning = true;
+    without.boundingBoxPruning = false;
+    withPruning.sampledInitialization = without.sampledInitialization = false;
+    std::vector<std::int32_t> a, b;
+    runSpmd(1, [&](Comm& comm) {
+        a = balancedKMeans<2>(comm, pts, {}, seedCenters(9, 43), withPruning).assignment;
+    });
+    runSpmd(1, [&](Comm& comm) {
+        b = balancedKMeans<2>(comm, pts, {}, seedCenters(9, 43), without).assignment;
+    });
+    EXPECT_EQ(a, b);
+}
+
+TEST(BalancedKMeans, BoundsSkipSubstantialWorkInLaterPhases) {
+    const auto pts = uniformPoints(6000, 47);
+    Settings s;
+    s.sampledInitialization = false;
+    runSpmd(1, [&](Comm& comm) {
+        const auto out = balancedKMeans<2>(comm, pts, {}, seedCenters(12, 53), s);
+        // The paper reports ~80% skip rate; require a healthy majority.
+        EXPECT_GT(out.counters.skipFraction(), 0.4);
+        EXPECT_GT(out.counters.boundSkips, 0u);
+        // Pruning must have saved distance calcs vs the naive k*n per sweep.
+        const auto naive = static_cast<std::uint64_t>(out.counters.balanceIterations) *
+                           static_cast<std::uint64_t>(pts.size()) * 12u;
+        EXPECT_LT(out.counters.distanceCalcs, naive);
+    });
+}
+
+TEST(BalancedKMeans, SampledInitMatchesQualityOfFullInit) {
+    const auto pts = uniformPoints(4000, 59);
+    auto sumSquares = [&](const KMeansOutcome<2>& out) {
+        double ss = 0.0;
+        for (std::size_t i = 0; i < pts.size(); ++i)
+            ss += squaredDistance(pts[i], out.centers[static_cast<std::size_t>(
+                                              out.assignment[i])]);
+        return ss;
+    };
+    Settings sampled, full;
+    sampled.sampledInitialization = true;
+    full.sampledInitialization = false;
+    double ssSampled = 0.0, ssFull = 0.0;
+    runSpmd(1, [&](Comm& comm) {
+        ssSampled = sumSquares(balancedKMeans<2>(comm, pts, {}, seedCenters(8, 61), sampled));
+    });
+    runSpmd(1, [&](Comm& comm) {
+        ssFull = sumSquares(balancedKMeans<2>(comm, pts, {}, seedCenters(8, 61), full));
+    });
+    // "Starting with only a randomly sampled subset ... does not impact the
+    // quality noticeably" — allow 25% slack.
+    EXPECT_LT(ssSampled, ssFull * 1.25);
+}
+
+TEST(BalancedKMeans, WorksIn3d) {
+    Xoshiro256 rng(67);
+    std::vector<Point3> pts;
+    for (int i = 0; i < 3000; ++i)
+        pts.push_back(Point3{{rng.uniform(), rng.uniform(), rng.uniform()}});
+    std::vector<Point3> centers;
+    for (int i = 0; i < 5; ++i)
+        centers.push_back(Point3{{rng.uniform(), rng.uniform(), rng.uniform()}});
+    Settings s;
+    runSpmd(2, [&](Comm& comm) {
+        const auto n = static_cast<std::int64_t>(pts.size());
+        const std::int64_t lo = n * comm.rank() / 2, hi = n * (comm.rank() + 1) / 2;
+        std::vector<Point3> local(pts.begin() + lo, pts.begin() + hi);
+        const auto out = balancedKMeans<3>(comm, local, {}, centers, s);
+        EXPECT_LE(out.imbalance, s.epsilon + 1e-9);
+    });
+}
+
+TEST(BalancedKMeans, SingleClusterTrivia) {
+    const auto pts = uniformPoints(100, 71);
+    Settings s;
+    runSpmd(1, [&](Comm& comm) {
+        const auto out = balancedKMeans<2>(comm, pts, {}, {Point2{{0.5, 0.5}}}, s);
+        for (const auto a : out.assignment) EXPECT_EQ(a, 0);
+        EXPECT_LE(out.imbalance, 1e-9);
+    });
+}
+
+TEST(BalancedKMeans, RejectsMismatchedWeights) {
+    const auto pts = uniformPoints(10, 73);
+    const std::vector<double> wrong(3, 1.0);
+    Settings s;
+    runSpmd(1, [&](Comm& comm) {
+        EXPECT_THROW(
+            (void)balancedKMeans<2>(comm, pts, wrong, seedCenters(2, 79), s),
+            std::invalid_argument);
+    });
+}
+
+TEST(BalancedKMeans, DeterministicAcrossRuns) {
+    const auto pts = uniformPoints(1500, 83);
+    Settings s;
+    std::vector<std::int32_t> first;
+    for (int trial = 0; trial < 2; ++trial) {
+        runSpmd(3, [&](Comm& comm) {
+            const auto n = static_cast<std::int64_t>(pts.size());
+            const std::int64_t lo = n * comm.rank() / 3, hi = n * (comm.rank() + 1) / 3;
+            std::vector<Point2> local(pts.begin() + lo, pts.begin() + hi);
+            const auto out = balancedKMeans<2>(comm, local, {}, seedCenters(4, 89), s);
+            const auto mine = comm.allgatherv(std::span<const std::int32_t>(out.assignment));
+            if (comm.isRoot()) {
+                if (trial == 0)
+                    first = mine;
+                else
+                    EXPECT_EQ(first, mine);
+            }
+        });
+    }
+}
+
+}  // namespace

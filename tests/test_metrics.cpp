@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/grid.hpp"
+#include "graph/metrics.hpp"
+
+namespace {
+
+using namespace geo::graph;
+
+/// Slab partition of an nx × ny grid into k vertical slabs.
+Partition slabs(std::int32_t nx, std::int32_t ny, std::int32_t k) {
+    Partition part(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny));
+    for (std::int32_t y = 0; y < ny; ++y)
+        for (std::int32_t x = 0; x < nx; ++x)
+            part[static_cast<std::size_t>(y) * static_cast<std::size_t>(nx) +
+                 static_cast<std::size_t>(x)] = std::min<std::int32_t>(x * k / nx, k - 1);
+    return part;
+}
+
+TEST(EdgeCut, SlabPartitionOfGridHasKnownCut) {
+    const auto mesh = geo::gen::grid2d(16, 8);
+    const auto part = slabs(16, 8, 4);
+    // 3 cut columns, each with ny=8 horizontal cut edges.
+    EXPECT_EQ(edgeCut(mesh.graph, part), 3 * 8);
+}
+
+TEST(EdgeCut, SingleBlockHasZeroCut) {
+    const auto mesh = geo::gen::grid2d(10, 10);
+    const Partition part(100, 0);
+    EXPECT_EQ(edgeCut(mesh.graph, part), 0);
+}
+
+TEST(ExternalEdges, CountPerBlock) {
+    const auto mesh = geo::gen::grid2d(8, 4);
+    const auto part = slabs(8, 4, 2);
+    const auto ext = externalEdges(mesh.graph, part, 2);
+    // One cut column of 4 edges; both blocks see 4 external edges.
+    EXPECT_EQ(ext[0], 4);
+    EXPECT_EQ(ext[1], 4);
+}
+
+TEST(CommVolume, SlabGrid) {
+    const auto mesh = geo::gen::grid2d(8, 4);
+    const auto part = slabs(8, 4, 2);
+    const auto comm = communicationVolume(mesh.graph, part, 2);
+    // Each block has 4 boundary vertices, each adjacent to exactly 1
+    // foreign block.
+    EXPECT_EQ(comm[0], 4);
+    EXPECT_EQ(comm[1], 4);
+}
+
+TEST(CommVolume, CountsDistinctForeignBlocksOnce) {
+    // Star: center adjacent to 3 leaves in 3 different blocks; center's
+    // block contributes 3, each leaf block 1.
+    GraphBuilder b(4);
+    b.addEdge(0, 1);
+    b.addEdge(0, 2);
+    b.addEdge(0, 3);
+    const auto g = b.build();
+    const Partition part{0, 1, 2, 3};
+    const auto comm = communicationVolume(g, part, 4);
+    EXPECT_EQ(comm[0], 3);
+    EXPECT_EQ(comm[1], 1);
+    EXPECT_EQ(comm[2], 1);
+    EXPECT_EQ(comm[3], 1);
+}
+
+TEST(CommVolume, MultipleNeighborsSameBlockCountOnce) {
+    // Vertex 0 adjacent to 1 and 2, both in block 1: volume of block 0 is 1.
+    GraphBuilder b(3);
+    b.addEdge(0, 1);
+    b.addEdge(0, 2);
+    const auto g = b.build();
+    const Partition part{0, 1, 1};
+    const auto comm = communicationVolume(g, part, 2);
+    EXPECT_EQ(comm[0], 1);
+    EXPECT_EQ(comm[1], 2);  // both vertices 1 and 2 see foreign block 0
+}
+
+TEST(Imbalance, PerfectBalanceIsZero) {
+    const Partition part{0, 0, 1, 1};
+    EXPECT_DOUBLE_EQ(imbalance(part, 2), 0.0);
+}
+
+TEST(Imbalance, OverloadedBlockIsPositive) {
+    const Partition part{0, 0, 0, 1};
+    EXPECT_DOUBLE_EQ(imbalance(part, 2), 0.5);  // 3 / ceil(4/2) - 1
+}
+
+TEST(Imbalance, RespectsWeights) {
+    const Partition part{0, 1};
+    const std::vector<double> w{3.0, 1.0};
+    EXPECT_DOUBLE_EQ(imbalance(part, 2, w), 0.5);  // 3 / ceil(4/2) - 1
+}
+
+TEST(Imbalance, EmptyBlockDoesNotCrash) {
+    const Partition part{0, 0};
+    EXPECT_DOUBLE_EQ(imbalance(part, 3, {}), 1.0);  // 2/ceil(2/3)-1
+}
+
+TEST(DiameterBound, PathIsExact) {
+    GraphBuilder b(10);
+    for (int i = 0; i + 1 < 10; ++i) b.addEdge(i, i + 1);
+    const auto g = b.build();
+    const std::vector<std::int32_t> mask(10, 0);
+    EXPECT_EQ(blockDiameterLowerBound(g, mask, 0), 9);
+}
+
+TEST(DiameterBound, GridDoubleSweepFindsExactDiameter) {
+    const auto mesh = geo::gen::grid2d(7, 5);
+    const std::vector<std::int32_t> mask(35, 0);
+    EXPECT_EQ(blockDiameterLowerBound(mesh.graph, mask, 0), 6 + 4);
+}
+
+TEST(DiameterBound, DisconnectedBlockIsInfinite) {
+    GraphBuilder b(4);
+    b.addEdge(0, 1);
+    b.addEdge(2, 3);
+    const auto g = b.build();
+    const std::vector<std::int32_t> mask(4, 0);
+    EXPECT_EQ(blockDiameterLowerBound(g, mask, 0), kInfiniteDiameter);
+}
+
+TEST(DiameterBound, EmptyBlockIsMinusOne) {
+    GraphBuilder b(2);
+    b.addEdge(0, 1);
+    const auto g = b.build();
+    const std::vector<std::int32_t> mask(2, 0);
+    EXPECT_EQ(blockDiameterLowerBound(g, mask, 5), -1);
+}
+
+TEST(DiameterBound, SingletonBlockIsZero) {
+    GraphBuilder b(2);
+    b.addEdge(0, 1);
+    const auto g = b.build();
+    const std::vector<std::int32_t> mask{0, 1};
+    EXPECT_EQ(blockDiameterLowerBound(g, mask, 0), 0);
+}
+
+TEST(HarmonicMean, OrdinaryValues) {
+    const std::vector<std::int32_t> d{2, 2};
+    EXPECT_DOUBLE_EQ(harmonicMeanDiameter(d), 2.0);
+    const std::vector<std::int32_t> d2{1, 3};
+    EXPECT_DOUBLE_EQ(harmonicMeanDiameter(d2), 2.0 / (1.0 + 1.0 / 3.0));
+}
+
+TEST(HarmonicMean, InfiniteDiametersContributeZero) {
+    const std::vector<std::int32_t> d{2, kInfiniteDiameter};
+    EXPECT_DOUBLE_EQ(harmonicMeanDiameter(d), 2.0 / (1.0 / 2.0));
+}
+
+TEST(HarmonicMean, EmptyBlocksSkipped) {
+    const std::vector<std::int32_t> d{-1, 4};
+    EXPECT_DOUBLE_EQ(harmonicMeanDiameter(d), 4.0);
+}
+
+TEST(BlockComponents, DetectsFragmentedBlocks) {
+    const auto mesh = geo::gen::grid2d(6, 1);  // path of 6
+    // Block 0 = {0, 1, 4, 5} (two fragments), block 1 = {2, 3}.
+    const Partition part{0, 0, 1, 1, 0, 0};
+    const auto comps = blockComponents(mesh.graph, part, 2);
+    EXPECT_EQ(comps[0], 2);
+    EXPECT_EQ(comps[1], 1);
+}
+
+TEST(Evaluate, AllMetricsOnSlabGrid) {
+    const auto mesh = geo::gen::grid2d(12, 6);
+    const auto part = slabs(12, 6, 3);
+    const auto m = evaluatePartition(mesh.graph, part, 3);
+    EXPECT_EQ(m.edgeCut, 2 * 6);
+    EXPECT_EQ(m.maxCommVolume, 12);  // middle slab has two foreign boundaries
+    EXPECT_EQ(m.totalCommVolume, 6 + 12 + 6);
+    EXPECT_DOUBLE_EQ(m.imbalance, 0.0);
+    EXPECT_EQ(m.disconnectedBlocks, 0);
+    EXPECT_EQ(m.emptyBlocks, 0);
+    // Each 4x6 slab has diameter 3+5=8.
+    EXPECT_DOUBLE_EQ(m.harmonicMeanDiameter, 8.0);
+}
+
+TEST(Evaluate, ValidationRejectsBadPartition) {
+    const auto mesh = geo::gen::grid2d(3, 3);
+    Partition part(9, 0);
+    part[4] = 7;
+    EXPECT_THROW(evaluatePartition(mesh.graph, part, 2), std::invalid_argument);
+    EXPECT_THROW(evaluatePartition(mesh.graph, Partition{0}, 1), std::invalid_argument);
+}
+
+TEST(Evaluate, EmptyBlocksAreCounted) {
+    const auto mesh = geo::gen::grid2d(4, 1);
+    const Partition part{0, 0, 2, 2};  // block 1 empty
+    const auto m = evaluatePartition(mesh.graph, part, 3);
+    EXPECT_EQ(m.emptyBlocks, 1);
+}
+
+}  // namespace

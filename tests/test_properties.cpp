@@ -1,0 +1,158 @@
+// Cross-tool property tests: invariants that must hold for EVERY
+// partitioner on EVERY mesh family, swept with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/tools.hpp"
+#include "core/balanced_kmeans.hpp"
+#include "gen/registry.hpp"
+#include "graph/metrics.hpp"
+#include "par/comm.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace geo;
+
+struct Sweep {
+    std::size_t toolIndex;
+    std::size_t familyIndex;
+    std::int32_t k;
+};
+
+class ToolMeshSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, ToolMeshSweep,
+    ::testing::Combine(::testing::Range(0, 5),      // tool
+                       ::testing::Range(0, 8),      // 2D family
+                       ::testing::Values(4, 16)));  // k
+
+TEST_P(ToolMeshSweep, PartitionIsValidBalancedAndDeterministic) {
+    const auto [toolIdx, familyIdx, k] = GetParam();
+    const auto& tool = baseline::tools2()[static_cast<std::size_t>(toolIdx)];
+    const auto& family = gen::catalog2d()[static_cast<std::size_t>(familyIdx)];
+    const auto mesh = family.make(2500, 97);
+
+    const auto a = tool.run(mesh.points, mesh.weights, k, 0.05, 2, 7);
+    // Validity: every vertex assigned, every block in range and non-empty.
+    ASSERT_EQ(a.partition.size(), mesh.points.size());
+    std::set<std::int32_t> used(a.partition.begin(), a.partition.end());
+    EXPECT_EQ(used.size(), static_cast<std::size_t>(k)) << "empty blocks";
+    EXPECT_GE(*used.begin(), 0);
+    EXPECT_LT(*used.rbegin(), k);
+    // Balance (MJ's quantile rounding can exceed slightly on weighted
+    // instances; everything stays within 12%).
+    EXPECT_LE(graph::imbalance(a.partition, k, mesh.weights), 0.12) << tool.name;
+    // Determinism.
+    const auto b = tool.run(mesh.points, mesh.weights, k, 0.05, 2, 7);
+    EXPECT_EQ(a.partition, b.partition) << tool.name;
+}
+
+TEST(KMeansInvariant, FinalAssignmentIsWeightedVoronoi) {
+    // After convergence with balance reached, every point must sit in the
+    // cluster minimizing effective distance dist/influence w.r.t. the
+    // returned centers+influence — the defining property of §4.2.
+    Xoshiro256 rng(123);
+    std::vector<Point2> pts;
+    for (int i = 0; i < 3000; ++i) pts.push_back(Point2{{rng.uniform(), rng.uniform()}});
+    std::vector<Point2> centers;
+    for (int c = 0; c < 6; ++c) centers.push_back(Point2{{rng.uniform(), rng.uniform()}});
+    core::Settings s;
+    s.epsilon = 0.1;  // generous: guarantees the balance early-return path
+    par::runSpmd(1, [&](par::Comm& comm) {
+        const auto out = core::balancedKMeans<2>(comm, pts, {}, centers, s);
+        ASSERT_LE(out.imbalance, s.epsilon);
+        for (std::size_t p = 0; p < pts.size(); ++p) {
+            const auto assigned = static_cast<std::size_t>(out.assignment[p]);
+            const double own = distance(pts[p], out.centers[assigned]) / out.influence[assigned];
+            for (std::size_t c = 0; c < out.centers.size(); ++c) {
+                const double other = distance(pts[p], out.centers[c]) / out.influence[c];
+                EXPECT_GE(other, own - 1e-12)
+                    << "point " << p << " prefers cluster " << c;
+            }
+        }
+    });
+}
+
+TEST(KMeansInvariant, CentersLieInConvexHullBox) {
+    // Cluster centers are weighted means of points, so they must stay
+    // inside the bounding box of the input.
+    Xoshiro256 rng(31);
+    std::vector<Point2> pts;
+    for (int i = 0; i < 2000; ++i)
+        pts.push_back(Point2{{rng.uniform(2.0, 3.0), rng.uniform(-1.0, 0.0)}});
+    std::vector<Point2> centers;
+    for (int c = 0; c < 5; ++c)
+        centers.push_back(Point2{{rng.uniform(2.0, 3.0), rng.uniform(-1.0, 0.0)}});
+    core::Settings s;
+    par::runSpmd(1, [&](par::Comm& comm) {
+        const auto out = core::balancedKMeans<2>(comm, pts, {}, centers, s);
+        for (const auto& c : out.centers) {
+            EXPECT_GE(c[0], 2.0 - 1e-12);
+            EXPECT_LE(c[0], 3.0 + 1e-12);
+            EXPECT_GE(c[1], -1.0 - 1e-12);
+            EXPECT_LE(c[1], 0.0 + 1e-12);
+        }
+        for (const double inf : out.influence) EXPECT_GT(inf, 0.0);
+    });
+}
+
+TEST(KMeansInvariant, ObjectiveNotWorseThanInitialAssignment) {
+    // Balanced k-means trades SSE for balance, but must still end far
+    // below the cost of the *initial* center configuration.
+    Xoshiro256 rng(37);
+    std::vector<Point2> pts;
+    for (int i = 0; i < 4000; ++i) pts.push_back(Point2{{rng.uniform(), rng.uniform()}});
+    // Adversarial initial centers: all in one corner.
+    std::vector<Point2> centers;
+    for (int c = 0; c < 8; ++c)
+        centers.push_back(Point2{{0.01 * rng.uniform(), 0.01 * rng.uniform()}});
+    auto sseOf = [&](const std::vector<Point2>& cs,
+                     const std::vector<std::int32_t>& assign) {
+        double s = 0.0;
+        for (std::size_t i = 0; i < pts.size(); ++i)
+            s += squaredDistance(pts[i], cs[static_cast<std::size_t>(assign[i])]);
+        return s;
+    };
+    // Initial: nearest-center assignment to the corner centers.
+    std::vector<std::int32_t> initAssign(pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        double best = 1e300;
+        for (std::size_t c = 0; c < centers.size(); ++c) {
+            const double d = squaredDistance(pts[i], centers[c]);
+            if (d < best) {
+                best = d;
+                initAssign[i] = static_cast<std::int32_t>(c);
+            }
+        }
+    }
+    core::Settings s;
+    par::runSpmd(1, [&](par::Comm& comm) {
+        const auto out = core::balancedKMeans<2>(comm, pts, {}, centers, s);
+        EXPECT_LT(sseOf(out.centers, out.assignment), 0.5 * sseOf(centers, initAssign));
+    });
+}
+
+TEST(MeshFamilies, AreDeterministicPerSeedAndDifferAcrossSeeds) {
+    for (const auto& spec : gen::catalog2d()) {
+        const auto a = spec.make(600, 5);
+        const auto b = spec.make(600, 5);
+        const auto c = spec.make(600, 6);
+        EXPECT_EQ(a.points, b.points) << spec.name;
+        EXPECT_NE(a.points, c.points) << spec.name;
+    }
+}
+
+TEST(MeshFamilies, EveryFamilyIsPartitionableEndToEnd) {
+    for (const auto& spec : gen::catalog3d()) {
+        const auto mesh = spec.make(1500, 3);
+        const auto res =
+            baseline::tools3().front().run(mesh.points, mesh.weights, 5, 0.05, 2, 1);
+        EXPECT_LE(graph::imbalance(res.partition, 5, mesh.weights), 0.05 + 1e-9)
+            << spec.name;
+    }
+}
+
+}  // namespace

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "baseline/hsfc.hpp"
+#include "gen/delaunay2d.hpp"
+#include "gen/grid.hpp"
+#include "graph/metrics.hpp"
+#include "refine/fm.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace geo;
+using geo::refine::fmRefine;
+using geo::refine::FmSettings;
+
+graph::Partition slabs(std::int32_t nx, std::int32_t ny, std::int32_t k) {
+    graph::Partition part(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny));
+    for (std::int32_t y = 0; y < ny; ++y)
+        for (std::int32_t x = 0; x < nx; ++x)
+            part[static_cast<std::size_t>(y) * static_cast<std::size_t>(nx) +
+                 static_cast<std::size_t>(x)] = std::min<std::int32_t>(x * k / nx, k - 1);
+    return part;
+}
+
+TEST(FmRefine, NoOpOnOptimalSlabPartition) {
+    const auto mesh = gen::grid2d(16, 8);
+    auto part = slabs(16, 8, 2);
+    const auto res = fmRefine(mesh.graph, part, 2);
+    EXPECT_EQ(res.cutBefore, res.cutAfter);
+    EXPECT_EQ(res.movedVertices, 0);
+    EXPECT_EQ(part, slabs(16, 8, 2));
+}
+
+TEST(FmRefine, RepairsPerturbedPartition) {
+    const auto mesh = gen::grid2d(20, 10);
+    auto part = slabs(20, 10, 2);
+    // Perturb: flip a strip of vertices near the cut into the wrong block.
+    Xoshiro256 rng(5);
+    for (int i = 0; i < 20; ++i) {
+        const auto v = static_cast<std::size_t>(rng.below(part.size()));
+        part[v] = 1 - part[v];
+    }
+    const auto cutPerturbed = graph::edgeCut(mesh.graph, part);
+    FmSettings s;
+    s.epsilon = 0.1;
+    const auto res = fmRefine(mesh.graph, part, 2, {}, s);
+    EXPECT_EQ(res.cutBefore, cutPerturbed);
+    EXPECT_LT(res.cutAfter, cutPerturbed);
+    EXPECT_GT(res.movedVertices, 0);
+    // Balance must be preserved.
+    EXPECT_LE(graph::imbalance(part, 2), 0.1 + 1e-9);
+}
+
+TEST(FmRefine, NeverWorsensCutAcrossManyInstances) {
+    for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+        const auto mesh = gen::delaunay2d(3000, seed);
+        auto part = baseline::hsfc<2>(mesh.points, {}, 8);
+        const auto before = graph::edgeCut(mesh.graph, part);
+        const auto res = fmRefine(mesh.graph, part, 8);
+        EXPECT_LE(res.cutAfter, before);
+        EXPECT_EQ(res.cutAfter, graph::edgeCut(mesh.graph, part));
+        EXPECT_NO_THROW(graph::validatePartition(mesh.graph, part, 8));
+    }
+}
+
+TEST(FmRefine, ImprovesSfcPartitionsSubstantially) {
+    // HSFC's wrinkled boundaries leave plenty of positive-gain moves.
+    const auto mesh = gen::delaunay2d(5000, 7);
+    auto part = baseline::hsfc<2>(mesh.points, {}, 8);
+    const auto res = fmRefine(mesh.graph, part, 8);
+    EXPECT_LT(static_cast<double>(res.cutAfter), 0.95 * static_cast<double>(res.cutBefore));
+}
+
+TEST(FmRefine, RespectsBalanceConstraintUnderWeights) {
+    const auto mesh = gen::grid2d(12, 12);
+    std::vector<double> w(144, 1.0);
+    for (std::size_t i = 0; i < 72; ++i) w[i] = 3.0;  // heavy bottom half
+    auto part = slabs(12, 12, 3);
+    FmSettings s;
+    s.epsilon = 0.25;
+    (void)fmRefine(mesh.graph, part, 3, w, s);
+    double total = 0.0;
+    std::vector<double> blockW(3, 0.0);
+    for (std::size_t v = 0; v < part.size(); ++v) {
+        blockW[static_cast<std::size_t>(part[v])] += w[v];
+        total += w[v];
+    }
+    const double cap = (1.0 + s.epsilon) * std::ceil(total / 3.0);
+    for (const double bw : blockW) EXPECT_LE(bw, cap + 3.0);  // +max single weight
+}
+
+TEST(FmRefine, RejectsBadInput) {
+    const auto mesh = gen::grid2d(4, 4);
+    graph::Partition bad(16, 0);
+    bad[0] = 7;
+    EXPECT_THROW((void)fmRefine(mesh.graph, bad, 2), std::invalid_argument);
+    graph::Partition ok(16, 0);
+    FmSettings s;
+    s.maxPasses = 0;
+    EXPECT_THROW((void)fmRefine(mesh.graph, ok, 1, {}, s), std::invalid_argument);
+}
+
+}  // namespace

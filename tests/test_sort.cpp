@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "par/comm.hpp"
+#include "par/sort.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using geo::par::Comm;
+using geo::par::KeyedRecord;
+using geo::par::runSpmd;
+
+using Rec = KeyedRecord<std::uint64_t, int>;
+
+/// Gather per-rank vectors into one global vector ordered by rank.
+template <typename T>
+std::vector<T> gatherAll(Comm& comm, const std::vector<T>& local) {
+    return comm.allgatherv(std::span<const T>(local));
+}
+
+class SortParam : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SortParam,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 7),
+                                            ::testing::Values(0, 1, 100, 1777)));
+
+TEST_P(SortParam, ProducesGloballySortedPermutation) {
+    const auto [p, perRank] = GetParam();
+    runSpmd(p, [&](Comm& comm) {
+        geo::Xoshiro256 rng(900 + static_cast<std::uint64_t>(comm.rank()));
+        std::vector<Rec> local;
+        for (int i = 0; i < perRank; ++i)
+            local.push_back(Rec{rng(), comm.rank() * perRank + i});
+
+        // Record the global multiset of inputs.
+        auto inputAll = gatherAll(comm, local);
+
+        auto sorted = geo::par::sampleSort(comm, local);
+        EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+
+        auto outputAll = gatherAll(comm, sorted);
+        EXPECT_TRUE(std::is_sorted(outputAll.begin(), outputAll.end()));
+
+        // Same multiset: sort both and compare keys+values.
+        auto keyval = [](const Rec& r) { return std::pair(r.key, r.value); };
+        std::sort(inputAll.begin(), inputAll.end(),
+                  [&](const Rec& a, const Rec& b) { return keyval(a) < keyval(b); });
+        std::sort(outputAll.begin(), outputAll.end(),
+                  [&](const Rec& a, const Rec& b) { return keyval(a) < keyval(b); });
+        ASSERT_EQ(inputAll.size(), outputAll.size());
+        for (std::size_t i = 0; i < inputAll.size(); ++i) {
+            EXPECT_EQ(inputAll[i].key, outputAll[i].key);
+            EXPECT_EQ(inputAll[i].value, outputAll[i].value);
+        }
+    });
+}
+
+TEST(SampleSort, HandlesSkewedInput) {
+    // All heavy keys on one rank; sort must still balance reasonably.
+    const int p = 4, perRank = 2000;
+    runSpmd(p, [&](Comm& comm) {
+        geo::Xoshiro256 rng(1000 + static_cast<std::uint64_t>(comm.rank()));
+        std::vector<Rec> local;
+        for (int i = 0; i < perRank; ++i) {
+            // Rank 0 holds only small keys, others only large ones.
+            const std::uint64_t key =
+                comm.rank() == 0 ? rng.below(1000) : 1000000 + rng.below(1000000);
+            local.push_back(Rec{key, i});
+        }
+        auto sorted = geo::par::sampleSort(comm, local);
+        EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+        const auto total = comm.allreduceSum(static_cast<std::uint64_t>(sorted.size()));
+        EXPECT_EQ(total, static_cast<std::uint64_t>(p * perRank));
+        // No rank should hold everything (splitters must spread the data).
+        EXPECT_LT(sorted.size(), static_cast<std::size_t>(p * perRank));
+    });
+}
+
+TEST(SampleSort, AllEqualKeysDoNotCrash) {
+    runSpmd(4, [&](Comm& comm) {
+        std::vector<Rec> local(500, Rec{42, comm.rank()});
+        auto sorted = geo::par::sampleSort(comm, local);
+        const auto total = comm.allreduceSum(static_cast<std::uint64_t>(sorted.size()));
+        EXPECT_EQ(total, 2000u);
+        for (const auto& r : sorted) EXPECT_EQ(r.key, 42u);
+    });
+}
+
+TEST(RebalanceSorted, EqualizesCounts) {
+    const int p = 4;
+    runSpmd(p, [&](Comm& comm) {
+        // Wildly unequal sorted runs: rank r holds 100*(r+1)^2 records with
+        // keys in its own disjoint range (already globally sorted).
+        const int mine = 100 * (comm.rank() + 1) * (comm.rank() + 1);
+        std::vector<Rec> local;
+        for (int i = 0; i < mine; ++i)
+            local.push_back(Rec{static_cast<std::uint64_t>(comm.rank()) * 1000000 +
+                                    static_cast<std::uint64_t>(i),
+                                comm.rank()});
+        auto balanced = geo::par::rebalanceSorted(comm, local);
+        const auto total = comm.allreduceSum(static_cast<std::uint64_t>(balanced.size()));
+        const auto maxSize = comm.allreduceMax(static_cast<std::uint64_t>(balanced.size()));
+        const auto minSize = comm.allreduceMin(static_cast<std::uint64_t>(balanced.size()));
+        EXPECT_EQ(total, 100u * (1 + 4 + 9 + 16));
+        EXPECT_LE(maxSize - minSize, 1u);
+        // Global order is preserved.
+        auto all = gatherAll(comm, balanced);
+        EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+    });
+}
+
+TEST(Redistribute, SendsToExplicitDestinations) {
+    const int p = 3;
+    runSpmd(p, [&](Comm& comm) {
+        // Every rank sends value v to rank v%p.
+        std::vector<int> values{0, 1, 2, 3, 4, 5};
+        std::vector<int> dest;
+        for (int v : values) dest.push_back(v % p);
+        auto received = geo::par::redistribute(comm, std::span<const int>(values),
+                                               std::span<const int>(dest));
+        // Each rank receives, from each of p ranks, the two values congruent
+        // to its rank mod p.
+        EXPECT_EQ(received.size(), 2u * p);
+        for (int v : received) EXPECT_EQ(v % p, comm.rank());
+    });
+}
+
+TEST(Redistribute, RejectsInvalidRank) {
+    runSpmd(2, [&](Comm& comm) {
+        std::vector<int> values{1};
+        std::vector<int> dest{5};
+        EXPECT_THROW((void)geo::par::redistribute(comm, std::span<const int>(values),
+                                                  std::span<const int>(dest)),
+                     std::invalid_argument);
+    });
+}
+
+}  // namespace

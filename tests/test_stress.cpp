@@ -1,0 +1,180 @@
+// Stress and fuzz tests: randomized collective sequences, adversarial sort
+// inputs, near-degenerate Delaunay configurations, and cross-validation of
+// the metric implementations against brute-force recomputation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "gen/delaunay2d.hpp"
+#include "gen/delaunay3d.hpp"
+#include "graph/metrics.hpp"
+#include "par/comm.hpp"
+#include "par/sort.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace geo;
+using geo::par::Comm;
+using geo::par::runSpmd;
+
+TEST(CommStress, RandomizedCollectiveSequencesStayConsistent) {
+    // All ranks execute the same randomized schedule of collectives; the
+    // replicated results must agree bit-for-bit at every step.
+    for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+        runSpmd(5, [&](Comm& comm) {
+            Xoshiro256 schedule(seed);  // same stream on every rank
+            Xoshiro256 localRng(1000 * seed + static_cast<std::uint64_t>(comm.rank()));
+            double replicated = 0.0;
+            for (int step = 0; step < 40; ++step) {
+                const auto op = schedule.below(4);
+                const double mine = localRng.uniform();
+                double value = 0.0;
+                switch (op) {
+                    case 0: value = comm.allreduceSum(mine); break;
+                    case 1: value = comm.allreduceMax(mine); break;
+                    case 2: value = comm.allreduceMin(mine); break;
+                    case 3: {
+                        const auto all = comm.allgather(mine);
+                        value = all[static_cast<std::size_t>(step) % all.size()];
+                        break;
+                    }
+                }
+                replicated += value;
+                // Every rank must hold the identical running value.
+                EXPECT_EQ(comm.allreduceMax(replicated), comm.allreduceMin(replicated));
+            }
+        });
+    }
+}
+
+TEST(CommStress, LargePayloadAllreduce) {
+    runSpmd(3, [&](Comm& comm) {
+        std::vector<double> big(100000, static_cast<double>(comm.rank() + 1));
+        comm.allreduceSum(std::span<double>(big));
+        for (const double v : big) EXPECT_DOUBLE_EQ(v, 6.0);
+    });
+}
+
+TEST(SortStress, AdversarialInputs) {
+    using Rec = par::KeyedRecord<std::uint64_t, std::int32_t>;
+    struct Case {
+        const char* name;
+        std::function<std::uint64_t(int rank, int i, Xoshiro256&)> key;
+    };
+    const Case cases[] = {
+        {"presorted", [](int r, int i, Xoshiro256&) {
+             return static_cast<std::uint64_t>(r) * 100000 + static_cast<std::uint64_t>(i);
+         }},
+        {"reversed", [](int r, int i, Xoshiro256&) {
+             return 1000000000ULL - static_cast<std::uint64_t>(r) * 100000 -
+                    static_cast<std::uint64_t>(i);
+         }},
+        {"few-distinct", [](int, int, Xoshiro256& rng) { return rng.below(3); }},
+        {"one-hot", [](int r, int i, Xoshiro256&) {
+             return (r == 2 && i < 10) ? 0ULL : 777ULL;
+         }},
+    };
+    for (const auto& c : cases) {
+        runSpmd(4, [&](Comm& comm) {
+            Xoshiro256 rng(50 + static_cast<std::uint64_t>(comm.rank()));
+            std::vector<Rec> local;
+            for (int i = 0; i < 500; ++i)
+                local.push_back(Rec{c.key(comm.rank(), i, rng), comm.rank() * 500 + i});
+            auto sorted = par::sampleSort(comm, local);
+            EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end())) << c.name;
+            const auto total = comm.allreduceSum(static_cast<std::uint64_t>(sorted.size()));
+            EXPECT_EQ(total, 2000u) << c.name;
+            // Global sortedness across rank boundaries.
+            const auto all = comm.allgatherv(std::span<const Rec>(sorted));
+            EXPECT_TRUE(std::is_sorted(all.begin(), all.end())) << c.name;
+        });
+    }
+}
+
+TEST(DelaunayFuzz, JitteredGridsAndClustersStayValid) {
+    // Near-degenerate configurations: jittered lattices (almost cocircular
+    // quads) and tight clusters with far outliers.
+    for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+        Xoshiro256 rng(seed);
+        std::vector<Point2> pts;
+        const int g = 18;
+        for (int i = 0; i < g; ++i)
+            for (int j = 0; j < g; ++j)
+                pts.push_back(Point2{{i + 1e-7 * rng.uniform(-1, 1),
+                                      j + 1e-7 * rng.uniform(-1, 1)}});
+        for (int c = 0; c < 30; ++c)
+            pts.push_back(Point2{{1e3 + rng.uniform(), 1e3 + rng.uniform()}});
+        const auto graph = gen::delaunayTriangulate2d(pts);
+        EXPECT_NO_THROW(graph.validate()) << "seed " << seed;
+        EXPECT_EQ(graph::connectedComponents(graph).count, 1) << "seed " << seed;
+    }
+}
+
+TEST(DelaunayFuzz, AnisotropicCloud3d) {
+    // Extremely stretched 3D clouds stress the circumsphere predicate.
+    Xoshiro256 rng(9);
+    std::vector<Point3> pts;
+    for (int i = 0; i < 500; ++i)
+        pts.push_back(Point3{{1000.0 * rng.uniform(), rng.uniform(), 0.001 * rng.uniform()}});
+    const auto graph = gen::delaunayTriangulate3d(pts);
+    EXPECT_NO_THROW(graph.validate());
+    EXPECT_EQ(graph::connectedComponents(graph).count, 1);
+}
+
+TEST(MetricsCrossCheck, CutAndVolumeAgainstBruteForce) {
+    // Random partitions on a random mesh: edgeCut and communicationVolume
+    // must match a naive recomputation.
+    const auto mesh = gen::delaunay2d(800, 77);
+    Xoshiro256 rng(78);
+    for (int trial = 0; trial < 5; ++trial) {
+        const std::int32_t k = 2 + static_cast<std::int32_t>(rng.below(6));
+        graph::Partition part(mesh.points.size());
+        for (auto& b : part) b = static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(k)));
+
+        std::vector<std::int64_t> volBrute(static_cast<std::size_t>(k), 0);
+        for (graph::Vertex v = 0; v < mesh.graph.numVertices(); ++v) {
+            std::set<std::int32_t> foreign;
+            for (const auto u : mesh.graph.neighbors(v)) {
+                if (part[static_cast<std::size_t>(u)] != part[static_cast<std::size_t>(v)])
+                    foreign.insert(part[static_cast<std::size_t>(u)]);
+            }
+            volBrute[static_cast<std::size_t>(part[static_cast<std::size_t>(v)])] +=
+                static_cast<std::int64_t>(foreign.size());
+        }
+        // Count cut edges once per unordered pair.
+        std::int64_t cutPairs = 0;
+        for (graph::Vertex v = 0; v < mesh.graph.numVertices(); ++v)
+            for (const auto u : mesh.graph.neighbors(v))
+                if (u > v &&
+                    part[static_cast<std::size_t>(u)] != part[static_cast<std::size_t>(v)])
+                    ++cutPairs;
+        EXPECT_EQ(graph::edgeCut(mesh.graph, part), cutPairs);
+        EXPECT_EQ(graph::communicationVolume(mesh.graph, part, k), volBrute);
+    }
+}
+
+TEST(MetricsCrossCheck, DiameterBoundNeverExceedsTrueDiameter) {
+    // On small blocks, compare the iFUB lower bound against an exact
+    // all-pairs BFS diameter.
+    const auto mesh = gen::delaunay2d(300, 81);
+    graph::Partition part(mesh.points.size());
+    for (std::size_t i = 0; i < part.size(); ++i)
+        part[i] = mesh.points[i][0] < 0.5 ? 0 : 1;
+    for (std::int32_t b = 0; b < 2; ++b) {
+        const auto bound = graph::blockDiameterLowerBound(mesh.graph, part, b);
+        if (bound == graph::kInfiniteDiameter) continue;
+        std::int32_t exact = 0;
+        for (graph::Vertex v = 0; v < mesh.graph.numVertices(); ++v) {
+            if (part[static_cast<std::size_t>(v)] != b) continue;
+            const auto r = graph::bfs(mesh.graph, v, part, b);
+            exact = std::max(exact, r.eccentricity);
+        }
+        EXPECT_LE(bound, exact);
+        EXPECT_GE(2 * bound, exact);  // double sweep is a 2-approximation
+    }
+}
+
+}  // namespace

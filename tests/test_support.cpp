@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using geo::SplitMix64;
+using geo::Xoshiro256;
+
+TEST(Rng, SplitMixIsDeterministic) {
+    SplitMix64 a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, XoshiroIsDeterministicPerSeed) {
+    Xoshiro256 a(7), b(7), c(8);
+    bool anyDiff = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a(), vb = b(), vc = c();
+        EXPECT_EQ(va, vb);
+        anyDiff |= (va != vc);
+    }
+    EXPECT_TRUE(anyDiff);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Xoshiro256 rng(1);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    Xoshiro256 rng(2);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, BelowStaysInRange) {
+    Xoshiro256 rng(3);
+    for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+    Xoshiro256 rng(4);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) seen.insert(rng.below(5));
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+    Xoshiro256 base(9);
+    auto s1 = base.split(1);
+    auto s2 = base.split(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += (s1() == s2());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+    Xoshiro256 rng(5);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Assert, RequireThrowsInvalidArgument) {
+    EXPECT_THROW(GEO_REQUIRE(false, "boom"), std::invalid_argument);
+    EXPECT_NO_THROW(GEO_REQUIRE(true, ""));
+}
+
+TEST(Assert, CheckThrowsLogicError) {
+    EXPECT_THROW(GEO_CHECK(1 == 2, "bad"), std::logic_error);
+    EXPECT_NO_THROW(GEO_CHECK(1 == 1, ""));
+}
+
+TEST(Assert, MessageIsIncluded) {
+    try {
+        GEO_REQUIRE(false, "the-detail");
+        FAIL() << "should have thrown";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("the-detail"), std::string::npos);
+    }
+}
+
+TEST(Timer, MeasuresNonNegativeTime) {
+    geo::Timer t;
+    double sink = 0.0;
+    for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+    EXPECT_GT(sink, 0.0);
+    EXPECT_GE(t.seconds(), 0.0);
+}
+
+TEST(PhaseTimer, AccumulatesNamedPhases) {
+    geo::PhaseTimer pt;
+    pt.add("a", 1.0);
+    pt.add("a", 0.5);
+    pt.add("b", 2.0);
+    EXPECT_DOUBLE_EQ(pt.get("a"), 1.5);
+    EXPECT_DOUBLE_EQ(pt.get("b"), 2.0);
+    EXPECT_DOUBLE_EQ(pt.get("missing"), 0.0);
+    EXPECT_DOUBLE_EQ(pt.total(), 3.5);
+}
+
+TEST(PhaseTimer, ScopeAddsOnDestruction) {
+    geo::PhaseTimer pt;
+    { auto s = pt.scope("x"); }
+    EXPECT_GE(pt.get("x"), 0.0);
+    EXPECT_EQ(pt.phases().count("x"), 1u);
+}
+
+TEST(Table, PrintsHeaderAndRows) {
+    geo::Table t({"graph", "tool", "cut"});
+    t.addRow({"mesh1", "geographer", "123"});
+    t.addRow({"mesh1", "rcb", "456"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("graph"), std::string::npos);
+    EXPECT_NE(s.find("geographer"), std::string::npos);
+    EXPECT_NE(s.find("456"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsWrongArity) {
+    geo::Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatsCompactly) {
+    EXPECT_EQ(geo::Table::num(1.5), "1.5");
+    EXPECT_EQ(geo::Table::num(2.0), "2");
+}
+
+}  // namespace
