@@ -52,7 +52,16 @@ public:
                     settings_.targetFractions[static_cast<std::size_t>(c)] / sum;
         }
         const std::size_t n = points_.size();
-        influence_.assign(static_cast<std::size_t>(k_), 1.0);
+        if (settings_.initialInfluence.empty()) {
+            influence_.assign(static_cast<std::size_t>(k_), 1.0);
+        } else {
+            // Warm start: resume from the influence state of a previous run.
+            GEO_REQUIRE(static_cast<std::int32_t>(settings_.initialInfluence.size()) == k_,
+                        "need one initial influence value per block");
+            for (const double inf : settings_.initialInfluence)
+                GEO_REQUIRE(inf > 0.0, "initial influence values must be positive");
+            influence_ = settings_.initialInfluence;
+        }
         assignment_.assign(n, -1);
         ub_.assign(n, kInf);
         lb_.assign(n, 0.0);
@@ -84,8 +93,7 @@ public:
             globalBox_.lo[i] = lohi[static_cast<std::size_t>(i)];
             globalBox_.hi[i] = -lohi[static_cast<std::size_t>(D + i)];
         }
-        clusterScale_ = globalBox_.diagonal() /
-                        std::pow(static_cast<double>(k_), 1.0 / static_cast<double>(D));
+        clusterScale_ = expectedClusterRadius(globalBox_.diagonal(), k_, D);
         deltaThreshold_ = settings_.deltaThresholdFactor * clusterScale_;
     }
 

@@ -21,6 +21,7 @@
 // DESIGN.md "Key design decisions".
 #pragma once
 
+#include <cmath>
 #include <span>
 #include <vector>
 
@@ -29,6 +30,15 @@
 #include "par/comm.hpp"
 
 namespace geo::core {
+
+/// Expected cluster radius `bbox diagonal / k^(1/d)` — the shared length
+/// scale of the convergence test (Settings::deltaThresholdFactor) and the
+/// repartitioning drift probe (RepartOptions::driftThresholdFactor).
+[[nodiscard]] inline double expectedClusterRadius(double bboxDiagonal, std::int32_t k,
+                                                  int dim) noexcept {
+    return bboxDiagonal /
+           std::pow(static_cast<double>(k), 1.0 / static_cast<double>(dim));
+}
 
 template <int D>
 struct KMeansOutcome {

@@ -41,8 +41,7 @@ void spmdBody(par::Comm& comm, std::span<const Point<D>> points,
     const double commStart = comm.stats().modeledCommSeconds;
 
     // Block distribution of the input, as if each rank had read its slice.
-    const std::int64_t lo = n * r / p;
-    const std::int64_t hi = n * (r + 1) / p;
+    const auto [lo, hi] = par::blockRange(n, r, p);
 
     PhaseTimer phases;
 
@@ -134,29 +133,17 @@ void spmdBody(par::Comm& comm, std::span<const Point<D>> points,
         mine.push_back(GidBlock{records[i].value.gid, outcome.assignment[i]});
     const auto all = comm.allgatherv(std::span<const GidBlock>(mine));
 
-    // Reduce diagnostics: max phase time, summed counters.
+    // Reduce diagnostics: max phase time, summed counters + k-means state.
     std::array<double, 3> phaseMax{phases.get("hilbert"), phases.get("redistribute"),
                                    phases.get("kmeans")};
     comm.allreduceMax(std::span<double>(phaseMax.data(), phaseMax.size()));
-    std::array<std::uint64_t, 5> counterSum{
-        outcome.counters.pointEvaluations, outcome.counters.boundSkips,
-        outcome.counters.distanceCalcs, outcome.counters.bboxBreaks,
-        outcome.counters.balanceIterations};
-    comm.allreduceSum(std::span<std::uint64_t>(counterSum.data(), counterSum.size()));
+    detail::storeKMeansDiagnostics<D>(comm, outcome, result, resultMutex);
 
     if (comm.isRoot()) {
         const std::lock_guard<std::mutex> lock(resultMutex);
         result.partition.assign(static_cast<std::size_t>(n), -1);
         for (const auto& gb : all)
             result.partition[static_cast<std::size_t>(gb.gid)] = gb.block;
-        result.imbalance = outcome.imbalance;
-        result.converged = outcome.converged;
-        result.counters.pointEvaluations = counterSum[0];
-        result.counters.boundSkips = counterSum[1];
-        result.counters.distanceCalcs = counterSum[2];
-        result.counters.bboxBreaks = counterSum[3];
-        result.counters.balanceIterations = counterSum[4];
-        result.counters.outerIterations = outcome.counters.outerIterations;
         result.phaseSeconds["hilbert"] = phaseMax[0];
         result.phaseSeconds["redistribute"] = phaseMax[1];
         result.phaseSeconds["kmeans"] = phaseMax[2];
@@ -165,6 +152,43 @@ void spmdBody(par::Comm& comm, std::span<const Point<D>> points,
 }
 
 }  // namespace
+
+namespace detail {
+
+template <int D>
+void storeKMeansDiagnostics(par::Comm& comm, const KMeansOutcome<D>& outcome,
+                            GeographerResult& result, std::mutex& resultMutex) {
+    std::array<std::uint64_t, 5> counterSum{
+        outcome.counters.pointEvaluations, outcome.counters.boundSkips,
+        outcome.counters.distanceCalcs, outcome.counters.bboxBreaks,
+        outcome.counters.balanceIterations};
+    comm.allreduceSum(std::span<std::uint64_t>(counterSum.data(), counterSum.size()));
+
+    if (!comm.isRoot()) return;
+    const std::lock_guard<std::mutex> lock(resultMutex);
+    result.imbalance = outcome.imbalance;
+    result.converged = outcome.converged;
+    result.counters.pointEvaluations = counterSum[0];
+    result.counters.boundSkips = counterSum[1];
+    result.counters.distanceCalcs = counterSum[2];
+    result.counters.bboxBreaks = counterSum[3];
+    result.counters.balanceIterations = counterSum[4];
+    result.counters.outerIterations = outcome.counters.outerIterations;
+    const auto k = outcome.centers.size();
+    result.centerCoords.resize(k * D);
+    for (std::size_t c = 0; c < k; ++c)
+        for (int d = 0; d < D; ++d)
+            result.centerCoords[c * D + static_cast<std::size_t>(d)] =
+                outcome.centers[c][d];
+    result.influence = outcome.influence;
+}
+
+template void storeKMeansDiagnostics<2>(par::Comm&, const KMeansOutcome<2>&,
+                                        GeographerResult&, std::mutex&);
+template void storeKMeansDiagnostics<3>(par::Comm&, const KMeansOutcome<3>&,
+                                        GeographerResult&, std::mutex&);
+
+}  // namespace detail
 
 template <int D>
 GeographerResult partitionGeographer(std::span<const Point<D>> points,

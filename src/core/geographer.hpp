@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "core/balanced_kmeans.hpp"
@@ -38,6 +39,12 @@ struct GeographerResult {
     /// CPU + modeled comm up to the end of k-means, excluding the
     /// diagnostic gather) — the number comparable to the paper's timings.
     double modeledSeconds = 0.0;
+    /// Final replicated k-means centers, flattened row-major (k × D) so the
+    /// result type stays dimension-agnostic. Together with `influence` this
+    /// is the warm-start state consumed by repart::repartitionGeographer.
+    std::vector<double> centerCoords;
+    /// Final replicated influence values (one per block).
+    std::vector<double> influence;
 };
 
 /// Partition `points` into k blocks with `ranks` simulated MPI processes.
@@ -54,5 +61,23 @@ extern template GeographerResult partitionGeographer<2>(std::span<const Point2>,
 extern template GeographerResult partitionGeographer<3>(std::span<const Point3>,
                                                         std::span<const double>, std::int32_t,
                                                         int, const Settings&, par::CostModel);
+
+namespace detail {
+
+/// Reduce a rank-local k-means outcome into `result` (root only, guarded by
+/// `resultMutex`): summed loop counters, imbalance, convergence flag, and
+/// the flattened warm-start state (row-major centers, influence).
+/// Collective — every rank must enter it at the same point. Shared by the
+/// cold pipeline here and the warm path in src/repart.
+template <int D>
+void storeKMeansDiagnostics(par::Comm& comm, const KMeansOutcome<D>& outcome,
+                            GeographerResult& result, std::mutex& resultMutex);
+
+extern template void storeKMeansDiagnostics<2>(par::Comm&, const KMeansOutcome<2>&,
+                                               GeographerResult&, std::mutex&);
+extern template void storeKMeansDiagnostics<3>(par::Comm&, const KMeansOutcome<3>&,
+                                               GeographerResult&, std::mutex&);
+
+}  // namespace detail
 
 }  // namespace geo::core

@@ -57,6 +57,13 @@ struct Settings {
     /// RNG seed for the sampling permutation.
     std::uint64_t seed = 1;
 
+    /// Warm-start influence values paired with the initial centers (one per
+    /// block, all positive), e.g. carried over from the previous timestep by
+    /// the repartitioning subsystem (src/repart). Empty = all ones (cold
+    /// start). Must be replicated identically on every rank, like the
+    /// centers.
+    std::vector<double> initialInfluence;
+
     /// Optional non-uniform block size targets (paper footnote 1:
     /// "when partitioning for heterogeneous architectures, this can easily
     /// be adapted"). Empty = uniform; otherwise one positive fraction per

@@ -77,6 +77,21 @@ double imbalance(const Partition& part, std::int32_t k, std::span<const double> 
     return heaviest / target - 1.0;
 }
 
+double partitionChange(const Partition& before, const Partition& after,
+                       std::span<const double> weights) {
+    GEO_REQUIRE(before.size() == after.size(),
+                "partitions must cover the same vertex set");
+    GEO_REQUIRE(weights.empty() || weights.size() == before.size(),
+                "weights must be empty or match vertices");
+    double total = 0.0, changed = 0.0;
+    for (std::size_t v = 0; v < before.size(); ++v) {
+        const double w = weights.empty() ? 1.0 : weights[v];
+        total += w;
+        if (before[v] != after[v]) changed += w;
+    }
+    return total > 0.0 ? changed / total : 0.0;
+}
+
 std::int32_t blockDiameterLowerBound(const CsrGraph& g, std::span<const std::int32_t> mask,
                                      std::int32_t value, int sweeps) {
     // Find any vertex of the block.

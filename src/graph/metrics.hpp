@@ -53,6 +53,14 @@ std::vector<std::int64_t> communicationVolume(const CsrGraph& g, const Partition
 double imbalance(const Partition& part, std::int32_t k,
                  std::span<const double> weights = {});
 
+/// Weighted fraction of vertices whose block differs between two partitions
+/// of the same vertex set — the partition-stability metric.
+/// repart::migrationStats applies the same definition to the survivor set
+/// of two consecutive timesteps. Empty weights = unit weights. Returns 0
+/// for an empty vertex set.
+double partitionChange(const Partition& before, const Partition& after,
+                       std::span<const double> weights = {});
+
 /// iFUB-style diameter lower bound for the subgraph induced by mask==value;
 /// `sweeps` double-sweep rounds (paper uses 3). Returns −1 for an empty
 /// block and max int32 when disconnected (infinite diameter).

@@ -29,6 +29,18 @@
 
 namespace geo::par {
 
+/// Contiguous balanced block distribution of n items over p ranks: rank r
+/// owns [n·r/p, n·(r+1)/p). The single source of truth for how inputs are
+/// sliced onto ranks; repart::ownerRank is its exact inverse.
+struct BlockRange {
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+};
+[[nodiscard]] constexpr BlockRange blockRange(std::int64_t n, int rank,
+                                              int size) noexcept {
+    return {n * rank / size, n * (rank + 1) / size};
+}
+
 /// Per-rank communication statistics accumulated by the runtime.
 struct CommStats {
     std::uint64_t bytesSent = 0;

@@ -1,0 +1,80 @@
+#include "repart/migration.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace geo::repart {
+
+MigrationStats migrationStats(std::span<const std::int64_t> prevIds,
+                              std::span<const std::int32_t> prevBlocks,
+                              std::span<const std::int64_t> currIds,
+                              std::span<const std::int32_t> currBlocks,
+                              std::span<const double> currWeights, std::int32_t k,
+                              int ranks, std::size_t bytesPerPoint,
+                              const par::CostModel& model) {
+    GEO_REQUIRE(prevIds.size() == prevBlocks.size(),
+                "previous ids and blocks must be parallel arrays");
+    GEO_REQUIRE(currIds.size() == currBlocks.size(),
+                "current ids and blocks must be parallel arrays");
+    GEO_REQUIRE(currWeights.empty() || currWeights.size() == currIds.size(),
+                "weights must be empty or match current points");
+    GEO_REQUIRE(k >= 1, "need at least one block");
+    GEO_REQUIRE(ranks >= 1, "need at least one rank");
+
+    std::unordered_map<std::int64_t, std::int32_t> prevBlockOf;
+    prevBlockOf.reserve(prevIds.size());
+    for (std::size_t i = 0; i < prevIds.size(); ++i) {
+        GEO_REQUIRE(prevBlocks[i] >= 0 && prevBlocks[i] < k, "previous block out of range");
+        const bool inserted = prevBlockOf.emplace(prevIds[i], prevBlocks[i]).second;
+        GEO_REQUIRE(inserted, "previous ids must be unique");
+    }
+
+    std::vector<std::uint64_t> sendBytes(static_cast<std::size_t>(ranks), 0);
+    std::vector<std::uint64_t> recvBytes(static_cast<std::size_t>(ranks), 0);
+
+    std::unordered_set<std::int64_t> seenCurr;
+    seenCurr.reserve(currIds.size());
+
+    MigrationStats stats;
+    for (std::size_t i = 0; i < currIds.size(); ++i) {
+        GEO_REQUIRE(currBlocks[i] >= 0 && currBlocks[i] < k, "current block out of range");
+        GEO_REQUIRE(seenCurr.insert(currIds[i]).second, "current ids must be unique");
+        const auto it = prevBlockOf.find(currIds[i]);
+        if (it == prevBlockOf.end()) continue;  // inserted this step
+        const std::int32_t from = it->second;
+        const std::int32_t to = currBlocks[i];
+        const double w = currWeights.empty() ? 1.0 : currWeights[i];
+        stats.survivors++;
+        stats.survivingWeight += w;
+        if (from == to) continue;
+        stats.migratedPoints++;
+        stats.migratedWeight += w;
+        const int src = ownerRank(from, k, ranks);
+        const int dst = ownerRank(to, k, ranks);
+        if (src != dst) {
+            // Only inter-rank moves generate network traffic.
+            sendBytes[static_cast<std::size_t>(src)] += bytesPerPoint;
+            recvBytes[static_cast<std::size_t>(dst)] += bytesPerPoint;
+            stats.totalBytes += bytesPerPoint;
+        }
+    }
+
+    // The same definition graph::partitionChange applies to a fixed vertex
+    // set, here over the survivors only.
+    stats.migratedFraction =
+        stats.survivingWeight > 0.0 ? stats.migratedWeight / stats.survivingWeight : 0.0;
+    stats.stability = 1.0 - stats.migratedFraction;
+    stats.maxSendBytes = *std::max_element(sendBytes.begin(), sendBytes.end());
+    stats.maxRecvBytes = *std::max_element(recvBytes.begin(), recvBytes.end());
+    if (stats.totalBytes > 0)
+        stats.modeledSeconds = model.alltoallv(
+            ranks, static_cast<std::size_t>(stats.maxSendBytes),
+            static_cast<std::size_t>(stats.maxRecvBytes));
+    return stats;
+}
+
+}  // namespace geo::repart

@@ -1,0 +1,64 @@
+// Migration-volume and partition-stability metrics for dynamic
+// repartitioning.
+//
+// When the partition of step t+1 differs from step t, every surviving point
+// whose block changed must be shipped to its new owner before the next
+// solver phase. This module quantifies that cost: points/weight migrated,
+// per-rank send/recv bytes under a contiguous block→rank mapping, and a
+// modeled transfer time via the same par::CostModel the SPMD runtime uses —
+// so repartitioning benchmarks can weigh partition quality against data
+// movement in one unit (seconds).
+//
+// Steps are matched by stable point id (see scenarios.hpp): points present
+// in both steps are "survivors"; insertions/deletions cost nothing here
+// (the solver pays for them regardless of the partitioner).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "par/cost_model.hpp"
+
+namespace geo::repart {
+
+struct MigrationStats {
+    std::int64_t survivors = 0;       ///< points present in both steps
+    std::int64_t migratedPoints = 0;  ///< survivors whose block changed
+    double survivingWeight = 0.0;
+    double migratedWeight = 0.0;
+    double migratedFraction = 0.0;  ///< migratedWeight / survivingWeight
+    double stability = 1.0;         ///< 1 − migratedFraction
+    std::uint64_t totalBytes = 0;   ///< payload crossing rank boundaries
+    std::uint64_t maxSendBytes = 0; ///< heaviest sender
+    std::uint64_t maxRecvBytes = 0; ///< heaviest receiver
+    double modeledSeconds = 0.0;    ///< CostModel estimate of the exchange
+};
+
+/// Default migration payload: D coordinates + weight + id.
+[[nodiscard]] constexpr std::size_t migrationBytesPerPoint(int dim) noexcept {
+    return sizeof(double) * static_cast<std::size_t>(dim + 1) + sizeof(std::int64_t);
+}
+
+/// Owner rank of a block under the contiguous block→rank mapping: the exact
+/// inverse (also for p ∤ k) of par::blockRange, the balanced distribution
+/// used everywhere else in the repo — rank r owns blocks
+/// ⌊k·r/p⌋ … ⌊k·(r+1)/p⌋−1.
+[[nodiscard]] constexpr int ownerRank(std::int32_t block, std::int32_t k,
+                                      int ranks) noexcept {
+    return static_cast<int>(
+        (static_cast<std::int64_t>(ranks) * (block + 1) - 1) / k);
+}
+
+/// Compare the partitions of two consecutive steps. `prevIds`/`prevBlocks`
+/// describe step t (parallel arrays), `currIds`/`currBlocks`/`currWeights`
+/// step t+1 (`currWeights` may be empty = unit). Survivor weights are taken
+/// from the current step.
+MigrationStats migrationStats(std::span<const std::int64_t> prevIds,
+                              std::span<const std::int32_t> prevBlocks,
+                              std::span<const std::int64_t> currIds,
+                              std::span<const std::int32_t> currBlocks,
+                              std::span<const double> currWeights, std::int32_t k,
+                              int ranks, std::size_t bytesPerPoint,
+                              const par::CostModel& model = {});
+
+}  // namespace geo::repart

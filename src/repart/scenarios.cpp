@@ -1,0 +1,166 @@
+#include "repart/scenarios.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace geo::repart {
+
+const char* toString(ScenarioKind kind) noexcept {
+    switch (kind) {
+        case ScenarioKind::Advection: return "advection";
+        case ScenarioKind::Rotation: return "rotation";
+        case ScenarioKind::Hotspot: return "hotspot";
+        case ScenarioKind::Churn: return "churn";
+    }
+    return "?";
+}
+
+namespace {
+
+template <int D>
+Point<D> uniformPoint(Xoshiro256& rng) {
+    Point<D> p;
+    for (int d = 0; d < D; ++d) p[d] = rng.uniform();
+    return p;
+}
+
+/// Wrap a coordinate into [0, 1) (unit torus).
+double wrap01(double x) noexcept { return x - std::floor(x); }
+
+}  // namespace
+
+template <int D>
+Scenario<D>::Scenario(const ScenarioConfig& config)
+    : config_(config), rng_(config.seed) {
+    GEO_REQUIRE(config_.basePoints >= 1, "scenario needs at least one point");
+    GEO_REQUIRE(config_.drift >= 0.0, "drift must be non-negative");
+    GEO_REQUIRE(config_.churnFraction >= 0.0 && config_.churnFraction <= 1.0,
+                "churn fraction must be in [0, 1]");
+    GEO_REQUIRE(config_.hotspotRadius > 0.0, "hotspot radius must be positive");
+    GEO_REQUIRE(config_.hotspotBoost >= 0.0, "hotspot boost must be non-negative");
+    GEO_REQUIRE(config_.hotspotWeight > 0.0, "hotspot weight must be positive");
+
+    const auto n = static_cast<std::size_t>(config_.basePoints);
+    step_.step = 0;
+    step_.ids.resize(n);
+    std::iota(step_.ids.begin(), step_.ids.end(), std::int64_t{0});
+    step_.points.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) step_.points.push_back(uniformPoint<D>(rng_));
+    nextId_ = config_.basePoints;
+
+    // Fixed advection direction drawn once from the stream: a unit vector
+    // scaled to `drift` per step.
+    Point<D> dir{};
+    double len = 0.0;
+    do {
+        for (int d = 0; d < D; ++d) dir[d] = 2.0 * rng_.uniform() - 1.0;
+        len = norm(dir);
+    } while (len < 1e-9);
+    velocity_ = dir * (config_.drift / len);
+
+    if (config_.kind == ScenarioKind::Hotspot) {
+        step_.weights.assign(n, 1.0);
+        refreshHotspot();
+    }
+}
+
+template <int D>
+Point<D> Scenario<D>::hotspotCenter(int step) const noexcept {
+    // The refinement region orbits the domain center; one `drift` step moves
+    // it by a `drift` fraction of the orbit circumference.
+    const double radius = 0.28;
+    const double angle = 2.0 * std::numbers::pi * config_.drift * static_cast<double>(step);
+    Point<D> c;
+    for (int d = 0; d < D; ++d) c[d] = 0.5;
+    c[0] += radius * std::cos(angle);
+    c[1] += radius * std::sin(angle);
+    return c;
+}
+
+template <int D>
+void Scenario<D>::refreshHotspot() {
+    const Point<D> center = hotspotCenter(step_.step);
+    const double r = config_.hotspotRadius;
+
+    // Drop hotspot points (id >= basePoints) the region no longer covers.
+    std::size_t keep = 0;
+    std::size_t inside = 0;
+    for (std::size_t i = 0; i < step_.points.size(); ++i) {
+        const bool base = step_.ids[i] < config_.basePoints;
+        const bool covered = distance(step_.points[i], center) <= r;
+        if (base || covered) {
+            step_.ids[keep] = step_.ids[i];
+            step_.points[keep] = step_.points[i];
+            step_.weights[keep] = step_.weights[i];
+            ++keep;
+            inside += (!base);
+        }
+    }
+    step_.ids.resize(keep);
+    step_.points.resize(keep);
+    step_.weights.resize(keep);
+
+    // Refill the region to its target density with fresh points sampled
+    // uniformly in the ball (rejection from the bounding cube, clamped to
+    // the unit domain).
+    const auto target = static_cast<std::size_t>(
+        config_.hotspotBoost * static_cast<double>(config_.basePoints));
+    while (inside < target) {
+        Point<D> offset;
+        double len2;
+        do {
+            for (int d = 0; d < D; ++d) offset[d] = r * (2.0 * rng_.uniform() - 1.0);
+            len2 = dot(offset, offset);
+        } while (len2 > r * r);
+        Point<D> p = center + offset;
+        bool inDomain = true;
+        for (int d = 0; d < D; ++d) inDomain = inDomain && p[d] >= 0.0 && p[d] < 1.0;
+        if (!inDomain) continue;
+        step_.ids.push_back(nextId_++);
+        step_.points.push_back(p);
+        step_.weights.push_back(config_.hotspotWeight);
+        ++inside;
+    }
+}
+
+template <int D>
+void Scenario<D>::advance() {
+    step_.step++;
+    switch (config_.kind) {
+        case ScenarioKind::Advection:
+            for (auto& p : step_.points) {
+                p += velocity_;
+                for (int d = 0; d < D; ++d) p[d] = wrap01(p[d]);
+            }
+            break;
+        case ScenarioKind::Rotation: {
+            const double angle = 2.0 * std::numbers::pi * config_.drift;
+            const double c = std::cos(angle), s = std::sin(angle);
+            for (auto& p : step_.points) {
+                const double x = p[0] - 0.5, y = p[1] - 0.5;
+                p[0] = 0.5 + c * x - s * y;
+                p[1] = 0.5 + s * x + c * y;
+            }
+            break;
+        }
+        case ScenarioKind::Hotspot:
+            refreshHotspot();
+            break;
+        case ScenarioKind::Churn:
+            for (std::size_t i = 0; i < step_.points.size(); ++i) {
+                if (rng_.uniform() < config_.churnFraction) {
+                    step_.points[i] = uniformPoint<D>(rng_);
+                    step_.ids[i] = nextId_++;
+                }
+            }
+            break;
+    }
+}
+
+template class Scenario<2>;
+template class Scenario<3>;
+
+}  // namespace geo::repart

@@ -1,0 +1,82 @@
+// Deterministic time-stepped workload generators for the dynamic
+// repartitioning subsystem.
+//
+// Adaptive simulations move, refine and coarsen their mesh between time
+// steps; the partition must follow. Each scenario evolves a point cloud over
+// T steps with a stable per-point identity, so migration between consecutive
+// partitions is measurable (see migration.hpp):
+//   * Advection — every point drifts with a constant velocity field,
+//     wrapping around the unit torus,
+//   * Rotation  — rigid rotation about the domain center (xy-plane in 3D),
+//   * Hotspot   — a static background cloud plus a moving refinement region
+//     that adds points under itself and removes them once it passes,
+//   * Churn     — a random fraction of points is replaced by fresh uniform
+//     points each step (uncorrelated adaptivity; the hard case for warm
+//     starts to exploit, and the control scenario of the benchmarks).
+// All randomness flows through one seeded Xoshiro256 stream, so a scenario
+// replayed from the same config produces bit-identical steps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "support/rng.hpp"
+
+namespace geo::repart {
+
+enum class ScenarioKind { Advection, Rotation, Hotspot, Churn };
+
+[[nodiscard]] const char* toString(ScenarioKind kind) noexcept;
+
+struct ScenarioConfig {
+    ScenarioKind kind = ScenarioKind::Advection;
+    std::int64_t basePoints = 10000;
+    double drift = 0.02;       ///< per-step motion as a fraction of the unit domain
+    std::uint64_t seed = 1;
+    double hotspotRadius = 0.18;  ///< refinement region radius (Hotspot)
+    double hotspotBoost = 0.4;    ///< hotspot points as a fraction of basePoints
+    double hotspotWeight = 2.0;   ///< node weight of refinement points (Hotspot)
+    double churnFraction = 0.05;  ///< fraction of points replaced per step (Churn)
+};
+
+/// One timestep of an evolving workload. `ids` are stable across steps:
+/// a surviving point keeps its id, added points get fresh ids — the key that
+/// lets migration.hpp match partitions across steps with insert/delete.
+/// Only the Hotspot scenario populates `weights` (refinement points carry
+/// `hotspotWeight`); the others use unit weights (empty vector).
+template <int D>
+struct WorkloadStep {
+    int step = 0;
+    std::vector<std::int64_t> ids;
+    std::vector<Point<D>> points;
+    std::vector<double> weights;  ///< empty = unit weights
+};
+
+/// Stateful generator: construct at step 0, advance() to the next step.
+template <int D>
+class Scenario {
+public:
+    explicit Scenario(const ScenarioConfig& config);
+
+    [[nodiscard]] const ScenarioConfig& config() const noexcept { return config_; }
+    [[nodiscard]] const WorkloadStep<D>& current() const noexcept { return step_; }
+
+    /// Evolve to the next timestep (deterministic given the config).
+    void advance();
+
+private:
+    [[nodiscard]] Point<D> hotspotCenter(int step) const noexcept;
+    void refreshHotspot();
+
+    ScenarioConfig config_;
+    WorkloadStep<D> step_;
+    Xoshiro256 rng_;
+    Point<D> velocity_{};        ///< advection drift per step
+    std::int64_t nextId_ = 0;
+};
+
+extern template class Scenario<2>;
+extern template class Scenario<3>;
+
+}  // namespace geo::repart
