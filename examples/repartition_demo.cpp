@@ -53,7 +53,8 @@ int main(int argc, char** argv) {
             migMs = m.modeledSeconds * 1e3;
         }
         table.addRow({std::to_string(t), res.warmStarted ? "warm" : "cold",
-                      geo::Table::num(res.normalizedDrift, 3),
+                      res.normalizedDrift ? geo::Table::num(*res.normalizedDrift, 3)
+                                          : std::string("-"),
                       std::to_string(res.result.counters.outerIterations),
                       geo::Table::num(res.result.imbalance, 4),
                       geo::Table::num(migrated, 4), geo::Table::num(migKb, 1),

@@ -41,29 +41,29 @@ std::vector<std::int64_t> externalEdges(const CsrGraph& g, const Partition& part
 std::vector<std::int64_t> communicationVolume(const CsrGraph& g, const Partition& part,
                                               std::int32_t k) {
     std::vector<std::int64_t> comm(static_cast<std::size_t>(k), 0);
-    const Vertex n = g.numVertices();
-    // Scratch marker: last vertex that touched block b, avoids clearing a
-    // k-sized array per vertex.
-    std::vector<Vertex> lastSeen(static_cast<std::size_t>(k), -1);
-    for (Vertex v = 0; v < n; ++v) {
-        const auto bv = part[static_cast<std::size_t>(v)];
-        std::int64_t foreign = 0;
-        for (const Vertex u : g.neighbors(v)) {
-            const auto bu = part[static_cast<std::size_t>(u)];
-            if (bu != bv && lastSeen[static_cast<std::size_t>(bu)] != v) {
-                lastSeen[static_cast<std::size_t>(bu)] = v;
-                ++foreign;
-            }
-        }
-        comm[static_cast<std::size_t>(bv)] += foreign;
-    }
+    forEachGhost(g, part, k, [&](std::int32_t owner, std::int32_t, Vertex) {
+        comm[static_cast<std::size_t>(owner)]++;
+    });
     return comm;
 }
 
 double imbalance(const Partition& part, std::int32_t k, std::span<const double> weights) {
+    return imbalance(part, k, weights, {});
+}
+
+double imbalance(const Partition& part, std::int32_t k, std::span<const double> weights,
+                 std::span<const double> targetFractions) {
     GEO_REQUIRE(k >= 1, "need at least one block");
     GEO_REQUIRE(weights.empty() || weights.size() == part.size(),
                 "weights must be empty or match vertices");
+    GEO_REQUIRE(targetFractions.empty() ||
+                    targetFractions.size() == static_cast<std::size_t>(k),
+                "need one target fraction per block");
+    double fractionSum = 0.0;
+    for (const double f : targetFractions) {
+        GEO_REQUIRE(f > 0.0, "target fractions must be positive");
+        fractionSum += f;
+    }
     std::vector<double> blockWeight(static_cast<std::size_t>(k), 0.0);
     double total = 0.0;
     for (std::size_t v = 0; v < part.size(); ++v) {
@@ -71,10 +71,38 @@ double imbalance(const Partition& part, std::int32_t k, std::span<const double> 
         blockWeight[static_cast<std::size_t>(part[v])] += w;
         total += w;
     }
-    const double target = std::ceil(total / k);
-    if (target <= 0.0) return 0.0;
-    const double heaviest = *std::max_element(blockWeight.begin(), blockWeight.end());
-    return heaviest / target - 1.0;
+    if (total <= 0.0) return 0.0;
+    if (targetFractions.empty()) {
+        // Uniform targets keep the paper's ceil rounding so perfect integer
+        // splits report exactly 0.
+        const double target = std::ceil(total / k);
+        const double heaviest = *std::max_element(blockWeight.begin(), blockWeight.end());
+        return heaviest / target - 1.0;
+    }
+    // Non-uniform targets: denominator target_b · W (DESIGN.md "Imbalance
+    // with ceil rounding") — no rounding, the fractions already encode the
+    // intended split exactly.
+    double worst = 0.0;
+    for (std::int32_t b = 0; b < k; ++b) {
+        const double target =
+            targetFractions[static_cast<std::size_t>(b)] / fractionSum * total;
+        worst = std::max(worst, blockWeight[static_cast<std::size_t>(b)] / target);
+    }
+    return worst - 1.0;
+}
+
+double topologyCommCost(const CsrGraph& g, const Partition& part, std::int32_t k,
+                        std::span<const double> linkCost) {
+    GEO_REQUIRE(linkCost.size() == static_cast<std::size_t>(k) * static_cast<std::size_t>(k),
+                "linkCost must be a k x k matrix");
+    double cost = 0.0;
+    // Receiver-major per the contract: block `receiver` needs the ghost
+    // from block `owner`, weighted linkCost[receiver·k + owner].
+    forEachGhost(g, part, k, [&](std::int32_t owner, std::int32_t receiver, Vertex) {
+        cost += linkCost[static_cast<std::size_t>(receiver) * static_cast<std::size_t>(k) +
+                         static_cast<std::size_t>(owner)];
+    });
+    return cost;
 }
 
 double partitionChange(const Partition& before, const Partition& after,
@@ -169,7 +197,8 @@ std::vector<std::int32_t> blockComponents(const CsrGraph& g, const Partition& pa
 }
 
 PartitionMetrics evaluatePartition(const CsrGraph& g, const Partition& part, std::int32_t k,
-                                   std::span<const double> weights, bool computeDiameter) {
+                                   std::span<const double> weights, bool computeDiameter,
+                                   std::span<const double> targetFractions) {
     validatePartition(g, part, k);
     PartitionMetrics m;
     m.edgeCut = edgeCut(g, part);
@@ -180,7 +209,7 @@ PartitionMetrics evaluatePartition(const CsrGraph& g, const Partition& part, std
         m.maxCommVolume = std::max(m.maxCommVolume, c);
         m.totalCommVolume += c;
     }
-    m.imbalance = imbalance(part, k, weights);
+    m.imbalance = imbalance(part, k, weights, targetFractions);
 
     std::vector<std::size_t> blockSize(static_cast<std::size_t>(k), 0);
     for (const auto b : part) blockSize[static_cast<std::size_t>(b)]++;

@@ -29,7 +29,7 @@ struct PartitionMetrics {
     std::int64_t maxExternalEdges = 0; ///< max_i ext(V_i)
     std::int64_t maxCommVolume = 0;    ///< max_i comm(V_i)
     std::int64_t totalCommVolume = 0;  ///< Σ_i comm(V_i)
-    double imbalance = 0.0;            ///< max_i w(V_i)/ceil(W/k) − 1
+    double imbalance = 0.0;            ///< max_i w(V_i)/target_i − 1
     double harmonicMeanDiameter = 0.0; ///< harmonic mean of block diameters
     std::int32_t disconnectedBlocks = 0;
     std::int32_t emptyBlocks = 0;
@@ -49,9 +49,50 @@ std::vector<std::int64_t> externalEdges(const CsrGraph& g, const Partition& part
 std::vector<std::int64_t> communicationVolume(const CsrGraph& g, const Partition& part,
                                               std::int32_t k);
 
+/// Enumerate every ghost copy of a partition: fn(owner, receiver, v) is
+/// invoked exactly once per (vertex v, adjacent foreign block) pair — block
+/// `receiver` reads vertex v of block `owner`. The single source of truth
+/// for ghost counting; communicationVolume, topologyCommCost and
+/// hier::topologySpmvCommSeconds are all folds over it.
+template <typename Fn>
+void forEachGhost(const CsrGraph& g, const Partition& part, std::int32_t k, Fn&& fn) {
+    const Vertex n = g.numVertices();
+    // Scratch marker: last vertex that touched block b, avoids clearing a
+    // k-sized array per vertex.
+    std::vector<Vertex> lastSeen(static_cast<std::size_t>(k), -1);
+    for (Vertex v = 0; v < n; ++v) {
+        const auto owner = part[static_cast<std::size_t>(v)];
+        for (const Vertex u : g.neighbors(v)) {
+            const auto receiver = part[static_cast<std::size_t>(u)];
+            if (receiver != owner && lastSeen[static_cast<std::size_t>(receiver)] != v) {
+                lastSeen[static_cast<std::size_t>(receiver)] = v;
+                fn(owner, receiver, v);
+            }
+        }
+    }
+}
+
 /// max_i weight(V_i) / ceil(totalWeight/k) − 1. Empty weights = unit weights.
 double imbalance(const Partition& part, std::int32_t k,
                  std::span<const double> weights = {});
+
+/// Imbalance against non-uniform block size targets (paper footnote 1,
+/// DESIGN.md "Imbalance with ceil rounding"): max_i weight(V_i) /
+/// (target_i · totalWeight) − 1, where target_i is the i-th fraction
+/// normalized over their sum. One positive fraction per block; empty
+/// fractions fall back to the uniform ceil definition above. A perfectly
+/// split non-uniform target reports exactly 0.
+double imbalance(const Partition& part, std::int32_t k, std::span<const double> weights,
+                 std::span<const double> targetFractions);
+
+/// Topology-weighted communication cost: like the total communication
+/// volume, but each ghost copy a vertex of block i needs from block j is
+/// weighted by linkCost[i·k + j] — typically the relative bandwidth factor
+/// of the deepest machine-topology level the (i, j) traffic crosses (see
+/// hier::Topology::blockCostMatrix). With all off-diagonal weights 1 this
+/// equals totalCommVolume.
+double topologyCommCost(const CsrGraph& g, const Partition& part, std::int32_t k,
+                        std::span<const double> linkCost);
 
 /// Weighted fraction of vertices whose block differs between two partitions
 /// of the same vertex set — the partition-stability metric.
@@ -76,10 +117,14 @@ double harmonicMeanDiameter(std::span<const std::int32_t> diameters);
 std::vector<std::int32_t> blockComponents(const CsrGraph& g, const Partition& part,
                                           std::int32_t k);
 
-/// One-call evaluation of all §2 metrics.
+/// One-call evaluation of all §2 metrics. Non-empty `targetFractions`
+/// switch the imbalance to the non-uniform-target definition — pass the
+/// same fractions the partitioner ran with (Settings::targetFractions),
+/// otherwise heterogeneous runs report a bogus imbalance.
 PartitionMetrics evaluatePartition(const CsrGraph& g, const Partition& part, std::int32_t k,
                                    std::span<const double> weights = {},
-                                   bool computeDiameter = true);
+                                   bool computeDiameter = true,
+                                   std::span<const double> targetFractions = {});
 
 inline constexpr std::int32_t kInfiniteDiameter = std::numeric_limits<std::int32_t>::max();
 

@@ -1,0 +1,260 @@
+#include "hier/hier_partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace geo::hier {
+
+namespace {
+
+/// Depth-first walk over the topology tree. Every visited node runs one
+/// (kk = branching)-way warm-startable sub-partition on its point subset;
+/// aggregation is per level because sibling runs model disjoint machine
+/// parts working concurrently.
+template <int D>
+class HierRun {
+public:
+    HierRun(const Topology& topo, std::span<const Point<D>> points,
+            std::span<const double> weights, const core::Settings& settings, int ranks,
+            const repart::RepartOptions& options, par::CostModel model,
+            HierState<D>& state, HierResult& out)
+        : topo_(topo),
+          points_(points),
+          weights_(weights),
+          settings_(settings),
+          ranks_(ranks),
+          options_(options),
+          model_(model),
+          state_(state),
+          out_(out) {
+        // Breadth-first node numbering: level l holds the product of the
+        // branching factors above it.
+        levelOffset_.assign(static_cast<std::size_t>(topo_.depth()) + 1, 0);
+        std::size_t nodesAtLevel = 1;
+        for (int l = 0; l < topo_.depth(); ++l) {
+            levelOffset_[static_cast<std::size_t>(l) + 1] =
+                levelOffset_[static_cast<std::size_t>(l)] + nodesAtLevel;
+            nodesAtLevel *= static_cast<std::size_t>(topo_.levels[static_cast<std::size_t>(l)].branching);
+        }
+        const std::size_t internalNodes = levelOffset_.back();
+        if (state_.nodes.empty()) state_.nodes.resize(internalNodes);
+        GEO_REQUIRE(state_.nodes.size() == internalNodes,
+                    "HierState does not match the topology (node count differs)");
+        levelAgg_.resize(static_cast<std::size_t>(topo_.depth()));
+        // Per-level imbalances compound multiplicatively (a leaf can be over
+        // target at every level of its path), so split the user's epsilon:
+        // (1 + eps_level)^depth = 1 + eps keeps the end-to-end guarantee
+        // comparable with a flat run at the same epsilon.
+        levelEpsilon_ = std::pow(1.0 + settings_.epsilon,
+                                 1.0 / static_cast<double>(topo_.depth())) -
+                        1.0;
+    }
+
+    void run() {
+        std::vector<std::int64_t> all(points_.size());
+        std::iota(all.begin(), all.end(), std::int64_t{0});
+        visit(/*level=*/0, /*indexInLevel=*/0, std::move(all), /*leafBase=*/0, ranks_);
+        // Fold the per-level aggregates: levels run one after the other.
+        for (const auto& agg : levelAgg_) {
+            for (const auto& [phase, seconds] : agg.phaseMax)
+                out_.phaseSeconds[phase] += seconds;
+            out_.modeledSeconds += agg.modeledMax;
+        }
+    }
+
+private:
+    struct LevelAgg {
+        std::map<std::string, double> phaseMax;
+        double modeledMax = 0.0;
+    };
+
+    [[nodiscard]] std::int32_t leavesBelow(int level) const {
+        std::int64_t count = 1;
+        for (int l = level + 1; l < topo_.depth(); ++l)
+            count *= topo_.levels[static_cast<std::size_t>(l)].branching;
+        return static_cast<std::int32_t>(count);
+    }
+
+    void visit(int level, std::size_t indexInLevel, std::vector<std::int64_t> indices,
+               std::int32_t leafBase, int ranks) {
+        const auto& tl = topo_.levels[static_cast<std::size_t>(level)];
+        const std::int32_t kk = tl.branching;
+        GEO_REQUIRE(static_cast<std::int64_t>(indices.size()) >= kk,
+                    "hierarchical recursion ran out of points (need at least one "
+                    "point per child at every node)");
+
+        // Gather this node's subset — except when it IS the whole input
+        // (the root, or any node below an all-pass-through branching-1
+        // chain), where indices is the identity and the original spans
+        // serve directly, sparing a full-size copy held across the whole
+        // recursion.
+        std::span<const Point<D>> subPoints = points_;
+        std::span<const double> subWeights = weights_;
+        std::vector<Point<D>> gatheredPoints;
+        std::vector<double> gatheredWeights;
+        if (indices.size() != points_.size()) {
+            gatheredPoints.reserve(indices.size());
+            for (const auto i : indices)
+                gatheredPoints.push_back(points_[static_cast<std::size_t>(i)]);
+            subPoints = gatheredPoints;
+            if (!weights_.empty()) {
+                gatheredWeights.reserve(indices.size());
+                for (const auto i : indices)
+                    gatheredWeights.push_back(weights_[static_cast<std::size_t>(i)]);
+                subWeights = gatheredWeights;
+            }
+        }
+
+        core::Settings sub = settings_;
+        sub.targetFractions = tl.capacities;  // empty = uniform children
+        sub.epsilon = levelEpsilon_;
+
+        const std::size_t nodeId = levelOffset_[static_cast<std::size_t>(level)] + indexInLevel;
+        const auto res = repart::repartitionGeographer<D>(
+            subPoints, subWeights, kk, ranks, sub, state_.nodes[nodeId], options_, model_);
+
+        auto& agg = levelAgg_[static_cast<std::size_t>(level)];
+        for (const auto& [phase, seconds] : res.result.phaseSeconds)
+            agg.phaseMax[phase] = std::max(agg.phaseMax[phase], seconds);
+        agg.modeledMax = std::max(agg.modeledMax, res.result.modeledSeconds);
+        out_.counters.merge(res.result.counters);
+        out_.converged = out_.converged && res.result.converged;
+        res.warmStarted ? ++out_.warmNodes : ++out_.coldNodes;
+
+        // Route every point to its child; recurse or, at the last level,
+        // commit the leaf as the flat block id.
+        const std::int32_t span = leavesBelow(level);
+        std::vector<std::vector<std::int64_t>> childIndices(static_cast<std::size_t>(kk));
+        for (std::size_t i = 0; i < indices.size(); ++i)
+            childIndices[static_cast<std::size_t>(res.result.partition[i])].push_back(indices[i]);
+        for (std::int32_t c = 0; c < kk; ++c) {
+            if (level + 1 == topo_.depth()) {
+                for (const auto i : childIndices[static_cast<std::size_t>(c)])
+                    out_.partition[static_cast<std::size_t>(i)] = leafBase + c;
+            } else {
+                visit(level + 1, indexInLevel * static_cast<std::size_t>(kk) +
+                                     static_cast<std::size_t>(c),
+                      std::move(childIndices[static_cast<std::size_t>(c)]),
+                      leafBase + c * span, std::max(1, ranks / kk));
+            }
+        }
+    }
+
+    const Topology& topo_;
+    std::span<const Point<D>> points_;
+    std::span<const double> weights_;
+    const core::Settings& settings_;
+    int ranks_;
+    const repart::RepartOptions& options_;
+    par::CostModel model_;
+    HierState<D>& state_;
+    HierResult& out_;
+    std::vector<std::size_t> levelOffset_;
+    std::vector<LevelAgg> levelAgg_;
+    double levelEpsilon_ = 0.0;
+};
+
+}  // namespace
+
+template <int D>
+HierResult repartitionHierarchical(std::span<const Point<D>> points,
+                                   std::span<const double> weights,
+                                   const Topology& topo, int ranks,
+                                   const core::Settings& settings, HierState<D>& state,
+                                   const repart::RepartOptions& options,
+                                   par::CostModel model) {
+    topo.validate();
+    GEO_REQUIRE(ranks >= 1, "need at least one rank");
+    GEO_REQUIRE(weights.empty() || weights.size() == points.size(),
+                "weights must be empty or match points");
+    GEO_REQUIRE(settings.targetFractions.empty(),
+                "per-block targets come from the topology capacities; leave "
+                "Settings::targetFractions empty");
+    GEO_REQUIRE(settings.initialInfluence.empty(),
+                "warm-start state is carried per topology node in HierState; leave "
+                "Settings::initialInfluence empty");
+    const std::int32_t k = topo.leafCount();
+    GEO_REQUIRE(static_cast<std::int64_t>(points.size()) >= k, "need at least k points");
+
+    HierResult out;
+    out.partition.assign(points.size(), -1);
+    out.blockLeaf.resize(static_cast<std::size_t>(k));
+    std::iota(out.blockLeaf.begin(), out.blockLeaf.end(), 0);
+    out.leafCapacities = topo.leafCapacities();
+
+    // Run against a scratch copy and commit on success: a failure deep in
+    // the recursion (e.g. a node's subset running out of points) must not
+    // leave the caller's state with this step's root split but last step's
+    // child splits.
+    HierState<D> next = state;
+    HierRun<D> run(topo, points, weights, settings, ranks, options, model, next, out);
+    run.run();
+    state = std::move(next);
+
+    for (const auto b : out.partition)
+        GEO_CHECK(b >= 0 && b < k, "every point must be assigned a leaf block");
+    out.imbalance = graph::imbalance(out.partition, k, weights, out.leafCapacities);
+    return out;
+}
+
+template <int D>
+HierResult partitionHierarchical(std::span<const Point<D>> points,
+                                 std::span<const double> weights, const Topology& topo,
+                                 int ranks, const core::Settings& settings,
+                                 par::CostModel model) {
+    // A fresh state is never warmable, so every node runs the cold pipeline;
+    // the state itself is discarded.
+    HierState<D> scratch;
+    return repartitionHierarchical<D>(points, weights, topo, ranks, settings, scratch, {},
+                                      model);
+}
+
+double topologySpmvCommSeconds(const graph::CsrGraph& g, const graph::Partition& part,
+                               const Topology& topo, const par::CostModel& model,
+                               std::size_t bytesPerValue) {
+    const std::int32_t k = topo.leafCount();
+    graph::validatePartition(g, part, k);
+    const auto cost = topo.blockCostMatrix();
+    const auto kk = static_cast<std::size_t>(k);
+    std::vector<double> recvWeightedBytes(kk, 0.0);
+    std::vector<std::int32_t> neighborCount(kk, 0);
+    std::vector<char> pairSeen(kk * kk, 0);
+    graph::forEachGhost(
+        g, part, k, [&](std::int32_t owner, std::int32_t receiver, graph::Vertex) {
+            const auto idx = static_cast<std::size_t>(receiver) * kk +
+                             static_cast<std::size_t>(owner);
+            recvWeightedBytes[static_cast<std::size_t>(receiver)] +=
+                cost[idx] * static_cast<double>(bytesPerValue);
+            if (!pairSeen[idx]) {
+                pairSeen[idx] = 1;
+                neighborCount[static_cast<std::size_t>(receiver)]++;
+            }
+        });
+    double worst = 0.0;
+    for (std::size_t b = 0; b < kk; ++b)
+        worst = std::max(worst, model.alpha * neighborCount[b] +
+                                    model.beta * recvWeightedBytes[b]);
+    return worst;
+}
+
+template HierResult partitionHierarchical<2>(std::span<const Point2>,
+                                             std::span<const double>, const Topology&,
+                                             int, const core::Settings&, par::CostModel);
+template HierResult partitionHierarchical<3>(std::span<const Point3>,
+                                             std::span<const double>, const Topology&,
+                                             int, const core::Settings&, par::CostModel);
+template HierResult repartitionHierarchical<2>(std::span<const Point2>,
+                                               std::span<const double>, const Topology&,
+                                               int, const core::Settings&, HierState<2>&,
+                                               const repart::RepartOptions&,
+                                               par::CostModel);
+template HierResult repartitionHierarchical<3>(std::span<const Point3>,
+                                               std::span<const double>, const Topology&,
+                                               int, const core::Settings&, HierState<3>&,
+                                               const repart::RepartOptions&,
+                                               par::CostModel);
+
+}  // namespace geo::hier

@@ -1,0 +1,121 @@
+// Hierarchical balanced k-means over a machine topology tree.
+//
+// The paper's pipeline is flat: k blocks, one level. Its cost model (and
+// ours, par::CostModel::crossIslandFactor) says traffic across interconnect
+// islands is ~2.5× more expensive than within — so the partition should
+// *match the machine*. partitionHierarchical runs the existing balanced
+// k-means level by level over a Topology: the top level splits all points
+// into one part per island with targetFractions derived from the islands'
+// subtree capacities, then recurses into each part for the next level, down
+// to one block per leaf. Blocks of the same subtree end up geometrically
+// adjacent, so the expensive top-level cuts are the short ones.
+//
+// Sibling sub-runs at a level describe disjoint machine parts working
+// concurrently: each recursion level divides the simulated ranks among the
+// children, and the modeled time charges max-over-siblings per level.
+//
+// repartitionHierarchical is the time-stepped variant: every tree node
+// carries its own repart::RepartState (centers + influence of its split),
+// warm-starting level by level exactly like src/repart does for the flat
+// pipeline.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/geographer.hpp"
+#include "core/settings.hpp"
+#include "graph/metrics.hpp"
+#include "hier/topology.hpp"
+#include "par/cost_model.hpp"
+#include "repart/repartition.hpp"
+
+namespace geo::hier {
+
+struct HierResult {
+    /// Block per original (input-order) point; block ids are leaf ids.
+    graph::Partition partition;
+    /// Block → topology leaf. Identity by construction (blocks are numbered
+    /// in depth-first leaf order), recorded explicitly so downstream mapping
+    /// code does not have to rely on that convention.
+    std::vector<std::int32_t> blockLeaf;
+    /// Normalized capacity share per block — the targetFractions to pass to
+    /// graph::imbalance / evaluatePartition.
+    std::vector<double> leafCapacities;
+    /// Achieved imbalance against leafCapacities (target-aware definition).
+    double imbalance = 0.0;
+    /// All per-node k-means runs converged.
+    bool converged = true;
+    /// Loop counters merged over every node run.
+    core::KMeansCounters counters;
+    /// Per-phase time: per level the max over that level's sibling runs
+    /// (they model disjoint machine parts running concurrently), summed
+    /// over levels.
+    std::map<std::string, double> phaseSeconds;
+    /// Modeled parallel time: max over siblings within a level, summed over
+    /// levels (+ probe costs on the repartitioning path).
+    double modeledSeconds = 0.0;
+    /// Node runs that warm-started / ran the cold pipeline
+    /// (repartitionHierarchical only; partitionHierarchical is all cold).
+    int warmNodes = 0;
+    int coldNodes = 0;
+};
+
+/// Warm-start state for repartitionHierarchical: one (centers, influence)
+/// pair per internal topology node, in breadth-first node order. Default
+/// constructed = first call runs cold everywhere.
+template <int D>
+struct HierState {
+    std::vector<repart::RepartState<D>> nodes;
+};
+
+/// Partition `points` into one block per topology leaf on `ranks` simulated
+/// MPI processes. `settings.targetFractions` and `settings.initialInfluence`
+/// must be empty — capacities come from the topology, warm-start state from
+/// HierState. `settings.epsilon` is the END-TO-END imbalance target: each
+/// level runs at (1 + ε)^(1/depth) − 1 so the compounded leaf imbalance
+/// stays comparable to a flat run at the same ε.
+template <int D>
+HierResult partitionHierarchical(std::span<const Point<D>> points,
+                                 std::span<const double> weights, const Topology& topo,
+                                 int ranks, const core::Settings& settings,
+                                 par::CostModel model = {});
+
+/// Time-stepped variant: warm-start every node split from `state` when the
+/// per-node drift probe allows, exactly like repart::repartitionGeographer.
+/// On return `state` holds this step's per-node centers and influence.
+template <int D>
+HierResult repartitionHierarchical(std::span<const Point<D>> points,
+                                   std::span<const double> weights,
+                                   const Topology& topo, int ranks,
+                                   const core::Settings& settings, HierState<D>& state,
+                                   const repart::RepartOptions& options = {},
+                                   par::CostModel model = {});
+
+/// Modeled per-iteration SpMV halo-exchange time under the topology: each
+/// block receives its ghost values in one round per neighbor block, with the
+/// per-byte cost scaled by the link cost of the (receiver, owner) leaf pair;
+/// the result is the slowest block's time — the topology-aware analog of
+/// spmv::SpmvTiming::modeledCommSecondsPerIteration.
+double topologySpmvCommSeconds(const graph::CsrGraph& g, const graph::Partition& part,
+                               const Topology& topo, const par::CostModel& model = {},
+                               std::size_t bytesPerValue = sizeof(double));
+
+extern template HierResult partitionHierarchical<2>(std::span<const Point2>,
+                                                    std::span<const double>,
+                                                    const Topology&, int,
+                                                    const core::Settings&, par::CostModel);
+extern template HierResult partitionHierarchical<3>(std::span<const Point3>,
+                                                    std::span<const double>,
+                                                    const Topology&, int,
+                                                    const core::Settings&, par::CostModel);
+extern template HierResult repartitionHierarchical<2>(
+    std::span<const Point2>, std::span<const double>, const Topology&, int,
+    const core::Settings&, HierState<2>&, const repart::RepartOptions&, par::CostModel);
+extern template HierResult repartitionHierarchical<3>(
+    std::span<const Point3>, std::span<const double>, const Topology&, int,
+    const core::Settings&, HierState<3>&, const repart::RepartOptions&, par::CostModel);
+
+}  // namespace geo::hier

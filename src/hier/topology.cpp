@@ -1,0 +1,98 @@
+#include "hier/topology.hpp"
+
+#include "support/assert.hpp"
+
+namespace geo::hier {
+
+Topology Topology::fromBranching(std::span<const std::int32_t> branchings,
+                                 const par::CostModel& model) {
+    GEO_REQUIRE(!branchings.empty(), "topology needs at least one level");
+    Topology topo;
+    for (std::size_t l = 0; l < branchings.size(); ++l) {
+        TopologyLevel level;
+        level.branching = branchings[l];
+        level.crossFactor = l == 0 ? model.crossIslandFactor : 1.0;
+        topo.levels.push_back(std::move(level));
+    }
+    topo.validate();
+    return topo;
+}
+
+std::int32_t Topology::leafCount() const {
+    std::int64_t count = 1;
+    for (const auto& level : levels) {
+        count *= level.branching;
+        GEO_REQUIRE(count <= (std::int64_t{1} << 30), "topology leaf count overflows");
+    }
+    return static_cast<std::int32_t>(count);
+}
+
+void Topology::validate() const {
+    GEO_REQUIRE(!levels.empty(), "topology needs at least one level");
+    for (const auto& level : levels) {
+        GEO_REQUIRE(level.branching >= 1, "branching factors must be at least 1");
+        GEO_REQUIRE(level.capacities.empty() ||
+                        level.capacities.size() ==
+                            static_cast<std::size_t>(level.branching),
+                    "need one capacity per child or none");
+        for (const double c : level.capacities)
+            GEO_REQUIRE(c > 0.0, "capacities must be positive");
+        GEO_REQUIRE(level.crossFactor > 0.0, "cross factors must be positive");
+    }
+    (void)leafCount();  // overflow check
+}
+
+std::vector<double> Topology::leafCapacities() const {
+    validate();
+    std::vector<double> shares{1.0};
+    for (const auto& level : levels) {
+        const auto b = static_cast<std::size_t>(level.branching);
+        double childSum = 0.0;
+        for (std::size_t c = 0; c < b; ++c)
+            childSum += level.capacities.empty() ? 1.0 : level.capacities[c];
+        std::vector<double> next;
+        next.reserve(shares.size() * b);
+        for (const double parent : shares)
+            for (std::size_t c = 0; c < b; ++c)
+                next.push_back(parent *
+                               (level.capacities.empty() ? 1.0 : level.capacities[c]) /
+                               childSum);
+        shares = std::move(next);
+    }
+    return shares;
+}
+
+std::vector<std::int32_t> Topology::leafPath(std::int32_t leaf) const {
+    GEO_REQUIRE(leaf >= 0 && leaf < leafCount(), "leaf index out of range");
+    std::vector<std::int32_t> path(levels.size());
+    for (std::size_t l = levels.size(); l-- > 0;) {
+        path[l] = leaf % levels[l].branching;
+        leaf /= levels[l].branching;
+    }
+    return path;
+}
+
+int Topology::divergenceLevel(std::int32_t a, std::int32_t b) const {
+    const auto pa = leafPath(a);
+    const auto pb = leafPath(b);
+    for (std::size_t l = 0; l < pa.size(); ++l)
+        if (pa[l] != pb[l]) return static_cast<int>(l);
+    return depth();
+}
+
+double Topology::linkCost(std::int32_t a, std::int32_t b) const {
+    if (a == b) return 0.0;
+    return levels[static_cast<std::size_t>(divergenceLevel(a, b))].crossFactor;
+}
+
+std::vector<double> Topology::blockCostMatrix() const {
+    const std::int32_t k = leafCount();
+    std::vector<double> cost(static_cast<std::size_t>(k) * static_cast<std::size_t>(k), 0.0);
+    for (std::int32_t a = 0; a < k; ++a)
+        for (std::int32_t b = 0; b < k; ++b)
+            cost[static_cast<std::size_t>(a) * static_cast<std::size_t>(k) +
+                 static_cast<std::size_t>(b)] = linkCost(a, b);
+    return cost;
+}
+
+}  // namespace geo::hier

@@ -1,0 +1,79 @@
+// Machine topology tree for hierarchical partitioning.
+//
+// A Topology describes a machine as a uniform tree: every node at level l
+// has levels[l].branching children, so the leaf count is the product of the
+// branching factors. Leaves are compute units (islands → nodes → cores);
+// hier::partitionHierarchical assigns exactly one block per leaf. Each level
+// additionally carries
+//   * per-child relative capacities (heterogeneous machines, paper
+//     footnote 1) — the same pattern at every node of the level, and
+//   * a cross factor: the relative per-unit cost of traffic between two
+//     leaves whose paths diverge at this level, mirroring
+//     par::CostModel::crossIslandFactor (cross-island traffic is ~2.5× more
+//     expensive than traffic inside an island).
+//
+// Leaves are numbered in depth-first (mixed-radix) order: the level-0 child
+// index is the most significant digit. That makes leaf id == flat block id
+// in hier::HierResult.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "par/cost_model.hpp"
+
+namespace geo::hier {
+
+struct TopologyLevel {
+    /// Children per tree node at this level (≥ 1).
+    std::int32_t branching = 2;
+    /// Relative capacity per child; empty = uniform, else one positive
+    /// value per child (normalized internally, shared by all nodes of the
+    /// level).
+    std::vector<double> capacities;
+    /// Relative per-unit cost of traffic crossing this level (> 0). The
+    /// cost of a leaf pair is the cross factor of the *topmost* level where
+    /// their paths diverge.
+    double crossFactor = 1.0;
+};
+
+struct Topology {
+    std::vector<TopologyLevel> levels;
+
+    /// Uniform-capacity topology from branching factors alone; the top
+    /// level crosses interconnect islands and inherits the cost model's
+    /// penalty factor, deeper levels cost 1.
+    static Topology fromBranching(std::span<const std::int32_t> branchings,
+                                  const par::CostModel& model = {});
+
+    [[nodiscard]] int depth() const noexcept { return static_cast<int>(levels.size()); }
+
+    /// Number of leaves = product of branching factors = number of blocks.
+    [[nodiscard]] std::int32_t leafCount() const;
+
+    /// Throws std::invalid_argument unless every level is well-formed.
+    void validate() const;
+
+    /// Normalized capacity share of every leaf (product of the per-level
+    /// child capacities along its path); the targetFractions of the
+    /// equivalent flat-k run.
+    [[nodiscard]] std::vector<double> leafCapacities() const;
+
+    /// Child index per level on the path from the root to `leaf`.
+    [[nodiscard]] std::vector<std::int32_t> leafPath(std::int32_t leaf) const;
+
+    /// Topmost level where the two leaves' root paths diverge; depth() when
+    /// a == b (no divergence).
+    [[nodiscard]] int divergenceLevel(std::int32_t a, std::int32_t b) const;
+
+    /// Per-unit traffic cost between two leaves: crossFactor of the
+    /// divergence level, 0 for a == b.
+    [[nodiscard]] double linkCost(std::int32_t a, std::int32_t b) const;
+
+    /// Flattened k × k matrix of linkCost over all leaf pairs — the weight
+    /// matrix graph::topologyCommCost expects when block b maps to leaf b.
+    [[nodiscard]] std::vector<double> blockCostMatrix() const;
+};
+
+}  // namespace geo::hier

@@ -70,7 +70,11 @@ MigrationStats migrationStats(std::span<const std::int64_t> prevIds,
     stats.stability = 1.0 - stats.migratedFraction;
     stats.maxSendBytes = *std::max_element(sendBytes.begin(), sendBytes.end());
     stats.maxRecvBytes = *std::max_element(recvBytes.begin(), recvBytes.end());
-    if (stats.totalBytes > 0)
+    // Any migration is charged the collective round: block relabeling is
+    // collective metadata even when every moved point stays on its rank
+    // (maxSend/maxRecvBytes are 0 then, so only the (ranks-1)*alpha latency
+    // term remains — 0 on a single rank, where nothing is collective).
+    if (stats.migratedPoints > 0)
         stats.modeledSeconds = model.alltoallv(
             ranks, static_cast<std::size_t>(stats.maxSendBytes),
             static_cast<std::size_t>(stats.maxRecvBytes));

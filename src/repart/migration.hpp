@@ -31,7 +31,12 @@ struct MigrationStats {
     std::uint64_t totalBytes = 0;   ///< payload crossing rank boundaries
     std::uint64_t maxSendBytes = 0; ///< heaviest sender
     std::uint64_t maxRecvBytes = 0; ///< heaviest receiver
-    double modeledSeconds = 0.0;    ///< CostModel estimate of the exchange
+    /// CostModel estimate of the exchange. Any migration is charged the
+    /// alltoallv round (block relabeling is collective metadata) even when
+    /// no payload crosses rank boundaries — only the latency term remains
+    /// then, which the model prices at (ranks−1)·α, i.e. 0 on one rank.
+    /// 0 when nothing migrated at all.
+    double modeledSeconds = 0.0;
 };
 
 /// Default migration payload: D coordinates + weight + id.

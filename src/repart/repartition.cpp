@@ -170,7 +170,7 @@ RepartResult<D> repartitionGeographer(std::span<const Point<D>> points,
             Timer probeTimer;
             out.normalizedDrift = probeDrift<D>(points, weights, state, options.probeSample);
             probeSeconds = probeTimer.seconds();
-            warm = out.normalizedDrift <= options.driftThresholdFactor;
+            warm = *out.normalizedDrift <= options.driftThresholdFactor;
         }
     }
 
@@ -189,8 +189,13 @@ RepartResult<D> repartitionGeographer(std::span<const Point<D>> points,
     }
     // The probe is a real per-step cost of the warm strategy: fold it into
     // the modeled pipeline time so warm-vs-cold comparisons stay honest.
-    out.result.phaseSeconds["probe"] = probeSeconds;
-    out.result.modeledSeconds += probeSeconds;
+    // Recorded only when the probe actually ran — a phase entry of 0 would
+    // be indistinguishable from a probe that was skipped (forced paths, no
+    // usable state).
+    if (out.normalizedDrift.has_value()) {
+        out.result.phaseSeconds["probe"] = probeSeconds;
+        out.result.modeledSeconds += probeSeconds;
+    }
 
     // Carry this step's state to the next call.
     state.centers.resize(static_cast<std::size_t>(k));

@@ -17,6 +17,7 @@
 // uses). See DESIGN.md "Dynamic repartitioning".
 #pragma once
 
+#include <optional>
 #include <span>
 
 #include "core/geographer.hpp"
@@ -60,8 +61,11 @@ struct RepartResult {
     /// k-means resumed from the previous (centers, influence).
     bool warmStarted = false;
     /// Probed max center drift over clusters, normalized by the expected
-    /// cluster radius. 0 when the probe did not run (no state / forced).
-    double normalizedDrift = 0.0;
+    /// cluster radius. Empty when the probe did not run (no usable state,
+    /// forceWarm, or forceCold) — "not measured" is distinguishable from
+    /// "measured zero drift". The probe ran iff this is set, and iff
+    /// result.phaseSeconds contains a "probe" entry.
+    std::optional<double> normalizedDrift;
 };
 
 /// Partition the new timestep's `points` into k blocks on `ranks` simulated

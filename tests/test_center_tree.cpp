@@ -128,41 +128,4 @@ TEST(KMeansWithKdTree, SameResultAsLinearScan) {
     EXPECT_EQ(a, b);
 }
 
-TEST(HeterogeneousTargets, NonUniformBlockSizesAreHonored) {
-    // Paper footnote 1: non-uniform target sizes for heterogeneous
-    // architectures. Ask for a 60/25/15 split.
-    const auto pts = randomPoints<2>(4000, 53);
-    Xoshiro256 rng(59);
-    std::vector<Point2> centers;
-    for (int c = 0; c < 3; ++c) centers.push_back(Point2{{rng.uniform(), rng.uniform()}});
-    core::Settings s;
-    s.targetFractions = {0.6, 0.25, 0.15};
-    s.epsilon = 0.05;
-    s.maxIterations = 80;
-    par::runSpmd(1, [&](par::Comm& comm) {
-        const auto out = core::balancedKMeans<2>(comm, pts, {}, centers, s);
-        std::vector<double> sizes(3, 0.0);
-        for (const auto a : out.assignment) sizes[static_cast<std::size_t>(a)] += 1.0;
-        EXPECT_NEAR(sizes[0] / 4000.0, 0.60, 0.05);
-        EXPECT_NEAR(sizes[1] / 4000.0, 0.25, 0.04);
-        EXPECT_NEAR(sizes[2] / 4000.0, 0.15, 0.03);
-    });
-}
-
-TEST(HeterogeneousTargets, RejectsBadFractions) {
-    const auto pts = randomPoints<2>(100, 61);
-    std::vector<Point2> centers{Point2{{0.2, 0.2}}, Point2{{0.8, 0.8}}};
-    core::Settings s;
-    s.targetFractions = {0.5};  // wrong arity
-    par::runSpmd(1, [&](par::Comm& comm) {
-        EXPECT_THROW((void)core::balancedKMeans<2>(comm, pts, {}, centers, s),
-                     std::invalid_argument);
-    });
-    s.targetFractions = {0.5, -0.5};
-    par::runSpmd(1, [&](par::Comm& comm) {
-        EXPECT_THROW((void)core::balancedKMeans<2>(comm, pts, {}, centers, s),
-                     std::invalid_argument);
-    });
-}
-
 }  // namespace

@@ -139,6 +139,34 @@ TEST(Geographer, RejectsBadArguments) {
                  std::invalid_argument);
 }
 
+TEST(Geographer, NonUniformTargetsReportCorrectImbalance) {
+    // Regression for the metric bug: runs with Settings::targetFractions
+    // used to be evaluated against the uniform ceil(W/k) denominator, so a
+    // partition that hit its 60/25/15 target dead-on reported ~80%
+    // imbalance. End-to-end: partition, then evaluate with the
+    // fraction-aware overload.
+    const auto mesh = geo::gen::delaunay2d(5000, 11);
+    Settings s;
+    s.targetFractions = {0.6, 0.25, 0.15};
+    s.epsilon = 0.05;
+    s.maxIterations = 80;
+    const auto res = partitionGeographer<2>(mesh.points, {}, 3, 2, s);
+    // The partitioner's own (fraction-aware) imbalance met epsilon...
+    EXPECT_LE(res.imbalance, s.epsilon + 1e-9);
+    // ...and the fraction-aware metric agrees with it.
+    const auto imb =
+        geo::graph::imbalance(res.partition, 3, {}, s.targetFractions);
+    EXPECT_NEAR(imb, res.imbalance, 1e-9);
+    EXPECT_LE(imb, s.epsilon + 1e-9);
+    // The uniform metric on the same partition is far off target — the
+    // bogus number previously reported.
+    EXPECT_GT(geo::graph::imbalance(res.partition, 3), 0.5);
+    // evaluatePartition plumbs the fractions through to its imbalance.
+    const auto m = geo::graph::evaluatePartition(mesh.graph, res.partition, 3, {},
+                                                 false, s.targetFractions);
+    EXPECT_NEAR(m.imbalance, imb, 1e-12);
+}
+
 TEST(Geographer, EpsilonVariantsAreRespected) {
     const auto mesh = geo::gen::delaunay2d(4000, 10);
     for (const double eps : {0.03, 0.05}) {

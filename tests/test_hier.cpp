@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "gen/climate.hpp"
+#include "gen/delaunay2d.hpp"
+#include "gen/grid.hpp"
+#include "graph/metrics.hpp"
+#include "hier/hier_partition.hpp"
+#include "hier/topology.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using geo::Point2;
+using geo::Xoshiro256;
+using geo::core::Settings;
+using geo::hier::HierState;
+using geo::hier::partitionHierarchical;
+using geo::hier::repartitionHierarchical;
+using geo::hier::Topology;
+using geo::hier::TopologyLevel;
+
+Topology twoLevel(std::int32_t islands, std::int32_t perIsland,
+                  double crossFactor = 2.5) {
+    Topology topo;
+    topo.levels.push_back(TopologyLevel{islands, {}, crossFactor});
+    topo.levels.push_back(TopologyLevel{perIsland, {}, 1.0});
+    return topo;
+}
+
+TEST(Topology, LeafCountAndCapacities) {
+    const auto topo = twoLevel(3, 4);
+    EXPECT_EQ(topo.leafCount(), 12);
+    const auto caps = topo.leafCapacities();
+    ASSERT_EQ(caps.size(), 12u);
+    for (const double c : caps) EXPECT_NEAR(c, 1.0 / 12.0, 1e-12);
+
+    Topology hetero;
+    hetero.levels.push_back(TopologyLevel{2, {3.0, 1.0}, 2.5});
+    hetero.levels.push_back(TopologyLevel{2, {1.0, 1.0}, 1.0});
+    const auto hc = hetero.leafCapacities();
+    ASSERT_EQ(hc.size(), 4u);
+    EXPECT_NEAR(hc[0], 0.375, 1e-12);  // 0.75 island share, halved
+    EXPECT_NEAR(hc[1], 0.375, 1e-12);
+    EXPECT_NEAR(hc[2], 0.125, 1e-12);
+    EXPECT_NEAR(hc[3], 0.125, 1e-12);
+    EXPECT_NEAR(std::accumulate(hc.begin(), hc.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(Topology, PathsDivergenceAndLinkCost) {
+    const auto topo = twoLevel(2, 3, 2.5);
+    // Leaves 0..2 in island 0, 3..5 in island 1 (depth-first order).
+    EXPECT_EQ(topo.leafPath(4), (std::vector<std::int32_t>{1, 1}));
+    EXPECT_EQ(topo.divergenceLevel(0, 1), 1);   // same island, different leaf
+    EXPECT_EQ(topo.divergenceLevel(0, 3), 0);   // different islands
+    EXPECT_EQ(topo.divergenceLevel(2, 2), 2);   // no divergence
+    EXPECT_DOUBLE_EQ(topo.linkCost(0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(topo.linkCost(0, 3), 2.5);
+    EXPECT_DOUBLE_EQ(topo.linkCost(2, 2), 0.0);
+    const auto matrix = topo.blockCostMatrix();
+    ASSERT_EQ(matrix.size(), 36u);
+    EXPECT_DOUBLE_EQ(matrix[0 * 6 + 5], 2.5);
+    EXPECT_DOUBLE_EQ(matrix[4 * 6 + 3], 1.0);
+}
+
+TEST(Topology, FromBranchingUsesCostModelPenalty) {
+    const std::vector<std::int32_t> branchings{4, 2};
+    geo::par::CostModel model;
+    model.crossIslandFactor = 3.0;
+    const auto topo = Topology::fromBranching(branchings, model);
+    EXPECT_EQ(topo.leafCount(), 8);
+    EXPECT_DOUBLE_EQ(topo.levels[0].crossFactor, 3.0);
+    EXPECT_DOUBLE_EQ(topo.levels[1].crossFactor, 1.0);
+}
+
+TEST(Topology, ValidationRejectsMalformedLevels) {
+    Topology empty;
+    EXPECT_THROW(empty.validate(), std::invalid_argument);
+
+    Topology badBranching;
+    badBranching.levels.push_back(TopologyLevel{0, {}, 1.0});
+    EXPECT_THROW(badBranching.validate(), std::invalid_argument);
+
+    Topology wrongArity;
+    wrongArity.levels.push_back(TopologyLevel{3, {1.0, 2.0}, 1.0});
+    EXPECT_THROW(wrongArity.validate(), std::invalid_argument);
+
+    Topology negativeCapacity;
+    negativeCapacity.levels.push_back(TopologyLevel{2, {1.0, -1.0}, 1.0});
+    EXPECT_THROW(negativeCapacity.validate(), std::invalid_argument);
+
+    Topology badFactor;
+    badFactor.levels.push_back(TopologyLevel{2, {}, 0.0});
+    EXPECT_THROW(badFactor.validate(), std::invalid_argument);
+}
+
+std::vector<Point2> uniformCloud(int n, std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    std::vector<Point2> pts;
+    pts.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) pts.push_back(Point2{{rng.uniform(), rng.uniform()}});
+    return pts;
+}
+
+TEST(HierPartition, CoversAllPointsWithinBalance) {
+    const auto pts = uniformCloud(6000, 3);
+    const auto topo = twoLevel(2, 4);
+    Settings s;
+    s.epsilon = 0.05;
+    const auto res = partitionHierarchical<2>(pts, {}, topo, 4, s);
+    ASSERT_EQ(res.partition.size(), pts.size());
+    ASSERT_EQ(res.blockLeaf.size(), 8u);
+    for (std::int32_t b = 0; b < 8; ++b) EXPECT_EQ(res.blockLeaf[static_cast<std::size_t>(b)], b);
+    std::vector<std::int64_t> counts(8, 0);
+    for (const auto b : res.partition) {
+        ASSERT_GE(b, 0);
+        ASSERT_LT(b, 8);
+        counts[static_cast<std::size_t>(b)]++;
+    }
+    for (const auto c : counts) EXPECT_GT(c, 0);
+    // The recursion splits epsilon across levels ((1+eps)^(1/depth) - 1
+    // per level), so the end-to-end imbalance honors the user's epsilon;
+    // small slack for levels that stop on maxBalanceIterations.
+    EXPECT_LE(res.imbalance, s.epsilon + 0.01);
+    EXPECT_EQ(res.coldNodes, 3);  // root + 2 islands, all cold on first run
+    EXPECT_EQ(res.warmNodes, 0);
+}
+
+TEST(HierPartition, HonorsHeterogeneousIslandCapacities) {
+    const auto pts = uniformCloud(6000, 5);
+    Topology topo;
+    topo.levels.push_back(TopologyLevel{2, {3.0, 1.0}, 2.5});
+    topo.levels.push_back(TopologyLevel{2, {}, 1.0});
+    Settings s;
+    s.epsilon = 0.05;
+    s.maxIterations = 80;
+    const auto res = partitionHierarchical<2>(pts, {}, topo, 2, s);
+    std::vector<double> share(4, 0.0);
+    for (const auto b : res.partition) share[static_cast<std::size_t>(b)] += 1.0 / 6000.0;
+    EXPECT_NEAR(share[0], 0.375, 0.04);
+    EXPECT_NEAR(share[1], 0.375, 0.04);
+    EXPECT_NEAR(share[2], 0.125, 0.03);
+    EXPECT_NEAR(share[3], 0.125, 0.03);
+    // The imbalance field already uses the capacity-aware metric.
+    EXPECT_LE(res.imbalance, s.epsilon + 0.01);
+}
+
+TEST(HierPartition, DeterministicAcrossRuns) {
+    const auto pts = uniformCloud(3000, 7);
+    const auto topo = twoLevel(2, 2);
+    Settings s;
+    s.epsilon = 0.05;
+    const auto a = partitionHierarchical<2>(pts, {}, topo, 3, s);
+    const auto b = partitionHierarchical<2>(pts, {}, topo, 3, s);
+    EXPECT_EQ(a.partition, b.partition);
+}
+
+TEST(HierPartition, RejectsConflictingSettings) {
+    const auto pts = uniformCloud(200, 9);
+    const auto topo = twoLevel(2, 2);
+    Settings withFractions;
+    withFractions.targetFractions = {0.25, 0.25, 0.25, 0.25};
+    EXPECT_THROW((void)partitionHierarchical<2>(pts, {}, topo, 1, withFractions),
+                 std::invalid_argument);
+    Settings withInfluence;
+    withInfluence.initialInfluence = {1.0, 1.0, 1.0, 1.0};
+    EXPECT_THROW((void)partitionHierarchical<2>(pts, {}, topo, 1, withInfluence),
+                 std::invalid_argument);
+}
+
+TEST(HierPartition, ReducesTopologyCommCostVsFlatOnTwoFamilies) {
+    // The tentpole claim: under a 2-level topology with expensive island
+    // crossings, the hierarchical partition beats the topology-oblivious
+    // flat k run (same epsilon, identity block -> leaf mapping) on
+    // topology-weighted comm cost. Flat-with-identity is a strong baseline
+    // on uniform square domains — Hilbert-curve seeding makes consecutive
+    // block ids spatially coherent, and curve quarters of a square ARE
+    // quadrants — so the 4-aligned 2-level case roughly ties; at 8 islands
+    // and on irregular-density instances the hierarchy wins. Assert wins on
+    // at least two of the three generator families (all three win as of
+    // this writing; everything here is deterministic).
+    const auto topo = twoLevel(8, 8, 2.5);
+    const std::int32_t k = topo.leafCount();
+    const auto cost = topo.blockCostMatrix();
+    Settings s;
+    s.epsilon = 0.05;
+    const auto gridMesh = geo::gen::grid2d(96, 96);
+    const auto delaunayMesh = geo::gen::delaunay2d(8000, 13);
+    const auto climateMesh = geo::gen::climate25d(8000, 3, 1);
+    int wins = 0;
+    for (const auto* mesh : {&gridMesh, &delaunayMesh, &climateMesh}) {
+        const auto hier =
+            partitionHierarchical<2>(mesh->points, mesh->weights, topo, 4, s);
+        const auto flat = geo::core::partitionGeographer<2>(mesh->points,
+                                                            mesh->weights, k, 4, s);
+        const double hierCost =
+            geo::graph::topologyCommCost(mesh->graph, hier.partition, k, cost);
+        const double flatCost =
+            geo::graph::topologyCommCost(mesh->graph, flat.partition, k, cost);
+        EXPECT_GT(hierCost, 0.0);
+        wins += (hierCost < flatCost);
+    }
+    EXPECT_GE(wins, 2);
+}
+
+TEST(HierRepartition, WarmStartsEveryNodeOnSecondStep) {
+    const auto pts = uniformCloud(5000, 11);
+    const auto topo = twoLevel(2, 3);
+    Settings s;
+    s.epsilon = 0.05;
+    HierState<2> state;
+    const auto first = repartitionHierarchical<2>(pts, {}, topo, 2, s, state);
+    EXPECT_EQ(first.coldNodes, 3);
+    EXPECT_EQ(first.warmNodes, 0);
+    ASSERT_EQ(state.nodes.size(), 3u);  // root + 2 islands
+    for (const auto& node : state.nodes) EXPECT_FALSE(node.centers.empty());
+
+    // Same cloud again: zero drift, every node resumes warm.
+    const auto second = repartitionHierarchical<2>(pts, {}, topo, 2, s, state);
+    EXPECT_EQ(second.warmNodes, 3);
+    EXPECT_EQ(second.coldNodes, 0);
+    EXPECT_LE(second.imbalance, s.epsilon + 0.01);
+}
+
+TEST(HierRepartition, DriftingCloudStaysBalancedAcrossSteps) {
+    auto pts = uniformCloud(4000, 17);
+    const auto topo = twoLevel(2, 2);
+    Settings s;
+    s.epsilon = 0.05;
+    HierState<2> state;
+    for (int t = 0; t < 4; ++t) {
+        const auto res = repartitionHierarchical<2>(pts, {}, topo, 2, s, state);
+        EXPECT_LE(res.imbalance, s.epsilon + 0.01) << "step " << t;
+        if (t > 0) EXPECT_GT(res.warmNodes, 0) << "step " << t;
+        for (auto& p : pts) p = Point2{{p[0] + 0.01, p[1]}};  // gentle advection
+    }
+}
+
+TEST(HierRepartition, StateMismatchedWithTopologyIsRejected) {
+    const auto pts = uniformCloud(500, 19);
+    const auto topo = twoLevel(2, 2);
+    HierState<2> state;
+    state.nodes.resize(7);  // wrong internal-node count for this topology
+    Settings s;
+    EXPECT_THROW((void)repartitionHierarchical<2>(pts, {}, topo, 1, s, state),
+                 std::invalid_argument);
+}
+
+TEST(HierMetrics, TopologySpmvTimeWeighsIslandCrossings) {
+    // Hand-built: an 8-column strip split into 4 slabs, blocks 0|1 on
+    // island 0 and 2|3 on island 1; the 1|2 boundary crosses islands.
+    const auto mesh = geo::gen::grid2d(8, 4);
+    geo::graph::Partition part(32);
+    for (std::size_t v = 0; v < 32; ++v) part[v] = static_cast<std::int32_t>((v % 8) / 2);
+    const auto cheap = twoLevel(2, 2, 1.0);
+    const auto pricey = twoLevel(2, 2, 4.0);
+    const double base = geo::hier::topologySpmvCommSeconds(mesh.graph, part, cheap);
+    const double weighted = geo::hier::topologySpmvCommSeconds(mesh.graph, part, pricey);
+    EXPECT_GT(base, 0.0);
+    // Blocks 1 and 2 receive one intra-island and one cross-island ghost
+    // column (4 ghosts each); raising the island factor from 1 to 4 scales
+    // their byte term accordingly, so the max strictly grows.
+    EXPECT_GT(weighted, base);
+}
+
+}  // namespace

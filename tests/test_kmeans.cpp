@@ -263,6 +263,66 @@ TEST(BalancedKMeans, RejectsMismatchedWeights) {
     });
 }
 
+TEST(HeterogeneousTargets, NonUniformBlockSizesAreHonored) {
+    // Paper footnote 1: non-uniform target sizes for heterogeneous
+    // architectures. Ask for a 60/25/15 split.
+    const auto pts = uniformPoints(4000, 53);
+    Settings s;
+    s.targetFractions = {0.6, 0.25, 0.15};
+    s.epsilon = 0.05;
+    s.maxIterations = 80;
+    runSpmd(1, [&](Comm& comm) {
+        const auto out = balancedKMeans<2>(comm, pts, {}, seedCenters(3, 59), s);
+        std::vector<double> sizes(3, 0.0);
+        for (const auto a : out.assignment) sizes[static_cast<std::size_t>(a)] += 1.0;
+        EXPECT_NEAR(sizes[0] / 4000.0, 0.60, 0.05);
+        EXPECT_NEAR(sizes[1] / 4000.0, 0.25, 0.04);
+        EXPECT_NEAR(sizes[2] / 4000.0, 0.15, 0.03);
+    });
+}
+
+TEST(HeterogeneousTargets, UnnormalizedFractionsAreNormalized) {
+    // Fractions are relative shares, not probabilities: {12, 5, 3} must
+    // behave exactly like {0.6, 0.25, 0.15}.
+    const auto pts = uniformPoints(4000, 53);
+    Settings normalized, scaled;
+    normalized.targetFractions = {0.6, 0.25, 0.15};
+    scaled.targetFractions = {12.0, 5.0, 3.0};
+    normalized.epsilon = scaled.epsilon = 0.05;
+    normalized.maxIterations = scaled.maxIterations = 80;
+    std::vector<std::int32_t> a, b;
+    double imbA = 0.0, imbB = 0.0;
+    runSpmd(1, [&](Comm& comm) {
+        const auto out = balancedKMeans<2>(comm, pts, {}, seedCenters(3, 59), normalized);
+        a = out.assignment;
+        imbA = out.imbalance;
+    });
+    runSpmd(1, [&](Comm& comm) {
+        const auto out = balancedKMeans<2>(comm, pts, {}, seedCenters(3, 59), scaled);
+        b = out.assignment;
+        imbB = out.imbalance;
+    });
+    EXPECT_EQ(a, b);
+    EXPECT_DOUBLE_EQ(imbA, imbB);
+    EXPECT_LE(imbA, 0.05 + 1e-9);
+}
+
+TEST(HeterogeneousTargets, RejectsBadFractions) {
+    const auto pts = uniformPoints(100, 61);
+    const std::vector<Point2> centers{Point2{{0.2, 0.2}}, Point2{{0.8, 0.8}}};
+    Settings s;
+    s.targetFractions = {0.5};  // wrong arity
+    runSpmd(1, [&](Comm& comm) {
+        EXPECT_THROW((void)balancedKMeans<2>(comm, pts, {}, centers, s),
+                     std::invalid_argument);
+    });
+    s.targetFractions = {0.5, -0.5};
+    runSpmd(1, [&](Comm& comm) {
+        EXPECT_THROW((void)balancedKMeans<2>(comm, pts, {}, centers, s),
+                     std::invalid_argument);
+    });
+}
+
 TEST(BalancedKMeans, DeterministicAcrossRuns) {
     const auto pts = uniformPoints(1500, 83);
     Settings s;

@@ -100,6 +100,91 @@ TEST(Imbalance, EmptyBlockDoesNotCrash) {
     EXPECT_DOUBLE_EQ(imbalance(part, 3, {}), 1.0);  // 2/ceil(2/3)-1
 }
 
+TEST(Imbalance, PerfectNonUniformSplitIsZero) {
+    // 60/25/15 split of 20 unit weights, hit exactly: 12 + 5 + 3.
+    Partition part;
+    for (int i = 0; i < 12; ++i) part.push_back(0);
+    for (int i = 0; i < 5; ++i) part.push_back(1);
+    for (int i = 0; i < 3; ++i) part.push_back(2);
+    const std::vector<double> fractions{0.6, 0.25, 0.15};
+    EXPECT_DOUBLE_EQ(imbalance(part, 3, {}, fractions), 0.0);
+    // The uniform metric would misreport this perfectly-on-target split as
+    // 12/ceil(20/3) - 1 — the bug the overload fixes.
+    EXPECT_NEAR(imbalance(part, 3), 12.0 / 7.0 - 1.0, 1e-12);
+}
+
+TEST(Imbalance, NonUniformTargetsUseTargetTimesTotal) {
+    // Block 0 holds 4 of weight 6 against a 50% target: 4/3 - 1 = 1/3.
+    const Partition part{0, 0, 0, 0, 1, 1};
+    const std::vector<double> fractions{0.5, 0.5};
+    EXPECT_NEAR(imbalance(part, 2, {}, fractions), 1.0 / 3.0, 1e-12);
+    // Un-normalized fractions behave identically.
+    const std::vector<double> scaled{2.0, 2.0};
+    EXPECT_DOUBLE_EQ(imbalance(part, 2, {}, scaled),
+                     imbalance(part, 2, {}, fractions));
+    // Weighted: block 1 carries 6 of 8 against a 25% target -> 2.
+    const std::vector<double> w{1.0, 0.25, 0.25, 0.5, 3.0, 3.0};
+    const std::vector<double> skew{0.75, 0.25};
+    EXPECT_NEAR(imbalance(part, 2, w, skew), 6.0 / 2.0 - 1.0, 1e-12);
+}
+
+TEST(Imbalance, EmptyFractionsFallBackToUniform) {
+    const Partition part{0, 0, 0, 1};
+    EXPECT_DOUBLE_EQ(imbalance(part, 2, {}, {}), imbalance(part, 2));
+}
+
+TEST(Imbalance, RejectsBadFractions) {
+    const Partition part{0, 1};
+    const std::vector<double> wrongArity{1.0};
+    EXPECT_THROW(imbalance(part, 2, {}, wrongArity), std::invalid_argument);
+    const std::vector<double> negative{1.0, -1.0};
+    EXPECT_THROW(imbalance(part, 2, {}, negative), std::invalid_argument);
+}
+
+TEST(TopologyCommCost, UnitWeightsMatchTotalCommVolume) {
+    const auto mesh = geo::gen::grid2d(12, 6);
+    const auto part = slabs(12, 6, 3);
+    std::vector<double> ones(9, 1.0);
+    ones[0] = ones[4] = ones[8] = 0.0;  // diagonal unused by definition
+    const auto m = evaluatePartition(mesh.graph, part, 3, {}, false);
+    EXPECT_DOUBLE_EQ(topologyCommCost(mesh.graph, part, 3, ones),
+                     static_cast<double>(m.totalCommVolume));
+}
+
+TEST(TopologyCommCost, WeighsBlockPairsIndividually) {
+    const auto mesh = geo::gen::grid2d(12, 6);
+    const auto part = slabs(12, 6, 3);
+    // Only the (0,1)/(1,0) boundary costs anything: slabs 0|1 exchange
+    // 6 ghosts each way, weighted 2.5.
+    std::vector<double> cost(9, 0.0);
+    cost[0 * 3 + 1] = cost[1 * 3 + 0] = 2.5;
+    EXPECT_DOUBLE_EQ(topologyCommCost(mesh.graph, part, 3, cost), 2.5 * 12.0);
+}
+
+TEST(TopologyCommCost, AsymmetricMatrixIsReceiverMajor) {
+    // Vertices 0, 1 in block 0, vertex 2 in block 1; edges 0-2 and 1-2.
+    // Block 1 needs two ghosts (vertices 0 and 1) from block 0; block 0
+    // needs one ghost (vertex 2, deduplicated) from block 1. An asymmetric
+    // matrix pins the contract: weight = linkCost[receiver*k + owner].
+    GraphBuilder b(3);
+    b.addEdge(0, 2);
+    b.addEdge(1, 2);
+    const auto g = b.build();
+    const Partition part{0, 0, 1};
+    std::vector<double> cost(4, 0.0);
+    cost[1 * 2 + 0] = 5.0;  // block 1 reading from block 0
+    cost[0 * 2 + 1] = 1.0;  // block 0 reading from block 1
+    EXPECT_DOUBLE_EQ(topologyCommCost(g, part, 2, cost), 2.0 * 5.0 + 1.0 * 1.0);
+}
+
+TEST(TopologyCommCost, RejectsWrongMatrixSize) {
+    const auto mesh = geo::gen::grid2d(4, 4);
+    const Partition part(16, 0);
+    const std::vector<double> tooSmall(2, 1.0);
+    EXPECT_THROW(topologyCommCost(mesh.graph, part, 1, tooSmall),
+                 std::invalid_argument);
+}
+
 TEST(DiameterBound, PathIsExact) {
     GraphBuilder b(10);
     for (int i = 0; i + 1 < 10; ++i) b.addEdge(i, i + 1);

@@ -110,7 +110,7 @@ TEST(Migration, HandBuiltPartitionsMatchExpectedStats) {
     EXPECT_GT(m.modeledSeconds, 0.0);
 }
 
-TEST(Migration, SameRankMovesCostNoBytes) {
+TEST(Migration, SameRankMovesCostNoBytesButOneMetadataRound) {
     // k=4 blocks on 2 ranks: blocks {0,1} -> rank 0, {2,3} -> rank 1.
     EXPECT_EQ(ownerRank(0, 4, 2), 0);
     EXPECT_EQ(ownerRank(1, 4, 2), 0);
@@ -123,9 +123,24 @@ TEST(Migration, SameRankMovesCostNoBytes) {
     const std::vector<std::int64_t> ids{0, 1};
     const std::vector<std::int32_t> prev{0, 2};
     const std::vector<std::int32_t> curr{1, 3};  // both move within their rank
-    const MigrationStats m = migrationStats(ids, prev, ids, curr, {}, 4, 2, 32);
+    const geo::par::CostModel model;
+    const MigrationStats m = migrationStats(ids, prev, ids, curr, {}, 4, 2, 32, model);
     EXPECT_EQ(m.migratedPoints, 2);
+    // No payload crosses a rank boundary...
     EXPECT_EQ(m.totalBytes, 0u);
+    EXPECT_EQ(m.maxSendBytes, 0u);
+    EXPECT_EQ(m.maxRecvBytes, 0u);
+    // ...but block relabeling is still a collective metadata round: exactly
+    // the zero-byte alltoallv latency.
+    EXPECT_DOUBLE_EQ(m.modeledSeconds, model.alltoallv(2, 0, 0));
+    EXPECT_GT(m.modeledSeconds, 0.0);
+}
+
+TEST(Migration, NoMigrationCostsNothing) {
+    const std::vector<std::int64_t> ids{0, 1};
+    const std::vector<std::int32_t> blocks{0, 1};
+    const MigrationStats m = migrationStats(ids, blocks, ids, blocks, {}, 2, 2, 32);
+    EXPECT_EQ(m.migratedPoints, 0);
     EXPECT_DOUBLE_EQ(m.modeledSeconds, 0.0);
 }
 
@@ -242,18 +257,24 @@ TEST(Repartition, ColdFallbackTriggersOnLargeDrift) {
     RepartState<2> state;
     const auto warm0 = repartitionGeographer<2>(cloud, {}, 4, 2, s, state);
     EXPECT_FALSE(warm0.warmStarted);  // no prior state
+    // No usable state: the probe never ran, so no drift and no probe phase.
+    EXPECT_FALSE(warm0.normalizedDrift.has_value());
+    EXPECT_EQ(warm0.result.phaseSeconds.count("probe"), 0u);
 
     // Same cloud again: negligible drift, warm path.
     const auto warm1 = repartitionGeographer<2>(cloud, {}, 4, 2, s, state);
     EXPECT_TRUE(warm1.warmStarted);
-    EXPECT_LT(warm1.normalizedDrift, 0.25);
+    ASSERT_TRUE(warm1.normalizedDrift.has_value());
+    EXPECT_LT(*warm1.normalizedDrift, 0.25);
+    EXPECT_EQ(warm1.result.phaseSeconds.count("probe"), 1u);
 
     // Teleport the workload far away: the probe must reject the old centers.
     auto shifted = cloud;
     for (auto& p : shifted) p = Point2{{p[0] * 0.3 + 7.0, p[1] * 0.3 - 4.0}};
     const auto cold = repartitionGeographer<2>(shifted, {}, 4, 2, s, state);
     EXPECT_FALSE(cold.warmStarted);
-    EXPECT_GT(cold.normalizedDrift, 0.25);
+    ASSERT_TRUE(cold.normalizedDrift.has_value());
+    EXPECT_GT(*cold.normalizedDrift, 0.25);
     EXPECT_LE(cold.result.imbalance, s.epsilon + 1e-9);
 }
 
@@ -301,7 +322,8 @@ TEST(Repartition, HeavySparseClusterDoesNotSpuriouslyGoCold) {
     (void)repartitionGeographer<2>(pts, w, 4, 2, s, state);
     const auto again = repartitionGeographer<2>(pts, w, 4, 2, s, state);
     EXPECT_TRUE(again.warmStarted);
-    EXPECT_LT(again.normalizedDrift, 0.25);
+    ASSERT_TRUE(again.normalizedDrift.has_value());
+    EXPECT_LT(*again.normalizedDrift, 0.25);
 }
 
 TEST(Repartition, ForceFlagsOverrideProbe) {
@@ -314,12 +336,18 @@ TEST(Repartition, ForceFlagsOverrideProbe) {
     (void)repartitionGeographer<2>(cloud, {}, 3, 2, s, state);
     RepartOptions forceCold;
     forceCold.forceCold = true;
-    EXPECT_FALSE(
-        repartitionGeographer<2>(cloud, {}, 3, 2, s, state, forceCold).warmStarted);
+    const auto cold = repartitionGeographer<2>(cloud, {}, 3, 2, s, state, forceCold);
+    EXPECT_FALSE(cold.warmStarted);
+    // Forced paths skip the probe: "probe not run" must be distinguishable
+    // from "measured zero drift".
+    EXPECT_FALSE(cold.normalizedDrift.has_value());
+    EXPECT_EQ(cold.result.phaseSeconds.count("probe"), 0u);
     RepartOptions forceWarm;
     forceWarm.forceWarm = true;
-    EXPECT_TRUE(
-        repartitionGeographer<2>(cloud, {}, 3, 2, s, state, forceWarm).warmStarted);
+    const auto warm = repartitionGeographer<2>(cloud, {}, 3, 2, s, state, forceWarm);
+    EXPECT_TRUE(warm.warmStarted);
+    EXPECT_FALSE(warm.normalizedDrift.has_value());
+    EXPECT_EQ(warm.result.phaseSeconds.count("probe"), 0u);
 }
 
 TEST(Repartition, WarmNeedsFewerOuterIterationsThanCold) {
