@@ -119,11 +119,14 @@ int main(int argc, char** argv) {
                   << ", ranks = " << ranks << ") ===\n";
         geo::Table table({"instance", "scheme", "imbalance", "edgeCut", "totCommVol",
                           "crossIslandVol", "topoCommCost", "vsFlat", "topoSpMV_us"});
+        geo::core::KMeansCounters flatCounters, hierCounters;
         for (const auto& [name, mesh] : meshes) {
             const auto flat = geo::core::partitionGeographer<2>(
                 mesh.points, mesh.weights, k, ranks, s);
             const auto hier = geo::hier::partitionHierarchical<2>(
                 mesh.points, mesh.weights, *topo, ranks, s);
+            flatCounters.merge(flat.counters);
+            hierCounters.merge(hier.counters);
             const Row flatRow = evaluate(name, "flat", mesh, flat.partition, *topo);
             const Row hierRow = evaluate(name, "hier", mesh, hier.partition, *topo);
             for (const Row* row : {&flatRow, &hierRow}) {
@@ -139,6 +142,18 @@ int main(int argc, char** argv) {
             }
         }
         table.print(std::cout);
+        // Assignment-engine counters over the three instances: the per-node
+        // hierarchical solves inherit the fast engine (batched
+        // squared-distance kernels, lazy epoch bounds) like the flat run.
+        const auto printCounters = [](const char* name,
+                                      const geo::core::KMeansCounters& c) {
+            std::cout << name << ": distCalcs=" << c.distanceCalcs
+                      << " batched=" << c.batchedDistanceCalcs
+                      << " epochApps=" << c.epochBoundApplications << " skip%="
+                      << geo::Table::num(100.0 * c.skipFraction(), 3) << '\n';
+        };
+        printCounters("engine counters flat", flatCounters);
+        printCounters("engine counters hier", hierCounters);
         std::cout << '\n';
     }
     std::cout << "flat = partitionGeographer with k blocks, block b on leaf b;\n"

@@ -4,11 +4,13 @@
 // baseline partitioners.
 #include <benchmark/benchmark.h>
 
+#include <numeric>
 #include <vector>
 
 #include "baseline/hsfc.hpp"
 #include "baseline/multijagged.hpp"
 #include "baseline/rcb.hpp"
+#include "core/assign_kernel.hpp"
 #include "core/balanced_kmeans.hpp"
 #include "geometry/box.hpp"
 #include "par/comm.hpp"
@@ -90,6 +92,133 @@ void BM_BalancedKMeans_NoBounds(benchmark::State& state) {
     kmeansBench(state, false, false);
 }
 BENCHMARK(BM_BalancedKMeans_NoBounds)->Arg(1 << 14);
+
+// ---------------------------------------------------------------------------
+// Assignment-sweep kernels (core/assign_kernel): one full sweep of the
+// active points against k = 64 centers, bounds reset each iteration so every
+// point is (re)assigned. "Reference" is the seed implementation's scalar
+// sqrt-domain loop; "Fast" the squared-domain SoA batch kernel; the T2/T4
+// variants add intra-rank threads. Both modes produce bitwise-identical
+// assignments (tests/test_kmeans.cpp equivalence suite).
+// ---------------------------------------------------------------------------
+
+template <int DIM>
+std::vector<Point<DIM>> randomPointsDim(std::int64_t n, std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    std::vector<Point<DIM>> pts;
+    pts.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+        Point<DIM> p;
+        for (int d = 0; d < DIM; ++d) p[d] = rng.uniform();
+        pts.push_back(p);
+    }
+    return pts;
+}
+
+template <int DIM>
+void assignSweepBench(benchmark::State& state, bool reference, int threads) {
+    const auto n = static_cast<std::int64_t>(state.range(0));
+    const std::int32_t k = 64;
+    const auto pts = randomPointsDim<DIM>(n, 3);
+    const auto centers = randomPointsDim<DIM>(k, 5);
+    Xoshiro256 rng(7);
+    std::vector<double> influence;
+    for (std::int32_t c = 0; c < k; ++c) influence.push_back(rng.uniform(0.8, 1.25));
+
+    core::Settings s;
+    s.referenceAssignment = reference;
+    s.assignThreads = threads;
+    core::AssignEngine<DIM> engine(pts, {}, s, k);
+    std::vector<std::size_t> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    engine.setActive(order, order.size());
+    std::vector<double> sizes(static_cast<std::size_t>(k), 0.0);
+    for (auto _ : state) {
+        engine.resetBounds();
+        engine.beginRound(centers, influence, engine.activeBox());
+        engine.sweep(sizes);
+        benchmark::DoNotOptimize(sizes.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_AssignSweep2D_Reference(benchmark::State& state) {
+    assignSweepBench<2>(state, true, 1);
+}
+void BM_AssignSweep2D_Fast(benchmark::State& state) { assignSweepBench<2>(state, false, 1); }
+void BM_AssignSweep2D_FastT2(benchmark::State& state) {
+    assignSweepBench<2>(state, false, 2);
+}
+void BM_AssignSweep2D_FastT4(benchmark::State& state) {
+    assignSweepBench<2>(state, false, 4);
+}
+void BM_AssignSweep3D_Reference(benchmark::State& state) {
+    assignSweepBench<3>(state, true, 1);
+}
+void BM_AssignSweep3D_Fast(benchmark::State& state) { assignSweepBench<3>(state, false, 1); }
+void BM_AssignSweep3D_FastT2(benchmark::State& state) {
+    assignSweepBench<3>(state, false, 2);
+}
+void BM_AssignSweep3D_FastT4(benchmark::State& state) {
+    assignSweepBench<3>(state, false, 4);
+}
+BENCHMARK(BM_AssignSweep2D_Reference)->Arg(1 << 17)->Arg(1 << 20);
+BENCHMARK(BM_AssignSweep2D_Fast)->Arg(1 << 17)->Arg(1 << 20);
+BENCHMARK(BM_AssignSweep2D_FastT2)->Arg(1 << 20);
+BENCHMARK(BM_AssignSweep2D_FastT4)->Arg(1 << 20);
+BENCHMARK(BM_AssignSweep3D_Reference)->Arg(1 << 17)->Arg(1 << 20);
+BENCHMARK(BM_AssignSweep3D_Fast)->Arg(1 << 17)->Arg(1 << 20);
+BENCHMARK(BM_AssignSweep3D_FastT2)->Arg(1 << 20);
+BENCHMARK(BM_AssignSweep3D_FastT4)->Arg(1 << 20);
+
+// Whole-algorithm before/after across the scenario grid the engine serves:
+// full vs sampled initialization, unit vs weighted points.
+void kmeansEngineBench(benchmark::State& state, bool reference, bool sampled,
+                       bool weighted) {
+    const auto n = state.range(0);
+    const auto pts = points2(n);
+    Xoshiro256 rng(11);
+    std::vector<double> weights;
+    if (weighted)
+        for (std::int64_t i = 0; i < n; ++i) weights.push_back(rng.below(9) + 1.0);
+    std::vector<Point2> centers;
+    for (int c = 0; c < 64; ++c) centers.push_back(Point2{{rng.uniform(), rng.uniform()}});
+    core::Settings s;
+    s.referenceAssignment = reference;
+    s.sampledInitialization = sampled;
+    for (auto _ : state) {
+        par::runSpmd(1, [&](par::Comm& comm) {
+            auto out = core::balancedKMeans<2>(comm, pts, weights, centers, s);
+            benchmark::DoNotOptimize(out.assignment.data());
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_KMeansFull_Reference(benchmark::State& state) {
+    kmeansEngineBench(state, true, false, false);
+}
+void BM_KMeansFull_Fast(benchmark::State& state) {
+    kmeansEngineBench(state, false, false, false);
+}
+void BM_KMeansSampled_Reference(benchmark::State& state) {
+    kmeansEngineBench(state, true, true, false);
+}
+void BM_KMeansSampled_Fast(benchmark::State& state) {
+    kmeansEngineBench(state, false, true, false);
+}
+void BM_KMeansWeighted_Reference(benchmark::State& state) {
+    kmeansEngineBench(state, true, false, true);
+}
+void BM_KMeansWeighted_Fast(benchmark::State& state) {
+    kmeansEngineBench(state, false, false, true);
+}
+BENCHMARK(BM_KMeansFull_Reference)->Arg(1 << 16);
+BENCHMARK(BM_KMeansFull_Fast)->Arg(1 << 16);
+BENCHMARK(BM_KMeansSampled_Reference)->Arg(1 << 16);
+BENCHMARK(BM_KMeansSampled_Fast)->Arg(1 << 16);
+BENCHMARK(BM_KMeansWeighted_Reference)->Arg(1 << 16);
+BENCHMARK(BM_KMeansWeighted_Fast)->Arg(1 << 16);
 
 void BM_SampleSort(benchmark::State& state) {
     const auto perRank = state.range(0);

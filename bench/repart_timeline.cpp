@@ -44,6 +44,7 @@ struct StrategyHistory {
     std::vector<std::int64_t> prevIds;
     graph::Partition prevPartition;
     std::vector<StepRecord> records;
+    core::KMeansCounters counters;  ///< engine counters summed over all steps
 };
 
 void recordMigration(StrategyHistory& h, const repart::WorkloadStep<2>& step,
@@ -126,6 +127,7 @@ int main(int argc, char** argv) {
                 rec.cut = graph::edgeCut(graph, res.result.partition);
                 rec.imbalance = res.result.imbalance;
                 recordMigration(warmHist, step, res.result.partition, k, ranks, rec);
+                warmHist.counters.merge(res.result.counters);
                 warmHist.records.push_back(rec);
             }
             // Cold re-partitioning from scratch every step.
@@ -140,6 +142,7 @@ int main(int argc, char** argv) {
                 rec.cut = graph::edgeCut(graph, res.result.partition);
                 rec.imbalance = res.result.imbalance;
                 recordMigration(coldHist, step, res.result.partition, k, ranks, rec);
+                coldHist.counters.merge(res.result.counters);
                 coldHist.records.push_back(rec);
             }
             // Re-run RCB from scratch every step.
@@ -177,6 +180,19 @@ int main(int argc, char** argv) {
 
         std::cout << "=== scenario: " << toString(kind) << " ===\n";
         table.print(std::cout);
+
+        // Assignment-engine counters summed over all steps: the warm path
+        // inherits the fast engine's savings (lazy epoch bounds applied on
+        // touch, batched squared-distance kernels, Hamerly skips).
+        const auto printCounters = [](const char* name,
+                                      const core::KMeansCounters& c) {
+            std::cout << name << ": distCalcs=" << c.distanceCalcs
+                      << " batched=" << c.batchedDistanceCalcs
+                      << " epochApps=" << c.epochBoundApplications << " skip%="
+                      << Table::num(100.0 * c.skipFraction(), 3) << '\n';
+        };
+        printCounters("engine counters repart ", warmHist.counters);
+        printCounters("engine counters scratch", coldHist.counters);
 
         // Steps 1..T-1 (step 0 has no previous partition to migrate from).
         Summary sum;

@@ -1,0 +1,451 @@
+#include "core/assign_kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "par/parallel_for.hpp"
+#include "support/assert.hpp"
+
+#if defined(__SSE2__)
+#define GEO_ASSIGN_SSE2 1
+#include <emmintrin.h>
+#endif
+
+namespace geo::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Points per cache block. Fixed (never derived from the thread count) so
+/// the per-block size partials — and with them every floating-point sum the
+/// sweep produces — are identical at any Settings::assignThreads.
+constexpr std::size_t kAssignBlock = 1024;
+
+}  // namespace
+
+template <int D>
+AssignEngine<D>::AssignEngine(std::span<const Point<D>> points,
+                              std::span<const double> weights,
+                              const Settings& settings, std::int32_t k)
+    : points_(points), weights_(weights), settings_(settings), k_(k) {
+    GEO_REQUIRE(k_ >= 1, "need at least one center");
+    GEO_REQUIRE(weights_.empty() || weights_.size() == points_.size(),
+                "weights must be empty or match points");
+    assignment_.assign(points_.size(), -1);
+    ub_.assign(points_.size(), kInf);
+    lb_.assign(points_.size(), 0.0);
+    epoch_.assign(points_.size(), 0);
+    scratch_.resize(static_cast<std::size_t>(std::max(1, settings_.assignThreads)));
+}
+
+template <int D>
+void AssignEngine<D>::setActive(std::span<const std::size_t> order,
+                                std::size_t activeCount) {
+    GEO_REQUIRE(activeCount <= order.size() && activeCount <= points_.size(),
+                "active count exceeds available points");
+    order_.assign(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(activeCount));
+    active_ = activeCount;
+    for (int d = 0; d < D; ++d) soa_[static_cast<std::size_t>(d)].resize(active_);
+    soaWeight_.resize(active_);
+    activeBox_ = Box<D>::empty();
+    for (std::size_t i = 0; i < active_; ++i) {
+        const std::size_t p = order_[i];
+        const Point<D>& pt = points_[p];
+        for (int d = 0; d < D; ++d) soa_[static_cast<std::size_t>(d)][i] = pt[d];
+        soaWeight_[i] = weightOf(p);
+        activeBox_.extend(pt);
+    }
+}
+
+template <int D>
+void AssignEngine<D>::beginRound(std::span<const Point<D>> centers,
+                                 std::span<const double> influence,
+                                 const Box<D>& activeBox) {
+    GEO_REQUIRE(static_cast<std::int32_t>(centers.size()) == k_ &&
+                    static_cast<std::int32_t>(influence.size()) == k_,
+                "need one center and one influence value per cluster");
+    centers_ = centers;
+    influence_ = influence;
+    if (!settings_.referenceAssignment) {
+        invInfluence2_.resize(static_cast<std::size_t>(k_));
+        for (std::int32_t c = 0; c < k_; ++c) {
+            const double inf = influence_[static_cast<std::size_t>(c)];
+            invInfluence2_[static_cast<std::size_t>(c)] = 1.0 / (inf * inf);
+        }
+    }
+    sortedCenters_.resize(static_cast<std::size_t>(k_));
+    std::iota(sortedCenters_.begin(), sortedCenters_.end(), 0);
+    // The stale-key guard: keys are valid only when computed *this round*
+    // against *this round's* box. A round with an invalid box (e.g. no
+    // active points) must fall back to the unpruned scan — consulting keys
+    // left over from an earlier round against the freshly reset identity
+    // order would break the "remaining centers cannot win" argument and can
+    // assign a point to the wrong cluster.
+    keysValid_ = false;
+    if (settings_.boundingBoxPruning && activeBox.valid()) {
+        centerKey_.resize(static_cast<std::size_t>(k_));
+        for (std::int32_t c = 0; c < k_; ++c) {
+            const auto ci = static_cast<std::size_t>(c);
+            centerKey_[ci] = settings_.referenceAssignment
+                                 ? activeBox.minDistance(centers_[ci]) / influence_[ci]
+                                 : activeBox.minSquaredDistance(centers_[ci]) *
+                                       invInfluence2_[ci];
+        }
+        std::sort(sortedCenters_.begin(), sortedCenters_.end(),
+                  [&](std::int32_t a, std::int32_t b) {
+                      return centerKey_[static_cast<std::size_t>(a)] <
+                             centerKey_[static_cast<std::size_t>(b)];
+                  });
+        keysValid_ = true;
+    }
+    if (settings_.useKdTree) tree_.rebuild(centers_, influence_);
+}
+
+template <int D>
+void AssignEngine<D>::sweep(std::span<double> localSizes) {
+    GEO_REQUIRE(static_cast<std::int32_t>(localSizes.size()) == k_,
+                "localSizes must have one entry per cluster");
+    std::fill(localSizes.begin(), localSizes.end(), 0.0);
+    if (active_ == 0) return;
+    GEO_CHECK(!centers_.empty(), "beginRound must precede sweep");
+
+    const std::size_t blocks = (active_ + kAssignBlock - 1) / kAssignBlock;
+    const auto stride = static_cast<std::size_t>(k_);
+    blockSizes_.resize(blocks * stride);
+    const int threads = std::max(1, settings_.assignThreads);
+    if (scratch_.size() < static_cast<std::size_t>(threads))
+        scratch_.resize(static_cast<std::size_t>(threads));
+
+    par::parallelFor(threads, blocks,
+                     [&](std::size_t b0, std::size_t b1, int worker) {
+                         auto& scratch = scratch_[static_cast<std::size_t>(worker)];
+                         for (std::size_t b = b0; b < b1; ++b)
+                             processBlock(b, scratch, &blockSizes_[b * stride]);
+                     });
+
+    // Deterministic reduction: block partials in ascending block order.
+    for (std::size_t b = 0; b < blocks; ++b)
+        for (std::size_t c = 0; c < stride; ++c)
+            localSizes[c] += blockSizes_[b * stride + c];
+    // Counter merges are integer sums — order-independent.
+    for (auto& scratch : scratch_) {
+        counters_.merge(scratch.counters);
+        scratch.counters = KMeansCounters{};
+    }
+}
+
+template <int D>
+void AssignEngine<D>::processBlock(std::size_t block, Scratch& scratch,
+                                   double* blockSizes) {
+    const std::size_t i0 = block * kAssignBlock;
+    const std::size_t i1 = std::min(active_, i0 + kAssignBlock);
+    scratch.pointIdx.clear();
+    for (int d = 0; d < D; ++d) scratch.gx[static_cast<std::size_t>(d)].clear();
+
+    const bool reference = settings_.referenceAssignment;
+    for (std::size_t i = i0; i < i1; ++i) {
+        const std::size_t p = order_[i];
+        scratch.counters.pointEvaluations++;
+        if (settings_.hamerlyBounds && assignment_[p] >= 0) {
+            applyEpochs(p, scratch.counters);
+            if (ub_[p] < lb_[p]) {
+                scratch.counters.boundSkips++;  // membership provably unchanged
+                continue;
+            }
+        }
+        scratch.pointIdx.push_back(p);
+        if (!reference && !settings_.useKdTree)
+            for (int d = 0; d < D; ++d)
+                scratch.gx[static_cast<std::size_t>(d)].push_back(
+                    soa_[static_cast<std::size_t>(d)][i]);
+    }
+
+    if (!scratch.pointIdx.empty()) {
+        if (reference) {
+            for (const std::size_t p : scratch.pointIdx)
+                assignPointReference(p, scratch.counters);
+        } else if (settings_.useKdTree) {
+            const std::uint32_t cur = currentEpoch();
+            for (const std::size_t p : scratch.pointIdx) {
+                const auto q = tree_.queryNearestIds(points_[p]);
+                assignment_[p] = q.best;
+                const auto bc = static_cast<std::size_t>(q.best);
+                ub_[p] = distance(points_[p], centers_[bc]) / influence_[bc];
+                if (q.second >= 0) {
+                    const auto sc = static_cast<std::size_t>(q.second);
+                    lb_[p] = distance(points_[p], centers_[sc]) / influence_[sc];
+                } else {
+                    lb_[p] = kInf;
+                }
+                epoch_[p] = cur;
+            }
+        } else {
+            batchKernel(scratch, scratch.pointIdx.size());
+        }
+    }
+
+    // Per-block weighted sizes, accumulated in slot order within the block.
+    for (std::int32_t c = 0; c < k_; ++c) blockSizes[c] = 0.0;
+    for (std::size_t i = i0; i < i1; ++i)
+        blockSizes[assignment_[order_[i]]] += soaWeight_[i];
+}
+
+namespace {
+/// How many sorted centers the batch kernel scans between lane-retirement
+/// passes. A lane (point) is finished as soon as the next center's pruning
+/// key exceeds its second-best — the per-point break of the scalar path —
+/// so the interval only bounds how many extra candidates a finished lane
+/// may see before it is compacted away.
+constexpr std::size_t kRetireInterval = 4;
+}  // namespace
+
+/// Centers-outer, lanes-inner squared-domain scan over one gathered block.
+/// The inner loop does unconditional loads/stores with ternary selects (no
+/// control flow) so -O3 can if-convert and vectorize it; center ids travel
+/// as doubles so every lane of the select has one vector width. Lanes whose
+/// per-point pruning break has fired are materialized and compacted out
+/// every kRetireInterval centers, keeping the live lanes contiguous.
+template <int D>
+void AssignEngine<D>::batchKernel(Scratch& scratch, std::size_t m) {
+    scratch.best2.assign(m, kInf);
+    scratch.second2.assign(m, kInf);
+    scratch.bestC.assign(m, -1.0);
+    scratch.secondC.assign(m, -1.0);
+    const std::uint32_t cur = currentEpoch();
+
+    // Materialize one lane: recompute the Hamerly bounds with the exact
+    // scalar expression of the reference path, so ub/lb agree bitwise
+    // across modes (the only sqrts on the fast path — at most two per
+    // assigned point).
+    const auto materialize = [&](std::size_t j) {
+        const std::size_t p = scratch.pointIdx[j];
+        const auto bc = static_cast<std::int32_t>(scratch.bestC[j]);
+        GEO_CHECK(bc >= 0, "assignment found no center");
+        assignment_[p] = bc;
+        ub_[p] = distance(points_[p], centers_[static_cast<std::size_t>(bc)]) /
+                 influence_[static_cast<std::size_t>(bc)];
+        const auto sc = static_cast<std::int32_t>(scratch.secondC[j]);
+        lb_[p] = sc >= 0
+                     ? distance(points_[p], centers_[static_cast<std::size_t>(sc)]) /
+                           influence_[static_cast<std::size_t>(sc)]
+                     : kInf;
+        epoch_[p] = cur;
+    };
+
+    std::size_t live = m;
+    const std::size_t kCount = sortedCenters_.size();
+    for (std::size_t ci = 0; ci < kCount && live > 0; ++ci) {
+        const std::int32_t c = sortedCenters_[ci];
+        std::array<double, static_cast<std::size_t>(D)> cx;
+        for (int d = 0; d < D; ++d)
+            cx[static_cast<std::size_t>(d)] = centers_[static_cast<std::size_t>(c)][d];
+        const double inv = invInfluence2_[static_cast<std::size_t>(c)];
+        const auto cd = static_cast<double>(c);
+
+        double* __restrict best2 = scratch.best2.data();
+        double* __restrict second2 = scratch.second2.data();
+        double* __restrict bestC = scratch.bestC.data();
+        double* __restrict secondC = scratch.secondC.data();
+        std::array<const double*, static_cast<std::size_t>(D)> gx;
+        for (int d = 0; d < D; ++d)
+            gx[static_cast<std::size_t>(d)] =
+                scratch.gx[static_cast<std::size_t>(d)].data();
+        // Branchless best/second update per lane: the value lanes are pure
+        // min/max (second' = min(os, max(e2, ob))), the id lanes flat
+        // selects. The SSE2 body below is this exact computation two lanes
+        // at a time (minpd/maxpd + compare-mask selects); the tie behaviour
+        // of minpd/maxpd only ever picks between bitwise-equal values, so
+        // both bodies match the scalar reference's strict-< logic exactly.
+        const auto scalarLanes = [&](std::size_t from, std::size_t to) {
+            for (std::size_t j = from; j < to; ++j) {
+                double d2 = 0.0;
+                for (int d = 0; d < D; ++d) {
+                    const double diff = gx[static_cast<std::size_t>(d)][j] -
+                                        cx[static_cast<std::size_t>(d)];
+                    d2 += diff * diff;
+                }
+                const double e2 = d2 * inv;
+                const double ob = best2[j], os = second2[j];
+                const double obc = bestC[j], osc = secondC[j];
+                best2[j] = std::min(e2, ob);
+                second2[j] = std::min(os, std::max(e2, ob));
+                const double demoted = e2 < os ? cd : osc;
+                bestC[j] = e2 < ob ? cd : obc;
+                secondC[j] = e2 < ob ? obc : demoted;
+            }
+        };
+#if GEO_ASSIGN_SSE2
+        const __m128d cdv = _mm_set1_pd(cd);
+        const __m128d invv = _mm_set1_pd(inv);
+        std::size_t j = 0;
+        for (; j + 2 <= live; j += 2) {
+            __m128d d2 = _mm_setzero_pd();
+            for (int d = 0; d < D; ++d) {
+                const __m128d diff =
+                    _mm_sub_pd(_mm_loadu_pd(gx[static_cast<std::size_t>(d)] + j),
+                               _mm_set1_pd(cx[static_cast<std::size_t>(d)]));
+                d2 = _mm_add_pd(d2, _mm_mul_pd(diff, diff));
+            }
+            const __m128d e2 = _mm_mul_pd(d2, invv);
+            const __m128d ob = _mm_loadu_pd(best2 + j);
+            const __m128d os = _mm_loadu_pd(second2 + j);
+            const __m128d obc = _mm_loadu_pd(bestC + j);
+            const __m128d osc = _mm_loadu_pd(secondC + j);
+            const __m128d mb = _mm_cmplt_pd(e2, ob);
+            const __m128d ms = _mm_cmplt_pd(e2, os);
+            _mm_storeu_pd(best2 + j, _mm_min_pd(e2, ob));
+            _mm_storeu_pd(second2 + j, _mm_min_pd(os, _mm_max_pd(e2, ob)));
+            const __m128d demoted =
+                _mm_or_pd(_mm_and_pd(ms, cdv), _mm_andnot_pd(ms, osc));
+            _mm_storeu_pd(bestC + j,
+                          _mm_or_pd(_mm_and_pd(mb, cdv), _mm_andnot_pd(mb, obc)));
+            _mm_storeu_pd(secondC + j,
+                          _mm_or_pd(_mm_and_pd(mb, obc), _mm_andnot_pd(mb, demoted)));
+        }
+        scalarLanes(j, live);
+#else
+        scalarLanes(0, live);
+#endif
+        scratch.counters.distanceCalcs += live;
+        scratch.counters.batchedDistanceCalcs += live;
+
+        // Retire finished lanes. Keys are sorted ascending, so once
+        // key[next] > second2[lane] holds, every remaining center fails the
+        // scalar path's break test for that lane: its best/second are final.
+        if (keysValid_ && ci + 1 < kCount &&
+            ((ci % kRetireInterval) == kRetireInterval - 1 || ci + 2 == kCount)) {
+            const double nextKey =
+                centerKey_[static_cast<std::size_t>(sortedCenters_[ci + 1])];
+            std::size_t w = 0;
+            for (std::size_t j = 0; j < live; ++j) {
+                if (nextKey > scratch.second2[j]) {
+                    scratch.counters.bboxBreaks++;
+                    materialize(j);
+                    continue;
+                }
+                if (w != j) {
+                    scratch.pointIdx[w] = scratch.pointIdx[j];
+                    for (int d = 0; d < D; ++d)
+                        scratch.gx[static_cast<std::size_t>(d)][w] =
+                            scratch.gx[static_cast<std::size_t>(d)][j];
+                    scratch.best2[w] = scratch.best2[j];
+                    scratch.second2[w] = scratch.second2[j];
+                    scratch.bestC[w] = scratch.bestC[j];
+                    scratch.secondC[w] = scratch.secondC[j];
+                }
+                ++w;
+            }
+            live = w;
+        }
+    }
+    for (std::size_t j = 0; j < live; ++j) materialize(j);
+}
+
+/// The seed implementation's inner loop, verbatim: per-candidate sqrt in
+/// the effective-distance domain with the per-point pruning break.
+template <int D>
+void AssignEngine<D>::assignPointReference(std::size_t p, KMeansCounters& counters) {
+    const std::uint32_t cur = currentEpoch();
+    if (settings_.useKdTree) {
+        const auto q = tree_.query(points_[p]);
+        assignment_[p] = q.best;
+        ub_[p] = q.bestDistance;
+        lb_[p] = q.secondDistance;
+        epoch_[p] = cur;
+        return;
+    }
+    double best = kInf, second = kInf;
+    std::int32_t bestC = -1;
+    const Point<D>& pt = points_[p];
+    for (std::size_t ci = 0; ci < sortedCenters_.size(); ++ci) {
+        const std::int32_t c = sortedCenters_[ci];
+        if (keysValid_ && centerKey_[static_cast<std::size_t>(c)] > second) {
+            counters.bboxBreaks++;
+            break;  // no remaining center can beat the second best
+        }
+        counters.distanceCalcs++;
+        const double eDist = distance(pt, centers_[static_cast<std::size_t>(c)]) /
+                             influence_[static_cast<std::size_t>(c)];
+        if (eDist < best) {
+            second = best;
+            best = eDist;
+            bestC = c;
+        } else if (eDist < second) {
+            second = eDist;
+        }
+    }
+    GEO_CHECK(bestC >= 0, "assignment found no center");
+    assignment_[p] = bestC;
+    ub_[p] = best;
+    lb_[p] = second;
+    epoch_[p] = cur;
+}
+
+template <int D>
+void AssignEngine<D>::applyEpochs(std::size_t p, KMeansCounters& counters) {
+    const std::uint32_t cur = currentEpoch();
+    std::uint32_t e = epoch_[p];
+    if (e == cur) return;
+    const auto c = static_cast<std::size_t>(assignment_[p]);
+    double ub = ub_[p], lb = lb_[p];
+    counters.epochBoundApplications += cur - e;
+    for (; e < cur; ++e) {
+        const Epoch& ep = epochs_[e];
+        if (ep.move) {
+            ub = ub * ep.ratio[c] + ep.shift[c];
+            lb = std::max(0.0, lb * ep.minRatio - ep.maxShift);
+        } else {
+            ub *= ep.ratio[c];
+            lb *= ep.minRatio;
+        }
+    }
+    ub_[p] = ub;
+    lb_[p] = lb;
+    epoch_[p] = cur;
+}
+
+template <int D>
+void AssignEngine<D>::pushInfluenceEpoch(std::span<const double> ratio) {
+    if (!settings_.hamerlyBounds) return;
+    GEO_REQUIRE(static_cast<std::int32_t>(ratio.size()) == k_,
+                "need one ratio per cluster");
+    Epoch epoch;
+    epoch.ratio.assign(ratio.begin(), ratio.end());
+    epoch.minRatio = *std::min_element(ratio.begin(), ratio.end());
+    epoch.move = false;
+    epochs_.push_back(std::move(epoch));
+}
+
+template <int D>
+void AssignEngine<D>::pushMoveEpoch(std::span<const double> ratio,
+                                    std::span<const double> shift) {
+    if (!settings_.hamerlyBounds) return;
+    GEO_REQUIRE(static_cast<std::int32_t>(ratio.size()) == k_ &&
+                    static_cast<std::int32_t>(shift.size()) == k_,
+                "need one ratio and shift per cluster");
+    Epoch epoch;
+    epoch.ratio.assign(ratio.begin(), ratio.end());
+    epoch.shift.assign(shift.begin(), shift.end());
+    epoch.minRatio = *std::min_element(ratio.begin(), ratio.end());
+    epoch.maxShift = *std::max_element(shift.begin(), shift.end());
+    epoch.move = true;
+    epochs_.push_back(std::move(epoch));
+}
+
+template <int D>
+void AssignEngine<D>::resetBounds() {
+    std::fill(ub_.begin(), ub_.end(), kInf);
+    std::fill(lb_.begin(), lb_.end(), 0.0);
+    // Every point is now current, so no logged epoch can ever be replayed
+    // again — drop the log instead of retaining O(rounds · k) dead state.
+    epochs_.clear();
+    std::fill(epoch_.begin(), epoch_.end(), 0u);
+}
+
+template class AssignEngine<2>;
+template class AssignEngine<3>;
+
+}  // namespace geo::core

@@ -5,9 +5,7 @@
 #include <limits>
 #include <numeric>
 
-#include <memory>
-
-#include "core/center_tree.hpp"
+#include "core/assign_kernel.hpp"
 #include "geometry/box.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
@@ -29,7 +27,8 @@ public:
           weights_(weights),
           settings_(settings),
           k_(static_cast<std::int32_t>(centers.size())),
-          centers_(std::move(centers)) {
+          centers_(std::move(centers)),
+          engine_(points_, weights_, settings_, k_) {
         GEO_REQUIRE(k_ >= 1, "need at least one center");
         GEO_REQUIRE(weights_.empty() || weights_.size() == points_.size(),
                     "weights must be empty or match points");
@@ -62,9 +61,17 @@ public:
                 GEO_REQUIRE(inf > 0.0, "initial influence values must be positive");
             influence_ = settings_.initialInfluence;
         }
-        assignment_.assign(n, -1);
-        ub_.assign(n, kInf);
-        lb_.assign(n, 0.0);
+
+        // Hoisted per-iteration buffers (reused across every round).
+        const auto ks = static_cast<std::size_t>(k_);
+        sums_.resize(ks * (D + 1));
+        localSizes_.resize(ks);
+        globalSizes_.resize(ks);
+        delta_.resize(ks);
+        ratio_.resize(ks);
+        shift_.resize(ks);
+        influenceBefore_.resize(ks);
+        freshCenters_.resize(ks);
 
         // Random local permutation for the sampled initialization.
         order_.resize(n);
@@ -109,29 +116,30 @@ public:
 
             // New centers: weighted mean of assigned (active) points,
             // computed with one global reduction (Alg. 2 line 13).
-            std::vector<double> sums(static_cast<std::size_t>(k_) * (D + 1), 0.0);
+            std::fill(sums_.begin(), sums_.end(), 0.0);
+            const auto assignment = engine_.assignment();
             for (std::size_t oi = 0; oi < sampleSize_; ++oi) {
                 const std::size_t p = order_[oi];
-                const auto c = static_cast<std::size_t>(assignment_[p]);
+                const auto c = static_cast<std::size_t>(assignment[p]);
                 const double w = weightOf(p);
-                for (int d = 0; d < D; ++d) sums[c * (D + 1) + static_cast<std::size_t>(d)] += w * points_[p][d];
-                sums[c * (D + 1) + D] += w;
+                for (int d = 0; d < D; ++d) sums_[c * (D + 1) + static_cast<std::size_t>(d)] += w * points_[p][d];
+                sums_[c * (D + 1) + D] += w;
             }
-            comm_.allreduceSum(std::span<double>(sums));
+            comm_.allreduceSum(std::span<double>(sums_));
 
-            std::vector<Point<D>> freshCenters = centers_;
-            std::vector<double> delta(static_cast<std::size_t>(k_), 0.0);
+            freshCenters_ = centers_;
+            std::fill(delta_.begin(), delta_.end(), 0.0);
             double maxDelta = 0.0;
             for (std::int32_t c = 0; c < k_; ++c) {
                 const auto base = static_cast<std::size_t>(c) * (D + 1);
-                const double w = sums[base + D];
+                const double w = sums_[base + D];
                 if (w <= 0.0) continue;  // empty cluster keeps its center
                 Point<D> fresh;
-                for (int d = 0; d < D; ++d) fresh[d] = sums[base + static_cast<std::size_t>(d)] / w;
-                delta[static_cast<std::size_t>(c)] =
+                for (int d = 0; d < D; ++d) fresh[d] = sums_[base + static_cast<std::size_t>(d)] / w;
+                delta_[static_cast<std::size_t>(c)] =
                     distance(fresh, centers_[static_cast<std::size_t>(c)]);
-                maxDelta = std::max(maxDelta, delta[static_cast<std::size_t>(c)]);
-                freshCenters[static_cast<std::size_t>(c)] = fresh;
+                maxDelta = std::max(maxDelta, delta_[static_cast<std::size_t>(c)]);
+                freshCenters_[static_cast<std::size_t>(c)] = fresh;
             }
 
             const bool sampleComplete = (comm_.allreduceMin<std::uint64_t>(
@@ -144,22 +152,30 @@ public:
                 converged = true;
                 break;
             }
-            centers_ = std::move(freshCenters);
+            std::swap(centers_, freshCenters_);
 
             // Influence erosion (Eq. 2–3): regress influence towards 1 as a
             // sigmoid of the moved distance over the mean cluster diameter.
-            std::vector<double> influenceBefore = influence_;
+            influenceBefore_ = influence_;
             if (settings_.influenceErosion) {
                 const double beta = std::max(clusterScale_, 1e-300);
                 for (std::int32_t c = 0; c < k_; ++c) {
-                    const double x = delta[static_cast<std::size_t>(c)] / beta;
+                    const double x = delta_[static_cast<std::size_t>(c)] / beta;
                     const double alpha = 2.0 / (1.0 + std::exp(-x)) - 1.0;  // in [0, 1)
                     auto& inf = influence_[static_cast<std::size_t>(c)];
                     inf = std::exp((1.0 - alpha) * std::log(inf));
                 }
             }
 
-            relaxBoundsAfterMove(delta, influenceBefore);
+            // Centers moved by delta (and influence possibly eroded):
+            // conservative Eq. 4–5 relaxation, O(k) — the per-point work
+            // happens lazily when a point is next touched.
+            for (std::int32_t c = 0; c < k_; ++c) {
+                const auto ci = static_cast<std::size_t>(c);
+                ratio_[ci] = influenceBefore_[ci] / influence_[ci];
+                shift_[ci] = delta_[ci] / influence_[ci];
+            }
+            engine_.pushMoveEpoch(ratio_, shift_);
 
             if (sampleSize_ < n) sampleSize_ = std::min(n, sampleSize_ * 2);
         }
@@ -169,14 +185,14 @@ public:
         // enforced on the complete input.
         if (sampleSize_ < n) {
             sampleSize_ = n;
-            std::fill(ub_.begin(), ub_.end(), kInf);
-            std::fill(lb_.begin(), lb_.end(), 0.0);
+            engine_.resetBounds();
             imbalanceNow = assignAndBalance();
         } else if (!converged) {
             imbalanceNow = assignAndBalance();
         }
 
-        out.assignment = std::move(assignment_);
+        counters_.merge(engine_.counters());
+        out.assignment = engine_.takeAssignment();
         out.centers = std::move(centers_);
         out.influence = std::move(influence_);
         out.imbalance = imbalanceNow;
@@ -191,97 +207,25 @@ private:
     /// Algorithm 1: repeated assignment sweeps with influence adaptation
     /// until balance or maxBalanceIterations. Returns achieved imbalance.
     double assignAndBalance() {
-        // Bounding box around the *active* local points (§4.4).
-        Box<D> bb = Box<D>::empty();
-        for (std::size_t oi = 0; oi < sampleSize_; ++oi) bb.extend(points_[order_[oi]]);
+        // Mirror the *active* local points into the engine's SoA arrays and
+        // compute their bounding box (§4.4) — once per call, like the seed.
+        engine_.setActive(order_, sampleSize_);
 
-        std::vector<double> globalSizes(static_cast<std::size_t>(k_), 0.0);
         double imb = kInf;
         for (int round = 0; round < settings_.maxBalanceIterations; ++round) {
             counters_.balanceIterations++;
 
-            if (settings_.useKdTree) {
-                tree_ = std::make_unique<CenterKdTree<D>>(
-                    std::span<const Point<D>>(centers_),
-                    std::span<const double>(influence_));
-            }
+            engine_.beginRound(centers_, influence_, engine_.activeBox());
+            engine_.sweep(localSizes_);
 
-            // Candidate centers sorted by smallest possible effective
-            // distance to any local point.
-            sortedCenters_.resize(static_cast<std::size_t>(k_));
-            std::iota(sortedCenters_.begin(), sortedCenters_.end(), 0);
-            if (settings_.boundingBoxPruning && bb.valid()) {
-                centerKey_.resize(static_cast<std::size_t>(k_));
-                for (std::int32_t c = 0; c < k_; ++c)
-                    centerKey_[static_cast<std::size_t>(c)] =
-                        bb.minDistance(centers_[static_cast<std::size_t>(c)]) /
-                        influence_[static_cast<std::size_t>(c)];
-                std::sort(sortedCenters_.begin(), sortedCenters_.end(),
-                          [&](std::int32_t a, std::int32_t b) {
-                              return centerKey_[static_cast<std::size_t>(a)] <
-                                     centerKey_[static_cast<std::size_t>(b)];
-                          });
-            }
-
-            std::vector<double> localSizes(static_cast<std::size_t>(k_), 0.0);
-            for (std::size_t oi = 0; oi < sampleSize_; ++oi) {
-                const std::size_t p = order_[oi];
-                counters_.pointEvaluations++;
-                if (settings_.hamerlyBounds && assignment_[p] >= 0 && ub_[p] < lb_[p]) {
-                    counters_.boundSkips++;  // membership provably unchanged
-                } else {
-                    assignPoint(p);
-                }
-                localSizes[static_cast<std::size_t>(assignment_[p])] += weightOf(p);
-            }
-
-            globalSizes = localSizes;
-            comm_.allreduceSum(std::span<double>(globalSizes));
-            imb = imbalanceOf(globalSizes);
+            globalSizes_ = localSizes_;
+            comm_.allreduceSum(std::span<double>(globalSizes_));
+            imb = imbalanceOf(globalSizes_);
             if (imb <= settings_.epsilon) return imb;
 
-            adaptInfluence(globalSizes);
+            adaptInfluence(globalSizes_);
         }
         return imb;
-    }
-
-    /// Inner loop of Algorithm 1: scan candidate centers with bbox pruning,
-    /// tracking best and second-best effective distance. The kd-tree path
-    /// answers the same argmin query through branch-and-bound instead.
-    void assignPoint(std::size_t p) {
-        if (settings_.useKdTree) {
-            const auto q = tree_->query(points_[p]);
-            assignment_[p] = q.best;
-            ub_[p] = q.bestDistance;
-            lb_[p] = q.secondDistance;
-            return;
-        }
-        double best = kInf, second = kInf;
-        std::int32_t bestC = -1;
-        const Point<D>& pt = points_[p];
-        for (std::size_t ci = 0; ci < sortedCenters_.size(); ++ci) {
-            const std::int32_t c = sortedCenters_[ci];
-            if (settings_.boundingBoxPruning &&
-                centerKey_.size() == sortedCenters_.size() &&
-                centerKey_[static_cast<std::size_t>(c)] > second) {
-                counters_.bboxBreaks++;
-                break;  // no remaining center can beat the second best
-            }
-            counters_.distanceCalcs++;
-            const double eDist = distance(pt, centers_[static_cast<std::size_t>(c)]) /
-                                 influence_[static_cast<std::size_t>(c)];
-            if (eDist < best) {
-                second = best;
-                best = eDist;
-                bestC = c;
-            } else if (eDist < second) {
-                second = eDist;
-            }
-        }
-        GEO_CHECK(bestC >= 0, "assignment found no center");
-        assignment_[p] = bestC;
-        ub_[p] = best;
-        lb_[p] = second;
     }
 
     /// Imbalance against the (possibly non-uniform) block size targets:
@@ -307,7 +251,6 @@ private:
     void adaptInfluence(std::span<const double> globalSizes) {
         const double total = std::accumulate(globalSizes.begin(), globalSizes.end(), 0.0);
         const double cap = settings_.influenceChangeCap;
-        std::vector<double> ratio(static_cast<std::size_t>(k_), 1.0);
         for (std::int32_t c = 0; c < k_; ++c) {
             const double target = targetShare_[static_cast<std::size_t>(c)] * total;
             const double size = globalSizes[static_cast<std::size_t>(c)];
@@ -321,47 +264,9 @@ private:
             }
             const double before = influence_[static_cast<std::size_t>(c)];
             influence_[static_cast<std::size_t>(c)] = before * factor;
-            ratio[static_cast<std::size_t>(c)] = before / influence_[static_cast<std::size_t>(c)];
+            ratio_[static_cast<std::size_t>(c)] = before / influence_[static_cast<std::size_t>(c)];
         }
-        relaxBoundsForInfluence(ratio);
-    }
-
-    /// Influence changed from I to I'; effective distances scale by I/I'.
-    /// ub scales by its own cluster's exact ratio; lb must shrink by the
-    /// smallest ratio over all clusters to stay a valid lower bound.
-    void relaxBoundsForInfluence(std::span<const double> ratio) {
-        if (!settings_.hamerlyBounds) return;
-        const double minRatio = *std::min_element(ratio.begin(), ratio.end());
-        for (std::size_t p = 0; p < points_.size(); ++p) {
-            if (assignment_[p] < 0) continue;
-            ub_[p] *= ratio[static_cast<std::size_t>(assignment_[p])];
-            lb_[p] *= minRatio;
-        }
-    }
-
-    /// Centers moved by delta[c] (and influence possibly eroded from
-    /// `influenceBefore`). Conservative relaxation (Eq. 4–5, corrected):
-    ///   ub' = ub·(I/I') + δ(c(p))/I'(c(p))
-    ///   lb' = lb·min_c(I/I') − max_c δ(c)/I'(c)
-    void relaxBoundsAfterMove(std::span<const double> delta,
-                              std::span<const double> influenceBefore) {
-        if (!settings_.hamerlyBounds) return;
-        double minRatio = kInf, maxShift = 0.0;
-        std::vector<double> ratio(static_cast<std::size_t>(k_));
-        for (std::int32_t c = 0; c < k_; ++c) {
-            const double r = influenceBefore[static_cast<std::size_t>(c)] /
-                             influence_[static_cast<std::size_t>(c)];
-            ratio[static_cast<std::size_t>(c)] = r;
-            minRatio = std::min(minRatio, r);
-            maxShift = std::max(maxShift, delta[static_cast<std::size_t>(c)] /
-                                              influence_[static_cast<std::size_t>(c)]);
-        }
-        for (std::size_t p = 0; p < points_.size(); ++p) {
-            if (assignment_[p] < 0) continue;
-            const auto c = static_cast<std::size_t>(assignment_[p]);
-            ub_[p] = ub_[p] * ratio[c] + delta[c] / influence_[c];
-            lb_[p] = std::max(0.0, lb_[p] * minRatio - maxShift);
-        }
+        engine_.pushInfluenceEpoch(ratio_);
     }
 
     par::Comm& comm_;
@@ -372,17 +277,18 @@ private:
     std::vector<double> targetShare_;
     std::vector<Point<D>> centers_;
     std::vector<double> influence_;
-    std::vector<std::int32_t> assignment_;
-    std::vector<double> ub_, lb_;
+    AssignEngine<D> engine_;
     std::vector<std::size_t> order_;
     std::size_t sampleSize_ = 0;
     Box<D> globalBox_ = Box<D>::empty();
     double clusterScale_ = 1.0;
     double deltaThreshold_ = 0.0;
     KMeansCounters counters_;
-    std::vector<std::int32_t> sortedCenters_;
-    std::vector<double> centerKey_;
-    std::unique_ptr<CenterKdTree<D>> tree_;
+
+    // Hoisted buffers (one allocation for the whole run).
+    std::vector<double> sums_, localSizes_, globalSizes_;
+    std::vector<double> delta_, ratio_, shift_, influenceBefore_;
+    std::vector<Point<D>> freshCenters_;
 };
 
 }  // namespace

@@ -15,6 +15,10 @@
 // and global block sizes are replicated via allreduce — the only
 // communication, exactly as in the paper.
 //
+// The assignment sweep itself (and the lazy epoch-based variant of the
+// Hamerly bound maintenance) lives in core/assign_kernel.hpp; this file
+// owns the outer Lloyd/balance loops, influence adaptation and erosion.
+//
 // Note on Eq. 1/4/5 signs: the paper's printed formulas are dimensionally
 // inconsistent with its own prose (e.g. Eq. 4 *lowers* the upper bound when
 // a center moves). We implement the semantics the prose describes; see

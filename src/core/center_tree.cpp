@@ -9,18 +9,29 @@ namespace geo::core {
 
 namespace {
 constexpr std::int32_t kLeafSize = 4;
+constexpr double kInf = std::numeric_limits<double>::infinity();
 }
 
 template <int D>
 CenterKdTree<D>::CenterKdTree(std::span<const Point<D>> centers,
-                              std::span<const double> influence)
-    : centers_(centers.begin(), centers.end()),
-      influence_(influence.begin(), influence.end()) {
-    GEO_REQUIRE(!centers_.empty(), "kd-tree needs at least one center");
-    GEO_REQUIRE(centers_.size() == influence_.size(), "one influence per center");
+                              std::span<const double> influence) {
+    rebuild(centers, influence);
+}
+
+template <int D>
+void CenterKdTree<D>::rebuild(std::span<const Point<D>> centers,
+                              std::span<const double> influence) {
+    GEO_REQUIRE(!centers.empty(), "kd-tree needs at least one center");
+    GEO_REQUIRE(centers.size() == influence.size(), "one influence per center");
+    centers_.assign(centers.begin(), centers.end());
+    influence_.assign(influence.begin(), influence.end());
+    invInfluence2_.resize(influence_.size());
+    for (std::size_t c = 0; c < influence_.size(); ++c)
+        invInfluence2_[c] = 1.0 / (influence_[c] * influence_[c]);
     order_.resize(centers_.size());
     for (std::size_t i = 0; i < order_.size(); ++i)
         order_[i] = static_cast<std::int32_t>(i);
+    nodes_.clear();
     nodes_.reserve(2 * centers_.size() / kLeafSize + 2);
     root_ = build(0, static_cast<std::int32_t>(centers_.size()), 0);
 }
@@ -36,6 +47,7 @@ std::int32_t CenterKdTree<D>::build(std::int32_t begin, std::int32_t end, int de
         node.maxInfluence =
             std::max(node.maxInfluence, influence_[static_cast<std::size_t>(c)]);
     }
+    node.invMaxInfluence2 = 1.0 / (node.maxInfluence * node.maxInfluence);
     node.begin = begin;
     node.end = end;
 
@@ -96,11 +108,61 @@ void CenterKdTree<D>::search(std::int32_t nodeId, const Point<D>& p,
 }
 
 template <int D>
+void CenterKdTree<D>::searchSquared(std::int32_t nodeId, const Point<D>& p,
+                                    IdResult& out, double& best2,
+                                    double& second2) const {
+    const Node& node = nodes_[static_cast<std::size_t>(nodeId)];
+    // Squared-domain lower bound: minDist²/maxInfluence² — same pruning
+    // decision as the sqrt path up to rounding, conservative either way.
+    const double bound2 = node.bounds.minSquaredDistance(p) * node.invMaxInfluence2;
+    if (bound2 >= second2) return;
+
+    if (node.left < 0) {
+        for (std::int32_t i = node.begin; i < node.end; ++i) {
+            const auto c = order_[static_cast<std::size_t>(i)];
+            const double eff2 = squaredDistance(p, centers_[static_cast<std::size_t>(c)]) *
+                                invInfluence2_[static_cast<std::size_t>(c)];
+            if (eff2 < best2) {
+                second2 = best2;
+                out.second = out.best;
+                best2 = eff2;
+                out.best = c;
+            } else if (eff2 < second2) {
+                second2 = eff2;
+                out.second = c;
+            }
+        }
+        return;
+    }
+    const auto& l = nodes_[static_cast<std::size_t>(node.left)];
+    const auto& r = nodes_[static_cast<std::size_t>(node.right)];
+    const double dl = l.bounds.minSquaredDistance(p) * l.invMaxInfluence2;
+    const double dr = r.bounds.minSquaredDistance(p) * r.invMaxInfluence2;
+    if (dl <= dr) {
+        searchSquared(node.left, p, out, best2, second2);
+        searchSquared(node.right, p, out, best2, second2);
+    } else {
+        searchSquared(node.right, p, out, best2, second2);
+        searchSquared(node.left, p, out, best2, second2);
+    }
+}
+
+template <int D>
 typename CenterKdTree<D>::QueryResult CenterKdTree<D>::query(const Point<D>& p) const {
     QueryResult out;
-    out.bestDistance = std::numeric_limits<double>::infinity();
-    out.secondDistance = std::numeric_limits<double>::infinity();
+    out.bestDistance = kInf;
+    out.secondDistance = kInf;
     search(root_, p, out);
+    GEO_CHECK(out.best >= 0, "kd-tree query found no center");
+    return out;
+}
+
+template <int D>
+typename CenterKdTree<D>::IdResult CenterKdTree<D>::queryNearestIds(
+    const Point<D>& p) const {
+    IdResult out;
+    double best2 = kInf, second2 = kInf;
+    searchSquared(root_, p, out, best2, second2);
     GEO_CHECK(out.best >= 0, "kd-tree query found no center");
     return out;
 }

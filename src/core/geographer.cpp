@@ -158,10 +158,11 @@ namespace detail {
 template <int D>
 void storeKMeansDiagnostics(par::Comm& comm, const KMeansOutcome<D>& outcome,
                             GeographerResult& result, std::mutex& resultMutex) {
-    std::array<std::uint64_t, 5> counterSum{
+    std::array<std::uint64_t, 7> counterSum{
         outcome.counters.pointEvaluations, outcome.counters.boundSkips,
         outcome.counters.distanceCalcs, outcome.counters.bboxBreaks,
-        outcome.counters.balanceIterations};
+        outcome.counters.balanceIterations, outcome.counters.epochBoundApplications,
+        outcome.counters.batchedDistanceCalcs};
     comm.allreduceSum(std::span<std::uint64_t>(counterSum.data(), counterSum.size()));
 
     if (!comm.isRoot()) return;
@@ -173,6 +174,8 @@ void storeKMeansDiagnostics(par::Comm& comm, const KMeansOutcome<D>& outcome,
     result.counters.distanceCalcs = counterSum[2];
     result.counters.bboxBreaks = counterSum[3];
     result.counters.balanceIterations = counterSum[4];
+    result.counters.epochBoundApplications = counterSum[5];
+    result.counters.batchedDistanceCalcs = counterSum[6];
     result.counters.outerIterations = outcome.counters.outerIterations;
     const auto k = outcome.centers.size();
     result.centerCoords.resize(k * D);

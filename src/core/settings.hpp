@@ -54,6 +54,17 @@ struct Settings {
     bool sampledInitialization = true;
     int initialSampleSize = 100;
 
+    /// Intra-rank worker threads for the assignment sweep (core/assign_kernel).
+    /// Results are bitwise identical at every thread count: work is split at
+    /// fixed cache-block boundaries and reduced in block order.
+    int assignThreads = 1;
+
+    /// Equivalence mode: run the scalar sqrt-domain reference kernel (the
+    /// seed implementation's per-candidate loop) instead of the SoA
+    /// squared-domain batch kernel. Exists so tests and benches can prove the
+    /// fast engine reproduces the reference outcomes exactly.
+    bool referenceAssignment = false;
+
     /// RNG seed for the sampling permutation.
     std::uint64_t seed = 1;
 
@@ -80,6 +91,8 @@ struct KMeansCounters {
     std::uint64_t distanceCalcs = 0;     ///< effective-distance evaluations
     std::uint64_t bboxBreaks = 0;        ///< inner loops cut short by bbox pruning
     std::uint64_t balanceIterations = 0; ///< total assign-and-balance sweeps
+    std::uint64_t epochBoundApplications = 0;  ///< lazy Hamerly epochs applied on touch
+    std::uint64_t batchedDistanceCalcs = 0;    ///< distances evaluated by the SoA batch kernel
     int outerIterations = 0;             ///< center-movement rounds
 
     [[nodiscard]] double skipFraction() const noexcept {
@@ -94,6 +107,8 @@ struct KMeansCounters {
         distanceCalcs += o.distanceCalcs;
         bboxBreaks += o.bboxBreaks;
         balanceIterations += o.balanceIterations;
+        epochBoundApplications += o.epochBoundApplications;
+        batchedDistanceCalcs += o.batchedDistanceCalcs;
         outerIterations = std::max(outerIterations, o.outerIterations);
     }
 };

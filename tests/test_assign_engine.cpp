@@ -1,0 +1,271 @@
+// Unit tests for the assignment engine (core/assign_kernel), driven
+// directly — without the surrounding balanced k-means loop — so round
+// sequences the full algorithm cannot easily produce are constructible.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "core/assign_kernel.hpp"
+#include "geometry/box.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace geo;
+using geo::core::AssignEngine;
+using geo::core::Settings;
+
+template <int D>
+std::vector<Point<D>> randomPoints(int n, std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    std::vector<Point<D>> pts;
+    for (int i = 0; i < n; ++i) {
+        Point<D> p;
+        for (int d = 0; d < D; ++d) p[d] = rng.uniform();
+        pts.push_back(p);
+    }
+    return pts;
+}
+
+std::vector<std::size_t> identityOrder(std::size_t n) {
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    return order;
+}
+
+/// Brute-force argmin of the effective distance.
+template <int D>
+std::int32_t nearestCenter(const Point<D>& p, const std::vector<Point<D>>& centers,
+                           const std::vector<double>& influence) {
+    double best = std::numeric_limits<double>::infinity();
+    std::int32_t bestC = -1;
+    for (std::size_t c = 0; c < centers.size(); ++c) {
+        const double e = distance(p, centers[c]) / influence[c];
+        if (e < best) {
+            best = e;
+            bestC = static_cast<std::int32_t>(c);
+        }
+    }
+    return bestC;
+}
+
+/// Regression for the stale pruning-key bug: the seed guarded the pruning
+/// break on `centerKey_.size() == sortedCenters_.size()`, which stays true
+/// once keys have been computed in ANY earlier round. A later round whose
+/// active bounding box is invalid resets sortedCenters_ to identity order
+/// without recomputing keys; breaking on stale keys in unsorted order then
+/// skips centers that can still win. The engine must only consult keys
+/// computed this round.
+TEST(AssignEngine, StaleKeysAreNotConsultedWhenBoxIsInvalid) {
+    for (const bool reference : {false, true}) {
+        // p0 sits far out so round 1 computes a huge key for every center;
+        // p1 sits exactly on center 2.
+        const std::vector<Point2> points{Point2{{100.0, 0.0}}, Point2{{5.0, 0.0}}};
+        const std::vector<Point2> centers{Point2{{0.0, 0.0}}, Point2{{0.1, 0.0}},
+                                          Point2{{5.0, 0.0}}};
+        const std::vector<double> influence(3, 1.0);
+        Settings s;
+        s.referenceAssignment = reference;
+        s.boundingBoxPruning = true;
+        s.hamerlyBounds = true;
+        AssignEngine<2> engine(points, {}, s, 3);
+        std::vector<double> sizes(3, 0.0);
+
+        // Round 1: only p0 active; its box is far from every center, so the
+        // pruning keys are all large (key for center 2 ≈ 95).
+        const std::vector<std::size_t> round1{0};
+        engine.setActive(round1, 1);
+        engine.beginRound(centers, influence, engine.activeBox());
+        engine.sweep(sizes);
+
+        // Round 2: only p1 active, but the caller supplies an *invalid* box
+        // (the state of a rank with no active points). With stale keys the
+        // identity-order scan would compute centers 0 and 1 (eff dist 5 and
+        // 4.9), see stale key[2] ≈ 95 > second ≈ 5 and break — wrongly
+        // assigning p1 to center 1. Fresh guard: no keys, full scan.
+        const std::vector<std::size_t> round2{1};
+        engine.setActive(round2, 1);
+        engine.beginRound(centers, influence, Box2::empty());
+        engine.sweep(sizes);
+        EXPECT_EQ(engine.assignment()[1], 2)
+            << (reference ? "reference" : "fast") << " mode consulted stale keys";
+    }
+}
+
+class EngineModeSweep : public ::testing::TestWithParam<std::tuple<bool, bool, int>> {};
+INSTANTIATE_TEST_SUITE_P(
+    Modes, EngineModeSweep,
+    ::testing::Combine(::testing::Bool(),          // referenceAssignment
+                       ::testing::Bool(),          // useKdTree
+                       ::testing::Values(1, 3)));  // assignThreads
+
+TEST_P(EngineModeSweep, SingleSweepMatchesBruteForce) {
+    const auto [reference, kdTree, threads] = GetParam();
+    const auto points = randomPoints<2>(4000, 211);
+    const auto centers = randomPoints<2>(23, 223);
+    Xoshiro256 rng(227);
+    std::vector<double> influence;
+    for (std::size_t c = 0; c < centers.size(); ++c)
+        influence.push_back(rng.uniform(0.5, 2.0));
+    Settings s;
+    s.referenceAssignment = reference;
+    s.useKdTree = kdTree;
+    s.assignThreads = threads;
+    AssignEngine<2> engine(points, {}, s, 23);
+    engine.setActive(identityOrder(points.size()), points.size());
+    engine.beginRound(centers, influence, engine.activeBox());
+    std::vector<double> sizes(23, 0.0);
+    engine.sweep(sizes);
+    for (std::size_t p = 0; p < points.size(); ++p)
+        ASSERT_EQ(engine.assignment()[p], nearestCenter(points[p], centers, influence))
+            << "point " << p;
+    EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0.0),
+              static_cast<double>(points.size()));
+}
+
+TEST(AssignEngine, LazyEpochBoundsSkipButNeverMisassign) {
+    const auto points = randomPoints<2>(5000, 229);
+    auto centers = randomPoints<2>(12, 233);
+    std::vector<double> influence(12, 1.0);
+    Settings s;
+    AssignEngine<2> engine(points, {}, s, 12);
+    engine.setActive(identityOrder(points.size()), points.size());
+    std::vector<double> sizes(12, 0.0);
+    engine.beginRound(centers, influence, engine.activeBox());
+    engine.sweep(sizes);
+
+    // Apply three influence perturbations, each pushed as a lazy epoch; the
+    // bounds replayed on touch must stay conservative: a skipped point's
+    // membership is provably unchanged, so every assignment still equals
+    // the brute-force argmin under the *current* influence.
+    Xoshiro256 rng(239);
+    for (int step = 0; step < 3; ++step) {
+        std::vector<double> ratio(12);
+        for (std::size_t c = 0; c < 12; ++c) {
+            const double before = influence[c];
+            influence[c] *= rng.uniform(0.96, 1.04);
+            ratio[c] = before / influence[c];
+        }
+        engine.pushInfluenceEpoch(ratio);
+        engine.beginRound(centers, influence, engine.activeBox());
+        engine.sweep(sizes);
+        for (std::size_t p = 0; p < points.size(); ++p)
+            ASSERT_EQ(engine.assignment()[p],
+                      nearestCenter(points[p], centers, influence))
+                << "step " << step << " point " << p;
+    }
+    EXPECT_GT(engine.counters().boundSkips, 0u);
+    EXPECT_GT(engine.counters().epochBoundApplications, 0u);
+    // A skipped point applies epochs without a fresh distance scan, so the
+    // lazy scheme did strictly less relaxation work than three eager O(n)
+    // sweeps would have.
+    EXPECT_LE(engine.counters().epochBoundApplications, 3u * points.size());
+}
+
+TEST(AssignEngine, MoveEpochKeepsBoundsConservative) {
+    const auto points = randomPoints<2>(4000, 241);
+    auto centers = randomPoints<2>(10, 251);
+    std::vector<double> influence(10, 1.0);
+    Settings s;
+    AssignEngine<2> engine(points, {}, s, 10);
+    engine.setActive(identityOrder(points.size()), points.size());
+    std::vector<double> sizes(10, 0.0);
+    engine.beginRound(centers, influence, engine.activeBox());
+    engine.sweep(sizes);
+
+    // Move every center a little and erode influence, as an outer k-means
+    // iteration would, then push the corresponding move epoch.
+    Xoshiro256 rng(257);
+    std::vector<double> ratio(10), shift(10);
+    for (std::size_t c = 0; c < 10; ++c) {
+        Point2 moved = centers[c];
+        moved[0] += rng.uniform(-0.01, 0.01);
+        moved[1] += rng.uniform(-0.01, 0.01);
+        const double delta = distance(moved, centers[c]);
+        centers[c] = moved;
+        const double before = influence[c];
+        influence[c] *= rng.uniform(0.98, 1.02);
+        ratio[c] = before / influence[c];
+        shift[c] = delta / influence[c];
+    }
+    engine.pushMoveEpoch(ratio, shift);
+    engine.beginRound(centers, influence, engine.activeBox());
+    engine.sweep(sizes);
+    for (std::size_t p = 0; p < points.size(); ++p)
+        ASSERT_EQ(engine.assignment()[p], nearestCenter(points[p], centers, influence))
+            << "point " << p;
+}
+
+TEST(AssignEngine, ThreadCountNeverChangesSizesBitwise) {
+    // Fractional weights: the block-wise partial sums must reduce to the
+    // exact same doubles at every thread count (fixed block boundaries,
+    // serial block-order reduction) — the engine's determinism contract.
+    const auto points = randomPoints<2>(7001, 263);
+    Xoshiro256 rng(269);
+    std::vector<double> weights;
+    for (std::size_t i = 0; i < points.size(); ++i) weights.push_back(rng.uniform(0.1, 3.0));
+    const auto centers = randomPoints<2>(16, 271);
+    const std::vector<double> influence(16, 1.0);
+
+    std::vector<double> want;
+    std::vector<std::int32_t> wantAssign;
+    for (const int threads : {1, 2, 3, 4}) {
+        Settings s;
+        s.assignThreads = threads;
+        AssignEngine<2> engine(points, weights, s, 16);
+        engine.setActive(identityOrder(points.size()), points.size());
+        engine.beginRound(centers, influence, engine.activeBox());
+        std::vector<double> sizes(16, 0.0);
+        engine.sweep(sizes);
+        const auto assign = engine.takeAssignment();
+        if (threads == 1) {
+            want = sizes;
+            wantAssign = assign;
+        } else {
+            EXPECT_EQ(sizes, want) << "threads=" << threads;
+            EXPECT_EQ(assign, wantAssign) << "threads=" << threads;
+        }
+    }
+}
+
+TEST(AssignEngine, ZeroActivePointsIsANoop) {
+    const auto points = randomPoints<2>(10, 277);
+    const auto centers = randomPoints<2>(3, 281);
+    const std::vector<double> influence(3, 1.0);
+    Settings s;
+    AssignEngine<2> engine(points, {}, s, 3);
+    engine.setActive(identityOrder(points.size()), 0);
+    EXPECT_FALSE(engine.activeBox().valid());
+    engine.beginRound(centers, influence, engine.activeBox());
+    std::vector<double> sizes(3, 1.0);
+    engine.sweep(sizes);
+    for (const double v : sizes) EXPECT_EQ(v, 0.0);
+}
+
+TEST(AssignEngine, BatchKernelCountsBatchedDistances) {
+    const auto points = randomPoints<2>(2000, 283);
+    const auto centers = randomPoints<2>(8, 293);
+    const std::vector<double> influence(8, 1.0);
+    for (const bool reference : {false, true}) {
+        Settings s;
+        s.referenceAssignment = reference;
+        AssignEngine<2> engine(points, {}, s, 8);
+        engine.setActive(identityOrder(points.size()), points.size());
+        engine.beginRound(centers, influence, engine.activeBox());
+        std::vector<double> sizes(8, 0.0);
+        engine.sweep(sizes);
+        EXPECT_GT(engine.counters().distanceCalcs, 0u);
+        if (reference) {
+            EXPECT_EQ(engine.counters().batchedDistanceCalcs, 0u);
+        } else {
+            EXPECT_EQ(engine.counters().batchedDistanceCalcs,
+                      engine.counters().distanceCalcs);
+        }
+    }
+}
+
+}  // namespace

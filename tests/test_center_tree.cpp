@@ -107,6 +107,45 @@ TEST(CenterKdTree, RejectsBadInput) {
     EXPECT_THROW(CenterKdTree<2>(centers, wrong), std::invalid_argument);
 }
 
+TEST_P(TreeSweep, SquaredDomainQueryReturnsSameIds) {
+    // queryNearestIds computes and prunes in the squared effective-distance
+    // domain; squaring is monotone, so it must find the same best (and,
+    // where defined, second-best) center as the sqrt-domain query.
+    const int k = GetParam();
+    const auto centers = randomPoints<2>(k, 53);
+    Xoshiro256 rng(59);
+    std::vector<double> influence;
+    for (int c = 0; c < k; ++c) influence.push_back(rng.uniform(0.25, 4.0));
+    const CenterKdTree<2> tree(centers, influence);
+    for (const auto& q : randomPoints<2>(300, 61)) {
+        const auto sqrtRes = tree.query(q);
+        const auto ids = tree.queryNearestIds(q);
+        EXPECT_EQ(ids.best, sqrtRes.best);
+        if (k == 1) EXPECT_EQ(ids.second, -1);
+    }
+}
+
+TEST(CenterKdTree, RebuildInPlaceMatchesFreshTree) {
+    const auto first = randomPoints<2>(40, 67);
+    const auto second = randomPoints<2>(25, 71);
+    Xoshiro256 rng(73);
+    std::vector<double> infFirst, infSecond;
+    for (int c = 0; c < 40; ++c) infFirst.push_back(rng.uniform(0.5, 2.0));
+    for (int c = 0; c < 25; ++c) infSecond.push_back(rng.uniform(0.5, 2.0));
+
+    CenterKdTree<2> reused(first, infFirst);
+    reused.rebuild(second, infSecond);  // shrinks k, reuses storage
+    const CenterKdTree<2> fresh(second, infSecond);
+    EXPECT_EQ(reused.size(), 25);
+    for (const auto& q : randomPoints<2>(200, 79)) {
+        const auto a = reused.query(q);
+        const auto b = fresh.query(q);
+        EXPECT_EQ(a.best, b.best);
+        EXPECT_EQ(a.bestDistance, b.bestDistance);
+        EXPECT_EQ(a.secondDistance, b.secondDistance);
+    }
+}
+
 TEST(KMeansWithKdTree, SameResultAsLinearScan) {
     const auto pts = randomPoints<2>(3000, 43);
     Xoshiro256 rng(47);
@@ -124,6 +163,29 @@ TEST(KMeansWithKdTree, SameResultAsLinearScan) {
     });
     par::runSpmd(1, [&](par::Comm& comm) {
         b = core::balancedKMeans<2>(comm, pts, {}, centers, tree).assignment;
+    });
+    EXPECT_EQ(a, b);
+}
+
+TEST(KMeansWithKdTree, FastEngineMatchesReferenceOnKdTreePath) {
+    // The engine's kd-tree path queries in the squared domain and
+    // materializes the Hamerly bounds itself; it must reproduce the
+    // reference (sqrt-domain query) outcome exactly, bounds enabled.
+    const auto pts = randomPoints<2>(3000, 83);
+    Xoshiro256 rng(89);
+    std::vector<Point2> centers;
+    for (int c = 0; c < 10; ++c) centers.push_back(Point2{{rng.uniform(), rng.uniform()}});
+    core::Settings reference, fast;
+    reference.useKdTree = fast.useKdTree = true;
+    reference.referenceAssignment = true;
+    fast.referenceAssignment = false;
+    fast.assignThreads = 2;
+    std::vector<std::int32_t> a, b;
+    par::runSpmd(1, [&](par::Comm& comm) {
+        a = core::balancedKMeans<2>(comm, pts, {}, centers, reference).assignment;
+    });
+    par::runSpmd(1, [&](par::Comm& comm) {
+        b = core::balancedKMeans<2>(comm, pts, {}, centers, fast).assignment;
     });
     EXPECT_EQ(a, b);
 }

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <limits>
 #include <numeric>
+#include <string>
 
 #include "core/balanced_kmeans.hpp"
+#include "geometry/box.hpp"
 #include "par/comm.hpp"
 #include "support/rng.hpp"
 
@@ -321,6 +325,361 @@ TEST(HeterogeneousTargets, RejectsBadFractions) {
         EXPECT_THROW((void)balancedKMeans<2>(comm, pts, {}, centers, s),
                      std::invalid_argument);
     });
+}
+
+// ---------------------------------------------------------------------------
+// Assignment-engine equivalence suite.
+//
+// `seedKMeans` below is a line-for-line compact copy of the seed
+// implementation of balancedKMeans (scalar sqrt-domain candidate loop, eager
+// O(n) Hamerly bound relaxation sweeps, flat size accumulation) — the oracle
+// the fast engine (squared-distance kernels, lazy epoch bounds, SoA batching,
+// threading) must reproduce *exactly*: same assignment, bitwise-equal
+// centers, influence and imbalance.
+// ---------------------------------------------------------------------------
+
+template <int D>
+struct SeedOutcome {
+    std::vector<std::int32_t> assignment;
+    std::vector<geo::Point<D>> centers;
+    std::vector<double> influence;
+    double imbalance = 0.0;
+};
+
+template <int D>
+SeedOutcome<D> seedKMeans(Comm& comm, std::span<const geo::Point<D>> points,
+                          std::span<const double> weights,
+                          std::vector<geo::Point<D>> centers, const Settings& s) {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    const auto k = static_cast<std::int32_t>(centers.size());
+    const std::size_t n = points.size();
+    std::vector<double> targetShare;
+    if (s.targetFractions.empty()) {
+        targetShare.assign(static_cast<std::size_t>(k), 1.0 / k);
+    } else {
+        double sum = 0.0;
+        for (const double f : s.targetFractions) sum += f;
+        for (const double f : s.targetFractions) targetShare.push_back(f / sum);
+    }
+    std::vector<double> influence = s.initialInfluence.empty()
+                                        ? std::vector<double>(static_cast<std::size_t>(k), 1.0)
+                                        : s.initialInfluence;
+    std::vector<std::int32_t> assignment(n, -1);
+    std::vector<double> ub(n, kInf), lb(n, 0.0);
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::size_t sampleSize = n;
+    if (s.sampledInitialization) {
+        Xoshiro256 rng(s.seed ^
+                       (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(comm.rank() + 1)));
+        for (std::size_t i = n; i > 1; --i) std::swap(order[i - 1], order[rng.below(i)]);
+        sampleSize = std::min<std::size_t>(
+            static_cast<std::size_t>(std::max(1, s.initialSampleSize)), n);
+    }
+    auto bb = geo::Box<D>::around(points);
+    std::array<double, 2 * D> lohi;
+    for (int i = 0; i < D; ++i) {
+        lohi[static_cast<std::size_t>(i)] = bb.valid() ? bb.lo[i] : kInf;
+        lohi[static_cast<std::size_t>(D + i)] = bb.valid() ? -bb.hi[i] : kInf;
+    }
+    comm.allreduceMin(std::span<double>(lohi.data(), lohi.size()));
+    geo::Box<D> globalBox;
+    for (int i = 0; i < D; ++i) {
+        globalBox.lo[i] = lohi[static_cast<std::size_t>(i)];
+        globalBox.hi[i] = -lohi[static_cast<std::size_t>(D + i)];
+    }
+    const double clusterScale =
+        geo::core::expectedClusterRadius(globalBox.diagonal(), k, D);
+    const double deltaThreshold = s.deltaThresholdFactor * clusterScale;
+    const auto weightOf = [&](std::size_t p) {
+        return weights.empty() ? 1.0 : weights[p];
+    };
+
+    std::vector<std::int32_t> sortedCenters;
+    std::vector<double> centerKey;
+    const auto assignPoint = [&](std::size_t p) {
+        double best = kInf, second = kInf;
+        std::int32_t bestC = -1;
+        for (std::size_t ci = 0; ci < sortedCenters.size(); ++ci) {
+            const std::int32_t c = sortedCenters[ci];
+            if (s.boundingBoxPruning && centerKey.size() == sortedCenters.size() &&
+                centerKey[static_cast<std::size_t>(c)] > second)
+                break;
+            const double eDist = distance(points[p], centers[static_cast<std::size_t>(c)]) /
+                                 influence[static_cast<std::size_t>(c)];
+            if (eDist < best) {
+                second = best;
+                best = eDist;
+                bestC = c;
+            } else if (eDist < second) {
+                second = eDist;
+            }
+        }
+        assignment[p] = bestC;
+        ub[p] = best;
+        lb[p] = second;
+    };
+    const auto imbalanceOf = [&](std::span<const double> sizes) {
+        const double total = std::accumulate(sizes.begin(), sizes.end(), 0.0);
+        if (total <= 0.0) return 0.0;
+        double worst = 0.0;
+        for (std::int32_t c = 0; c < k; ++c) {
+            const double target = s.targetFractions.empty()
+                                      ? std::ceil(total / k)
+                                      : targetShare[static_cast<std::size_t>(c)] * total;
+            worst = std::max(worst, sizes[static_cast<std::size_t>(c)] /
+                                        std::max(target, 1e-300));
+        }
+        return worst - 1.0;
+    };
+    const auto assignAndBalance = [&]() {
+        auto active = geo::Box<D>::empty();
+        for (std::size_t oi = 0; oi < sampleSize; ++oi) active.extend(points[order[oi]]);
+        double imb = kInf;
+        for (int round = 0; round < s.maxBalanceIterations; ++round) {
+            sortedCenters.resize(static_cast<std::size_t>(k));
+            std::iota(sortedCenters.begin(), sortedCenters.end(), 0);
+            if (s.boundingBoxPruning && active.valid()) {
+                centerKey.resize(static_cast<std::size_t>(k));
+                for (std::int32_t c = 0; c < k; ++c)
+                    centerKey[static_cast<std::size_t>(c)] =
+                        active.minDistance(centers[static_cast<std::size_t>(c)]) /
+                        influence[static_cast<std::size_t>(c)];
+                std::sort(sortedCenters.begin(), sortedCenters.end(),
+                          [&](std::int32_t a, std::int32_t b) {
+                              return centerKey[static_cast<std::size_t>(a)] <
+                                     centerKey[static_cast<std::size_t>(b)];
+                          });
+            }
+            std::vector<double> localSizes(static_cast<std::size_t>(k), 0.0);
+            for (std::size_t oi = 0; oi < sampleSize; ++oi) {
+                const std::size_t p = order[oi];
+                if (!(s.hamerlyBounds && assignment[p] >= 0 && ub[p] < lb[p]))
+                    assignPoint(p);
+                localSizes[static_cast<std::size_t>(assignment[p])] += weightOf(p);
+            }
+            comm.allreduceSum(std::span<double>(localSizes));
+            imb = imbalanceOf(localSizes);
+            if (imb <= s.epsilon) return imb;
+            // Influence adaptation + eager bound relaxation for influence.
+            const double total =
+                std::accumulate(localSizes.begin(), localSizes.end(), 0.0);
+            std::vector<double> ratio(static_cast<std::size_t>(k), 1.0);
+            for (std::int32_t c = 0; c < k; ++c) {
+                const double target = targetShare[static_cast<std::size_t>(c)] * total;
+                const double size = localSizes[static_cast<std::size_t>(c)];
+                const double factor =
+                    size <= 0.0 ? 1.0 + s.influenceChangeCap
+                                : std::clamp(std::pow(target / size, 1.0 / D),
+                                             1.0 - s.influenceChangeCap,
+                                             1.0 + s.influenceChangeCap);
+                const double before = influence[static_cast<std::size_t>(c)];
+                influence[static_cast<std::size_t>(c)] = before * factor;
+                ratio[static_cast<std::size_t>(c)] =
+                    before / influence[static_cast<std::size_t>(c)];
+            }
+            if (s.hamerlyBounds) {
+                const double minRatio = *std::min_element(ratio.begin(), ratio.end());
+                for (std::size_t p = 0; p < n; ++p) {
+                    if (assignment[p] < 0) continue;
+                    ub[p] *= ratio[static_cast<std::size_t>(assignment[p])];
+                    lb[p] *= minRatio;
+                }
+            }
+        }
+        return imb;
+    };
+
+    double imbalanceNow = kInf;
+    bool converged = false;
+    for (int iter = 0; iter < s.maxIterations; ++iter) {
+        imbalanceNow = assignAndBalance();
+        std::vector<double> sums(static_cast<std::size_t>(k) * (D + 1), 0.0);
+        for (std::size_t oi = 0; oi < sampleSize; ++oi) {
+            const std::size_t p = order[oi];
+            const auto c = static_cast<std::size_t>(assignment[p]);
+            for (int d = 0; d < D; ++d)
+                sums[c * (D + 1) + static_cast<std::size_t>(d)] += weightOf(p) * points[p][d];
+            sums[c * (D + 1) + D] += weightOf(p);
+        }
+        comm.allreduceSum(std::span<double>(sums));
+        auto freshCenters = centers;
+        std::vector<double> delta(static_cast<std::size_t>(k), 0.0);
+        double maxDelta = 0.0;
+        for (std::int32_t c = 0; c < k; ++c) {
+            const auto base = static_cast<std::size_t>(c) * (D + 1);
+            if (sums[base + D] <= 0.0) continue;
+            geo::Point<D> fresh;
+            for (int d = 0; d < D; ++d)
+                fresh[d] = sums[base + static_cast<std::size_t>(d)] / sums[base + D];
+            delta[static_cast<std::size_t>(c)] =
+                distance(fresh, centers[static_cast<std::size_t>(c)]);
+            maxDelta = std::max(maxDelta, delta[static_cast<std::size_t>(c)]);
+            freshCenters[static_cast<std::size_t>(c)] = fresh;
+        }
+        const bool sampleComplete =
+            comm.allreduceMin<std::uint64_t>(sampleSize >= n ? 1 : 0) == 1;
+        if (sampleComplete && maxDelta < deltaThreshold) {
+            converged = true;
+            break;
+        }
+        centers = std::move(freshCenters);
+        std::vector<double> influenceBefore = influence;
+        if (s.influenceErosion) {
+            const double beta = std::max(clusterScale, 1e-300);
+            for (std::int32_t c = 0; c < k; ++c) {
+                const double x = delta[static_cast<std::size_t>(c)] / beta;
+                const double alpha = 2.0 / (1.0 + std::exp(-x)) - 1.0;
+                auto& inf = influence[static_cast<std::size_t>(c)];
+                inf = std::exp((1.0 - alpha) * std::log(inf));
+            }
+        }
+        if (s.hamerlyBounds) {
+            double minRatio = kInf, maxShift = 0.0;
+            std::vector<double> ratio(static_cast<std::size_t>(k));
+            for (std::int32_t c = 0; c < k; ++c) {
+                const double r = influenceBefore[static_cast<std::size_t>(c)] /
+                                 influence[static_cast<std::size_t>(c)];
+                ratio[static_cast<std::size_t>(c)] = r;
+                minRatio = std::min(minRatio, r);
+                maxShift = std::max(maxShift, delta[static_cast<std::size_t>(c)] /
+                                                  influence[static_cast<std::size_t>(c)]);
+            }
+            for (std::size_t p = 0; p < n; ++p) {
+                if (assignment[p] < 0) continue;
+                const auto c = static_cast<std::size_t>(assignment[p]);
+                ub[p] = ub[p] * ratio[c] + delta[c] / influence[c];
+                lb[p] = std::max(0.0, lb[p] * minRatio - maxShift);
+            }
+        }
+        if (sampleSize < n) sampleSize = std::min(n, sampleSize * 2);
+    }
+    if (sampleSize < n) {
+        sampleSize = n;
+        std::fill(ub.begin(), ub.end(), kInf);
+        std::fill(lb.begin(), lb.end(), 0.0);
+        imbalanceNow = assignAndBalance();
+    } else if (!converged) {
+        imbalanceNow = assignAndBalance();
+    }
+    return {std::move(assignment), std::move(centers), std::move(influence), imbalanceNow};
+}
+
+template <int D>
+void expectExactlyEqual(const KMeansOutcome<D>& got, const SeedOutcome<D>& want,
+                        const std::string& label) {
+    EXPECT_EQ(got.assignment, want.assignment) << label;
+    ASSERT_EQ(got.centers.size(), want.centers.size()) << label;
+    for (std::size_t c = 0; c < want.centers.size(); ++c)
+        for (int d = 0; d < D; ++d)
+            EXPECT_EQ(got.centers[c][d], want.centers[c][d]) << label << " center " << c;
+    EXPECT_EQ(got.influence, want.influence) << label;
+    EXPECT_EQ(got.imbalance, want.imbalance) << label;
+}
+
+/// Run the seed oracle and the engine in every mode/thread combination on
+/// one configuration; everything must agree exactly.
+template <int D>
+void runEquivalence(const std::vector<geo::Point<D>>& pts,
+                    const std::vector<double>& weights,
+                    const std::vector<geo::Point<D>>& centers, Settings s,
+                    int ranks, const std::string& label) {
+    SeedOutcome<D> want;
+    runSpmd(ranks, [&](Comm& comm) {
+        const auto [lo, hi] =
+            geo::par::blockRange(static_cast<std::int64_t>(pts.size()), comm.rank(), ranks);
+        std::vector<geo::Point<D>> local(pts.begin() + lo, pts.begin() + hi);
+        std::vector<double> localW;
+        if (!weights.empty()) localW.assign(weights.begin() + lo, weights.begin() + hi);
+        auto mine = seedKMeans<D>(comm, local, localW, centers, s);
+        mine.assignment = comm.allgatherv(std::span<const std::int32_t>(mine.assignment));
+        if (comm.isRoot()) want = std::move(mine);
+    });
+
+    struct Config {
+        bool reference;
+        int threads;
+    };
+    for (const Config cfg : {Config{true, 1}, Config{false, 1}, Config{false, 2},
+                             Config{false, 4}}) {
+        Settings engine = s;
+        engine.referenceAssignment = cfg.reference;
+        engine.assignThreads = cfg.threads;
+        runSpmd(ranks, [&](Comm& comm) {
+            const auto [lo, hi] = geo::par::blockRange(
+                static_cast<std::int64_t>(pts.size()), comm.rank(), ranks);
+            std::vector<geo::Point<D>> local(pts.begin() + lo, pts.begin() + hi);
+            std::vector<double> localW;
+            if (!weights.empty())
+                localW.assign(weights.begin() + lo, weights.begin() + hi);
+            auto got = balancedKMeans<D>(comm, local, localW, centers, engine);
+            got.assignment = comm.allgatherv(std::span<const std::int32_t>(got.assignment));
+            if (comm.isRoot())
+                expectExactlyEqual<D>(got, want,
+                                      label + (cfg.reference ? " [reference" : " [fast") +
+                                          " t" + std::to_string(cfg.threads) + "]");
+        });
+    }
+}
+
+TEST(AssignEngineEquivalence, Uniform2dSampled) {
+    runEquivalence<2>(uniformPoints(3000, 101), {}, seedCenters(8, 103), Settings{}, 1,
+                      "uniform2d-sampled");
+}
+
+TEST(AssignEngineEquivalence, Uniform2dFullInit) {
+    Settings s;
+    s.sampledInitialization = false;
+    runEquivalence<2>(uniformPoints(3000, 107), {}, seedCenters(8, 109), s, 1,
+                      "uniform2d-full");
+}
+
+TEST(AssignEngineEquivalence, Weighted2d) {
+    // Integer weights: every partial sum is exact, so even the block-wise
+    // size accumulation of the engine matches the seed's flat sums bitwise.
+    const auto pts = uniformPoints(2500, 113);
+    std::vector<double> w;
+    for (std::size_t i = 0; i < pts.size(); ++i) w.push_back(pts[i][0] < 0.4 ? 7.0 : 1.0);
+    Settings s;
+    s.maxIterations = 60;
+    runEquivalence<2>(pts, w, seedCenters(6, 127), s, 1, "weighted2d");
+}
+
+TEST(AssignEngineEquivalence, WarmStartInfluence2d) {
+    Settings s;
+    s.sampledInitialization = false;  // the repart warm path disables sampling
+    s.initialInfluence = {1.25, 0.8, 1.0, 0.95, 1.1};
+    runEquivalence<2>(uniformPoints(2500, 131), {}, seedCenters(5, 137), s, 1,
+                      "warm-start2d");
+}
+
+TEST(AssignEngineEquivalence, TargetFractions2d) {
+    Settings s;
+    s.targetFractions = {0.6, 0.25, 0.15};
+    s.epsilon = 0.05;
+    s.maxIterations = 80;
+    runEquivalence<2>(uniformPoints(2500, 139), {}, seedCenters(3, 149), s, 1,
+                      "fractions2d");
+}
+
+TEST(AssignEngineEquivalence, Uniform3dMultiRank) {
+    Xoshiro256 rng(151);
+    std::vector<Point3> pts;
+    for (int i = 0; i < 3000; ++i)
+        pts.push_back(Point3{{rng.uniform(), rng.uniform(), rng.uniform()}});
+    std::vector<Point3> centers;
+    for (int i = 0; i < 6; ++i)
+        centers.push_back(Point3{{rng.uniform(), rng.uniform(), rng.uniform()}});
+    runEquivalence<3>(pts, {}, centers, Settings{}, 2, "uniform3d-2ranks");
+}
+
+TEST(AssignEngineEquivalence, NoBoundsNoPruning2d) {
+    Settings s;
+    s.hamerlyBounds = false;
+    s.boundingBoxPruning = false;
+    s.sampledInitialization = false;
+    runEquivalence<2>(uniformPoints(2000, 157), {}, seedCenters(7, 163), s, 1,
+                      "nobounds2d");
 }
 
 TEST(BalancedKMeans, DeterministicAcrossRuns) {
