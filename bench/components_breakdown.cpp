@@ -3,14 +3,92 @@
 // count grows. Paper observation on Delaunay2B: at p=1024 redistribution
 // takes 32% and k-means 47%; at p=16384 redistribution 46%, k-means 42% —
 // the redistribution share grows with p.
+//
+// Extended with the intra-rank thread-scaling breakdown: one rank, the
+// whole pipeline, per-phase wall time at threads = 1, 2, 4, 8 (keying,
+// sort/redistribute, assignment sweeps, center updates, metrics). Optional
+// `--json PATH` writes the rows as BENCH_pipeline.json for the CI bench
+// trajectory; optional first positional argument overrides the scaling
+// instance size (default 1M points — the acceptance configuration).
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "common.hpp"
 #include "core/geographer.hpp"
 #include "gen/delaunay2d.hpp"
 
-int main() {
+namespace {
+
+struct ScalingRow {
+    int threads = 1;
+    double keying = 0.0;   ///< phase "hilbert": bounds pass + batch keying
+    double sort = 0.0;     ///< phase "redistribute": sample sort + rebalance
+    double assign = 0.0;   ///< k-means assignment sweeps
+    double update = 0.0;   ///< k-means center-update reductions
+    double kmeans = 0.0;   ///< whole k-means phase (assign + update + rest)
+    double metrics = 0.0;  ///< evaluatePartition (no diameter BFS)
+    double total = 0.0;    ///< pipeline + metrics wall time
+    std::uint64_t keyedPoints = 0;
+    std::uint64_t sortedRecords = 0;
+};
+
+void writeJson(const std::string& path, std::int64_t n, std::int32_t k,
+               const std::vector<ScalingRow>& rows) {
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot write " << path << "\n";
+        return;
+    }
+    out << "{\n  \"bench\": \"components_breakdown\",\n"
+        << "  \"instance\": \"delaunay2d\",\n"
+        << "  \"n\": " << n << ",\n  \"k\": " << k << ",\n  \"ranks\": 1,\n"
+        << "  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto& r = rows[i];
+        out << "    {\"threads\": " << r.threads << ", \"keying_s\": " << r.keying
+            << ", \"sort_s\": " << r.sort << ", \"assign_s\": " << r.assign
+            << ", \"update_s\": " << r.update << ", \"kmeans_s\": " << r.kmeans
+            << ", \"metrics_s\": " << r.metrics << ", \"total_s\": " << r.total
+            << ", \"keyedPoints\": " << r.keyedPoints
+            << ", \"sortedRecords\": " << r.sortedRecords << "}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
     using namespace geo;
+    std::int64_t scalingN = 1'000'000;
+    std::string jsonPath;
+    for (int a = 1; a < argc; ++a) {
+        const std::string arg = argv[a];
+        if (arg == "--json") {
+            if (a + 1 >= argc) {
+                std::cerr << "--json requires a path\nusage: " << argv[0]
+                          << " [scaling-n] [--json PATH]\n";
+                return 1;
+            }
+            jsonPath = argv[++a];
+        } else if (!arg.empty() && arg.find_first_not_of("0123456789") == std::string::npos) {
+            scalingN = std::atoll(arg.c_str());
+        } else {
+            std::cerr << "unrecognized argument: " << arg << "\nusage: " << argv[0]
+                      << " [scaling-n] [--json PATH]\n";
+            return 1;
+        }
+    }
+    if (scalingN < 1000) {
+        std::cerr << "scaling-n must be >= 1000 (got " << scalingN << ")\n";
+        return 1;
+    }
+
     const std::int64_t n = 65536;
     const std::int32_t k = 32;
     std::cout << "=== Components breakdown (delaunay2d n=" << n << ", k=" << k
@@ -58,6 +136,58 @@ int main() {
     }
     engineTable.print(std::cout);
     std::cout << "\nreference = seed scalar kernel (one sqrt per candidate, eager bound\n"
-                 "sweeps); fast = squared-domain batch kernel with lazy epoch bounds.\n";
+                 "sweeps); fast = squared-domain batch kernel with lazy epoch bounds.\n\n";
+
+    // Per-phase intra-rank thread scaling: the whole pipeline on ONE rank so
+    // Amdahl shows up per phase, not per rank. Partitions, centers,
+    // influence and metrics are bitwise identical across rows (enforced by
+    // tests/test_threads.cpp); only the wall clock may differ.
+    std::cout << "=== per-phase thread scaling (delaunay2d n=" << scalingN
+              << ", k=" << k << ", ranks=1) ===\n";
+    const auto big = scalingN == n ? mesh : gen::delaunay2d(scalingN, 9);
+    std::vector<ScalingRow> rows;
+    Table scalingTable({"threads", "keying[s]", "sort[s]", "assign[s]", "update[s]",
+                        "metrics[s]", "total[s]", "keyedPoints", "sortedRecords"});
+    for (const int threads : {1, 2, 4, 8}) {
+        core::Settings settings;
+        settings.threads = threads;
+        Timer whole;
+        const auto res =
+            core::partitionGeographer<2>(big.points, {}, k, /*ranks=*/1, settings);
+        Timer metricsTimer;
+        const auto m = graph::evaluatePartition(big.graph, res.partition, k, {},
+                                                /*computeDiameter=*/false, {}, threads);
+        ScalingRow row;
+        row.threads = threads;
+        row.keying = res.phaseSeconds.at("hilbert");
+        row.sort = res.phaseSeconds.at("redistribute");
+        row.assign = res.phaseSeconds.at("assign");
+        row.update = res.phaseSeconds.at("update");
+        row.kmeans = res.phaseSeconds.at("kmeans");
+        row.metrics = metricsTimer.seconds();
+        row.total = whole.seconds();
+        row.keyedPoints = res.counters.keyedPoints;
+        row.sortedRecords = res.counters.sortedRecords;
+        rows.push_back(row);
+        scalingTable.addRow({std::to_string(row.threads), Table::num(row.keying, 3),
+                             Table::num(row.sort, 3), Table::num(row.assign, 3),
+                             Table::num(row.update, 3), Table::num(row.metrics, 3),
+                             Table::num(row.total, 3), std::to_string(row.keyedPoints),
+                             std::to_string(row.sortedRecords)});
+        (void)m;
+    }
+    scalingTable.print(std::cout);
+    const auto& t1 = rows.front();
+    const auto& t8 = rows.back();
+    const double keySortSpeedup = (t1.keying + t1.sort) / (t8.keying + t8.sort);
+    const double wholeReduction = 100.0 * (1.0 - t8.total / t1.total);
+    std::cout << "\nkeying+sort speedup (1 -> 8 threads): x"
+              << Table::num(keySortSpeedup, 2)
+              << "\nwhole-run wall-time reduction (1 -> 8 threads): "
+              << Table::num(wholeReduction, 1)
+              << "%\n(results bitwise identical across rows; targets: >= 2x and >= 30% "
+                 "on >= 8 hardware threads)\n";
+
+    if (!jsonPath.empty()) writeJson(jsonPath, scalingN, k, rows);
     return 0;
 }

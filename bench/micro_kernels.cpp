@@ -127,7 +127,7 @@ void assignSweepBench(benchmark::State& state, bool reference, int threads) {
 
     core::Settings s;
     s.referenceAssignment = reference;
-    s.assignThreads = threads;
+    s.threads = threads;
     core::AssignEngine<DIM> engine(pts, {}, s, k);
     std::vector<std::size_t> order(static_cast<std::size_t>(n));
     std::iota(order.begin(), order.end(), std::size_t{0});

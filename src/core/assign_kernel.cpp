@@ -21,7 +21,8 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// Points per cache block. Fixed (never derived from the thread count) so
 /// the per-block size partials — and with them every floating-point sum the
-/// sweep produces — are identical at any Settings::assignThreads.
+/// sweep and the center update produce — are identical at any
+/// Settings::threads.
 constexpr std::size_t kAssignBlock = 1024;
 
 }  // namespace
@@ -38,7 +39,7 @@ AssignEngine<D>::AssignEngine(std::span<const Point<D>> points,
     ub_.assign(points_.size(), kInf);
     lb_.assign(points_.size(), 0.0);
     epoch_.assign(points_.size(), 0);
-    scratch_.resize(static_cast<std::size_t>(std::max(1, settings_.assignThreads)));
+    scratch_.resize(static_cast<std::size_t>(settings_.resolvedThreads()));
 }
 
 template <int D>
@@ -115,7 +116,7 @@ void AssignEngine<D>::sweep(std::span<double> localSizes) {
     const std::size_t blocks = (active_ + kAssignBlock - 1) / kAssignBlock;
     const auto stride = static_cast<std::size_t>(k_);
     blockSizes_.resize(blocks * stride);
-    const int threads = std::max(1, settings_.assignThreads);
+    const int threads = settings_.resolvedThreads();
     if (scratch_.size() < static_cast<std::size_t>(threads))
         scratch_.resize(static_cast<std::size_t>(threads));
 
@@ -135,6 +136,39 @@ void AssignEngine<D>::sweep(std::span<double> localSizes) {
         counters_.merge(scratch.counters);
         scratch.counters = KMeansCounters{};
     }
+}
+
+template <int D>
+void AssignEngine<D>::updateCenters(std::span<double> sums) {
+    const auto stride = static_cast<std::size_t>(k_) * (D + 1);
+    GEO_REQUIRE(sums.size() == stride, "sums must be k*(D+1) wide");
+    std::fill(sums.begin(), sums.end(), 0.0);
+    if (active_ == 0) return;
+
+    const std::size_t blocks = (active_ + kAssignBlock - 1) / kAssignBlock;
+    blockSums_.resize(blocks * stride);
+    par::parallelFor(
+        settings_.resolvedThreads(), blocks,
+        [&](std::size_t b0, std::size_t b1, int) {
+            for (std::size_t b = b0; b < b1; ++b) {
+                double* partial = &blockSums_[b * stride];
+                std::fill(partial, partial + stride, 0.0);
+                const std::size_t i0 = b * kAssignBlock;
+                const std::size_t i1 = std::min(active_, i0 + kAssignBlock);
+                for (std::size_t i = i0; i < i1; ++i) {
+                    const auto c = static_cast<std::size_t>(assignment_[order_[i]]);
+                    const double w = soaWeight_[i];
+                    double* row = partial + c * (D + 1);
+                    for (int d = 0; d < D; ++d)
+                        row[d] += w * soa_[static_cast<std::size_t>(d)][i];
+                    row[D] += w;
+                }
+            }
+        });
+    // Deterministic reduction: block partials in ascending block order.
+    for (std::size_t b = 0; b < blocks; ++b)
+        for (std::size_t c = 0; c < stride; ++c)
+            sums[c] += blockSums_[b * stride + c];
 }
 
 template <int D>

@@ -27,10 +27,12 @@
 //      contiguous scratch, and runs an auto-vectorizable centers-outer /
 //      points-inner kernel with branchless best/second tracking. Weighted
 //      cluster sizes are accumulated per block and reduced in block order.
-//   4. Intra-rank threading (Settings::assignThreads) via par::parallelFor
-//      over whole blocks. Because block boundaries are fixed and the block
-//      partials are reduced serially in block order, results are bitwise
-//      identical at every thread count.
+//   4. Intra-rank threading (Settings::threads; the old name assignThreads
+//      survives as a deprecated alias) via par::parallelFor over whole
+//      blocks. Because block boundaries are fixed and the block partials are
+//      reduced serially in block order, results are bitwise identical at
+//      every thread count. The same contract covers updateCenters(), the
+//      threaded Alg. 2 line-13 reduction.
 //
 // Settings::referenceAssignment selects the scalar sqrt-domain kernel (the
 // seed implementation's per-candidate loop) as an equivalence oracle; the
@@ -77,6 +79,14 @@ public:
     /// epochs, skip via ub < lb, (re)assign the rest, and write the
     /// deterministic per-cluster weighted sizes into `localSizes` (k wide).
     void sweep(std::span<double> localSizes);
+
+    /// Weighted per-cluster coordinate/weight sums over the active points —
+    /// the Alg. 2 line-13 center-update reduction. `sums` is k·(D+1) wide:
+    /// D coordinate sums then the weight per cluster. Runs over the same
+    /// fixed 1024-slot blocks as sweep(), with per-block partials reduced
+    /// serially in block order, so the result is bitwise identical at every
+    /// Settings::threads value (and to the block-ordered serial sum).
+    void updateCenters(std::span<double> sums);
 
     /// Influence changed from I to I' (ratio = I/I'): ub scales by its own
     /// cluster's ratio, lb by the smallest ratio. O(k), applied lazily.
@@ -156,6 +166,7 @@ private:
     CenterKdTree<D> tree_;
 
     std::vector<double> blockSizes_;  ///< per-block weighted cluster sizes
+    std::vector<double> blockSums_;   ///< per-block center-update partials
     std::vector<Scratch> scratch_;
     KMeansCounters counters_;
 };

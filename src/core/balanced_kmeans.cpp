@@ -9,6 +9,7 @@
 #include "geometry/box.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
+#include "support/timer.hpp"
 
 namespace geo::core {
 
@@ -115,16 +116,11 @@ public:
             imbalanceNow = assignAndBalance();
 
             // New centers: weighted mean of assigned (active) points,
-            // computed with one global reduction (Alg. 2 line 13).
-            std::fill(sums_.begin(), sums_.end(), 0.0);
-            const auto assignment = engine_.assignment();
-            for (std::size_t oi = 0; oi < sampleSize_; ++oi) {
-                const std::size_t p = order_[oi];
-                const auto c = static_cast<std::size_t>(assignment[p]);
-                const double w = weightOf(p);
-                for (int d = 0; d < D; ++d) sums_[c * (D + 1) + static_cast<std::size_t>(d)] += w * points_[p][d];
-                sums_[c * (D + 1) + D] += w;
-            }
+            // computed with one global reduction (Alg. 2 line 13). The
+            // per-cluster sums run through the engine's threaded
+            // block-ordered kernel over its SoA mirror of the active set.
+            Timer updateTimer;
+            engine_.updateCenters(sums_);
             comm_.allreduceSum(std::span<double>(sums_));
 
             freshCenters_ = centers_;
@@ -150,6 +146,7 @@ public:
                 // assignment stays an exact weighted-Voronoi partition of
                 // the returned (centers, influence) state.
                 converged = true;
+                updateSeconds_ += updateTimer.seconds();
                 break;
             }
             std::swap(centers_, freshCenters_);
@@ -176,6 +173,7 @@ public:
                 shift_[ci] = delta_[ci] / influence_[ci];
             }
             engine_.pushMoveEpoch(ratio_, shift_);
+            updateSeconds_ += updateTimer.seconds();
 
             if (sampleSize_ < n) sampleSize_ = std::min(n, sampleSize_ * 2);
         }
@@ -198,15 +196,16 @@ public:
         out.imbalance = imbalanceNow;
         out.converged = converged;
         out.counters = counters_;
+        out.assignSeconds = assignSeconds_;
+        out.updateSeconds = updateSeconds_;
         return out;
     }
 
 private:
-    double weightOf(std::size_t p) const { return weights_.empty() ? 1.0 : weights_[p]; }
-
     /// Algorithm 1: repeated assignment sweeps with influence adaptation
     /// until balance or maxBalanceIterations. Returns achieved imbalance.
     double assignAndBalance() {
+        const Timer assignTimer;
         // Mirror the *active* local points into the engine's SoA arrays and
         // compute their bounding box (§4.4) — once per call, like the seed.
         engine_.setActive(order_, sampleSize_);
@@ -221,10 +220,11 @@ private:
             globalSizes_ = localSizes_;
             comm_.allreduceSum(std::span<double>(globalSizes_));
             imb = imbalanceOf(globalSizes_);
-            if (imb <= settings_.epsilon) return imb;
+            if (imb <= settings_.epsilon) break;
 
             adaptInfluence(globalSizes_);
         }
+        assignSeconds_ += assignTimer.seconds();
         return imb;
     }
 
@@ -284,6 +284,8 @@ private:
     double clusterScale_ = 1.0;
     double deltaThreshold_ = 0.0;
     KMeansCounters counters_;
+    double assignSeconds_ = 0.0;
+    double updateSeconds_ = 0.0;
 
     // Hoisted buffers (one allocation for the whole run).
     std::vector<double> sums_, localSizes_, globalSizes_;

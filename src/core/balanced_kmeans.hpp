@@ -52,6 +52,12 @@ struct KMeansOutcome {
     double imbalance = 0.0;                ///< achieved global imbalance
     bool converged = false;                ///< center movement below threshold
     KMeansCounters counters;               ///< this rank's loop counters
+    /// Wall-time split of the k-means loop on this rank: the
+    /// assign-and-balance sweeps vs the center-update reductions (incl.
+    /// their allreduces) — the phase granularity the thread-scaling bench
+    /// reports.
+    double assignSeconds = 0.0;
+    double updateSeconds = 0.0;
 };
 
 /// Run balanced k-means on the rank-local `points` with replicated initial

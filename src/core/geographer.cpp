@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "geometry/box.hpp"
+#include "par/parallel_for.hpp"
 #include "par/sort.hpp"
 #include "sfc/hilbert.hpp"
 #include "support/assert.hpp"
@@ -42,13 +43,16 @@ void spmdBody(par::Comm& comm, std::span<const Point<D>> points,
 
     // Block distribution of the input, as if each rank had read its slice.
     const auto [lo, hi] = par::blockRange(n, r, p);
+    const auto localCountIn = static_cast<std::size_t>(hi - lo);
+    const auto localPoints = points.subspan(static_cast<std::size_t>(lo), localCountIn);
+    const int threads = settings.resolvedThreads();
 
     PhaseTimer phases;
 
-    // Phase 1: Hilbert indices (global bounding box via allreduce).
+    // Phase 1: curve keys for the local slice (threaded bounds pass, global
+    // bounding box via allreduce, threaded batch keying).
     Timer t1;
-    Box<D> bb = Box<D>::empty();
-    for (std::int64_t i = lo; i < hi; ++i) bb.extend(points[static_cast<std::size_t>(i)]);
+    const Box<D> bb = sfc::boundsOf<D>(localPoints, threads);
     std::array<double, 2 * D> lohi;
     for (int d = 0; d < D; ++d) {
         lohi[static_cast<std::size_t>(d)] =
@@ -62,24 +66,29 @@ void spmdBody(par::Comm& comm, std::span<const Point<D>> points,
         globalBox.lo[d] = lohi[static_cast<std::size_t>(d)];
         globalBox.hi[d] = -lohi[static_cast<std::size_t>(D + d)];
     }
-    std::vector<Rec> records;
-    records.reserve(static_cast<std::size_t>(hi - lo));
-    for (std::int64_t i = lo; i < hi; ++i) {
-        const auto& pt = points[static_cast<std::size_t>(i)];
-        const std::uint64_t key = settings.curve == Curve::Hilbert
-                                      ? sfc::hilbertIndex<D>(pt, globalBox)
-                                      : sfc::mortonIndex<D>(pt, globalBox);
-        records.push_back(Rec{key, PointRecord<D>{i, pt,
-                                                  weights.empty()
-                                                      ? 1.0
-                                                      : weights[static_cast<std::size_t>(i)]}});
-    }
+    const std::vector<std::uint64_t> keys =
+        settings.curve == Curve::Hilbert
+            ? sfc::hilbertIndices<D>(localPoints, globalBox, threads)
+            : sfc::mortonIndices<D>(localPoints, globalBox, threads);
+    std::vector<Rec> records(localCountIn);
+    par::parallelFor(threads, localCountIn, [&](std::size_t i0, std::size_t i1, int) {
+        for (std::size_t i = i0; i < i1; ++i) {
+            const std::int64_t gid = lo + static_cast<std::int64_t>(i);
+            records[i] = Rec{keys[i],
+                             PointRecord<D>{gid, localPoints[i],
+                                            weights.empty()
+                                                ? 1.0
+                                                : weights[static_cast<std::size_t>(gid)]}};
+        }
+    });
+    const std::uint64_t keyedPoints = localCountIn;
     phases.add("hilbert", t1.seconds());
 
     // Phase 2: global sort by curve index + equalizing redistribution.
     Timer t2;
-    records = par::sampleSort(comm, std::move(records));
+    records = par::sampleSort(comm, std::move(records), /*oversampling=*/16, threads);
     records = par::rebalanceSorted(comm, std::move(records));
+    const auto sortedRecords = static_cast<std::uint64_t>(records.size());
     phases.add("redistribute", t2.seconds());
 
     // Phase 3 + 4: curve seeding and balanced k-means.
@@ -103,18 +112,23 @@ void spmdBody(par::Comm& comm, std::span<const Point<D>> points,
     std::vector<Point<D>> centers(static_cast<std::size_t>(k));
     for (const auto& s : allSeeds) centers[static_cast<std::size_t>(s.index)] = s.pt;
 
-    std::vector<Point<D>> localPoints;
+    std::vector<Point<D>> localKmeansPoints;
     std::vector<double> localWeights;
-    localPoints.reserve(records.size());
+    localKmeansPoints.reserve(records.size());
     localWeights.reserve(records.size());
     for (const auto& rec : records) {
-        localPoints.push_back(rec.value.pt);
+        localKmeansPoints.push_back(rec.value.pt);
         localWeights.push_back(rec.value.weight);
     }
 
     auto outcome =
-        balancedKMeans<D>(comm, localPoints, localWeights, std::move(centers), settings);
+        balancedKMeans<D>(comm, localKmeansPoints, localWeights, std::move(centers), settings);
+    outcome.counters.keyedPoints = keyedPoints;
+    outcome.counters.sortedRecords = sortedRecords;
     phases.add("kmeans", t3.seconds());
+    // Sub-phases of k-means, for the thread-scaling breakdown.
+    phases.add("assign", outcome.assignSeconds);
+    phases.add("update", outcome.updateSeconds);
 
     // Snapshot the pipeline cost before the diagnostic result gather: this
     // is what the paper's running-time measurements cover.
@@ -134,8 +148,9 @@ void spmdBody(par::Comm& comm, std::span<const Point<D>> points,
     const auto all = comm.allgatherv(std::span<const GidBlock>(mine));
 
     // Reduce diagnostics: max phase time, summed counters + k-means state.
-    std::array<double, 3> phaseMax{phases.get("hilbert"), phases.get("redistribute"),
-                                   phases.get("kmeans")};
+    std::array<double, 5> phaseMax{phases.get("hilbert"), phases.get("redistribute"),
+                                   phases.get("kmeans"), phases.get("assign"),
+                                   phases.get("update")};
     comm.allreduceMax(std::span<double>(phaseMax.data(), phaseMax.size()));
     detail::storeKMeansDiagnostics<D>(comm, outcome, result, resultMutex);
 
@@ -147,6 +162,8 @@ void spmdBody(par::Comm& comm, std::span<const Point<D>> points,
         result.phaseSeconds["hilbert"] = phaseMax[0];
         result.phaseSeconds["redistribute"] = phaseMax[1];
         result.phaseSeconds["kmeans"] = phaseMax[2];
+        result.phaseSeconds["assign"] = phaseMax[3];
+        result.phaseSeconds["update"] = phaseMax[4];
         result.modeledSeconds = pipelineMax;
     }
 }
@@ -158,11 +175,12 @@ namespace detail {
 template <int D>
 void storeKMeansDiagnostics(par::Comm& comm, const KMeansOutcome<D>& outcome,
                             GeographerResult& result, std::mutex& resultMutex) {
-    std::array<std::uint64_t, 7> counterSum{
+    std::array<std::uint64_t, 9> counterSum{
         outcome.counters.pointEvaluations, outcome.counters.boundSkips,
         outcome.counters.distanceCalcs, outcome.counters.bboxBreaks,
         outcome.counters.balanceIterations, outcome.counters.epochBoundApplications,
-        outcome.counters.batchedDistanceCalcs};
+        outcome.counters.batchedDistanceCalcs, outcome.counters.keyedPoints,
+        outcome.counters.sortedRecords};
     comm.allreduceSum(std::span<std::uint64_t>(counterSum.data(), counterSum.size()));
 
     if (!comm.isRoot()) return;
@@ -176,6 +194,8 @@ void storeKMeansDiagnostics(par::Comm& comm, const KMeansOutcome<D>& outcome,
     result.counters.balanceIterations = counterSum[4];
     result.counters.epochBoundApplications = counterSum[5];
     result.counters.batchedDistanceCalcs = counterSum[6];
+    result.counters.keyedPoints = counterSum[7];
+    result.counters.sortedRecords = counterSum[8];
     result.counters.outerIterations = outcome.counters.outerIterations;
     const auto k = outcome.centers.size();
     result.centerCoords.resize(k * D);

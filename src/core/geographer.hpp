@@ -30,7 +30,8 @@ struct GeographerResult {
     /// Loop counters summed over all ranks.
     KMeansCounters counters;
     /// Per-phase wall time, max over ranks: "hilbert", "redistribute",
-    /// "kmeans".
+    /// "kmeans", plus the k-means sub-phases "assign" (assignment sweeps)
+    /// and "update" (center-update reductions).
     std::map<std::string, double> phaseSeconds;
     /// Aggregate runtime statistics of the SPMD run (modeled comm time,
     /// bytes, per-rank CPU time). Includes the diagnostic result gather.

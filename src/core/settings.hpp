@@ -8,7 +8,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "par/thread_pool.hpp"
+
 namespace geo::core {
+
+/// Process-wide default worker-thread count (GEO_THREADS or 1); see
+/// par::defaultThreads — re-exported here because Settings resolution is
+/// where most callers meet it.
+using par::defaultThreads;
 
 /// Space-filling curve used for the sort/redistribution and center seeding.
 /// The paper uses Hilbert; Morton is provided for the curve ablation.
@@ -54,10 +61,29 @@ struct Settings {
     bool sampledInitialization = true;
     int initialSampleSize = 100;
 
-    /// Intra-rank worker threads for the assignment sweep (core/assign_kernel).
-    /// Results are bitwise identical at every thread count: work is split at
-    /// fixed cache-block boundaries and reduced in block order.
-    int assignThreads = 1;
+    /// Intra-rank worker threads for every O(n) pipeline phase: SFC keying
+    /// and bounds, the rank-local sort inside par::sampleSort, the
+    /// assignment sweep and center update (core/assign_kernel), and the
+    /// graph metrics. Results are bitwise identical at every thread count:
+    /// work is split at fixed cache-block boundaries and reduced in block
+    /// order (DESIGN.md "Threading model"). 0 = unset: fall back to the
+    /// deprecated `assignThreads` alias, then to GEO_THREADS/1. Callers
+    /// read the resolved value via resolvedThreads().
+    int threads = 0;
+
+    /// DEPRECATED alias for `threads` (pre-PR-4 name, when only the
+    /// assignment sweep was threaded). Honored only while `threads` is
+    /// unset (0); new code should set `threads`.
+    int assignThreads = 0;
+
+    /// The thread count every phase actually uses: `threads` if set,
+    /// else the deprecated `assignThreads`, else defaultThreads()
+    /// (GEO_THREADS or 1).
+    [[nodiscard]] int resolvedThreads() const noexcept {
+        if (threads >= 1) return threads;
+        if (assignThreads >= 1) return assignThreads;
+        return defaultThreads();
+    }
 
     /// Equivalence mode: run the scalar sqrt-domain reference kernel (the
     /// seed implementation's per-candidate loop) instead of the SoA
@@ -93,6 +119,8 @@ struct KMeansCounters {
     std::uint64_t balanceIterations = 0; ///< total assign-and-balance sweeps
     std::uint64_t epochBoundApplications = 0;  ///< lazy Hamerly epochs applied on touch
     std::uint64_t batchedDistanceCalcs = 0;    ///< distances evaluated by the SoA batch kernel
+    std::uint64_t keyedPoints = 0;       ///< points run through SFC keying (phase 1)
+    std::uint64_t sortedRecords = 0;     ///< records owned after the global sort (phase 2)
     int outerIterations = 0;             ///< center-movement rounds
 
     [[nodiscard]] double skipFraction() const noexcept {
@@ -109,6 +137,8 @@ struct KMeansCounters {
         balanceIterations += o.balanceIterations;
         epochBoundApplications += o.epochBoundApplications;
         batchedDistanceCalcs += o.batchedDistanceCalcs;
+        keyedPoints += o.keyedPoints;
+        sortedRecords += o.sortedRecords;
         outerIterations = std::max(outerIterations, o.outerIterations);
     }
 };

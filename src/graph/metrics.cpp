@@ -3,9 +3,19 @@
 #include <algorithm>
 #include <cmath>
 
+#include "par/parallel_for.hpp"
 #include "support/assert.hpp"
 
 namespace geo::graph {
+
+namespace {
+
+/// Vertices per chunk for the threaded double-weight accumulations. Fixed
+/// (never derived from the thread count) so the per-chunk partial sums —
+/// and therefore the reduced totals — are identical at every thread count.
+constexpr std::size_t kMetricsChunk = 4096;
+
+}  // namespace
 
 void validatePartition(const CsrGraph& g, const Partition& part, std::int32_t k) {
     GEO_REQUIRE(static_cast<Vertex>(part.size()) == g.numVertices(),
@@ -15,35 +25,112 @@ void validatePartition(const CsrGraph& g, const Partition& part, std::int32_t k)
         GEO_REQUIRE(b >= 0 && b < k, "block id out of range");
 }
 
-std::int64_t edgeCut(const CsrGraph& g, const Partition& part) {
-    std::int64_t cut = 0;
+std::int64_t edgeCut(const CsrGraph& g, const Partition& part, int threads) {
     const Vertex n = g.numVertices();
-    for (Vertex v = 0; v < n; ++v) {
-        const auto bv = part[static_cast<std::size_t>(v)];
-        for (const Vertex u : g.neighbors(v))
-            cut += (part[static_cast<std::size_t>(u)] != bv);
-    }
+    std::vector<std::int64_t> partial(static_cast<std::size_t>(std::max(1, threads)), 0);
+    par::parallelFor(threads, static_cast<std::size_t>(n),
+                     [&](std::size_t v0, std::size_t v1, int worker) {
+                         std::int64_t cut = 0;
+                         for (std::size_t v = v0; v < v1; ++v) {
+                             const auto bv = part[v];
+                             for (const Vertex u : g.neighbors(static_cast<Vertex>(v)))
+                                 cut += (part[static_cast<std::size_t>(u)] != bv);
+                         }
+                         partial[static_cast<std::size_t>(worker)] = cut;
+                     });
+    std::int64_t cut = 0;
+    for (const auto c : partial) cut += c;
     return cut / 2;  // each cut edge seen from both endpoints
 }
 
 std::vector<std::int64_t> externalEdges(const CsrGraph& g, const Partition& part,
-                                        std::int32_t k) {
-    std::vector<std::int64_t> ext(static_cast<std::size_t>(k), 0);
+                                        std::int32_t k, int threads) {
     const Vertex n = g.numVertices();
-    for (Vertex v = 0; v < n; ++v) {
-        const auto bv = part[static_cast<std::size_t>(v)];
-        for (const Vertex u : g.neighbors(v))
-            if (part[static_cast<std::size_t>(u)] != bv) ext[static_cast<std::size_t>(bv)]++;
-    }
+    const auto kk = static_cast<std::size_t>(k);
+    const auto workers = static_cast<std::size_t>(std::max(1, threads));
+    std::vector<std::int64_t> partial(workers * kk, 0);
+    par::parallelFor(threads, static_cast<std::size_t>(n),
+                     [&](std::size_t v0, std::size_t v1, int worker) {
+                         std::int64_t* ext = &partial[static_cast<std::size_t>(worker) * kk];
+                         for (std::size_t v = v0; v < v1; ++v) {
+                             const auto bv = part[v];
+                             for (const Vertex u : g.neighbors(static_cast<Vertex>(v)))
+                                 if (part[static_cast<std::size_t>(u)] != bv)
+                                     ext[static_cast<std::size_t>(bv)]++;
+                         }
+                     });
+    std::vector<std::int64_t> ext(kk, 0);
+    for (std::size_t w = 0; w < workers; ++w)
+        for (std::size_t b = 0; b < kk; ++b) ext[b] += partial[w * kk + b];
     return ext;
 }
 
+std::vector<std::int64_t> ghostPairCounts(const CsrGraph& g, const Partition& part,
+                                          std::int32_t k, int threads) {
+    const Vertex n = g.numVertices();
+    const auto kk = static_cast<std::size_t>(k);
+    // A vertex's ghost contributions depend only on the vertex and its
+    // neighborhood, so vertex ranges partition the enumeration exactly.
+    // Cap the fan-out so the TOTAL of the per-worker k×k matrices stays
+    // within a fixed budget at huge k (the workers×k² scratch must not
+    // dwarf the k² result the caller asked for). Depends on k alone, never
+    // on the requested thread count, so results stay thread-independent.
+    const std::size_t matrixBytes = kk * kk * sizeof(std::int64_t);
+    const std::size_t budget = std::size_t{64} << 20;
+    const int maxWorkers = matrixBytes == 0
+                               ? threads
+                               : static_cast<int>(std::max<std::size_t>(1, budget / matrixBytes));
+    threads = std::min(threads, maxWorkers);
+    const auto workers = static_cast<std::size_t>(std::max(1, threads));
+    std::vector<std::int64_t> partial(workers * kk * kk, 0);
+    std::vector<std::vector<Vertex>> lastSeen(workers,
+                                              std::vector<Vertex>(kk, Vertex{-1}));
+    par::parallelFor(threads, static_cast<std::size_t>(n),
+                     [&](std::size_t v0, std::size_t v1, int worker) {
+                         std::int64_t* counts =
+                             &partial[static_cast<std::size_t>(worker) * kk * kk];
+                         auto& seen = lastSeen[static_cast<std::size_t>(worker)];
+                         for (std::size_t v = v0; v < v1; ++v) {
+                             const auto owner = part[v];
+                             for (const Vertex u : g.neighbors(static_cast<Vertex>(v))) {
+                                 const auto receiver = part[static_cast<std::size_t>(u)];
+                                 if (receiver != owner &&
+                                     seen[static_cast<std::size_t>(receiver)] !=
+                                         static_cast<Vertex>(v)) {
+                                     seen[static_cast<std::size_t>(receiver)] =
+                                         static_cast<Vertex>(v);
+                                     counts[static_cast<std::size_t>(receiver) * kk +
+                                            static_cast<std::size_t>(owner)]++;
+                                 }
+                             }
+                         }
+                     });
+    std::vector<std::int64_t> counts(kk * kk, 0);
+    for (std::size_t w = 0; w < workers; ++w)
+        for (std::size_t i = 0; i < kk * kk; ++i) counts[i] += partial[w * kk * kk + i];
+    return counts;
+}
+
 std::vector<std::int64_t> communicationVolume(const CsrGraph& g, const Partition& part,
-                                              std::int32_t k) {
-    std::vector<std::int64_t> comm(static_cast<std::size_t>(k), 0);
-    forEachGhost(g, part, k, [&](std::int32_t owner, std::int32_t, Vertex) {
-        comm[static_cast<std::size_t>(owner)]++;
-    });
+                                              std::int32_t k, int threads) {
+    const auto kk = static_cast<std::size_t>(k);
+    // The k×k pair matrix is only a means to parallelism here; at large k
+    // it would dwarf the O(k) output (the seed needed k counters, not k²).
+    // Fall back to the definitional serial fold then — the predicate
+    // depends on k alone, so the path (and the exact integer result) is
+    // still independent of the thread count.
+    if (threads <= 1 || kk * kk * sizeof(std::int64_t) > (std::size_t{8} << 20)) {
+        std::vector<std::int64_t> comm(kk, 0);
+        forEachGhost(g, part, k, [&](std::int32_t owner, std::int32_t, Vertex) {
+            comm[static_cast<std::size_t>(owner)]++;
+        });
+        return comm;
+    }
+    const auto pairs = ghostPairCounts(g, part, k, threads);
+    std::vector<std::int64_t> comm(kk, 0);
+    for (std::size_t receiver = 0; receiver < kk; ++receiver)
+        for (std::size_t owner = 0; owner < kk; ++owner)
+            comm[owner] += pairs[receiver * kk + owner];
     return comm;
 }
 
@@ -52,7 +139,7 @@ double imbalance(const Partition& part, std::int32_t k, std::span<const double> 
 }
 
 double imbalance(const Partition& part, std::int32_t k, std::span<const double> weights,
-                 std::span<const double> targetFractions) {
+                 std::span<const double> targetFractions, int threads) {
     GEO_REQUIRE(k >= 1, "need at least one block");
     GEO_REQUIRE(weights.empty() || weights.size() == part.size(),
                 "weights must be empty or match vertices");
@@ -64,12 +151,30 @@ double imbalance(const Partition& part, std::int32_t k, std::span<const double> 
         GEO_REQUIRE(f > 0.0, "target fractions must be positive");
         fractionSum += f;
     }
-    std::vector<double> blockWeight(static_cast<std::size_t>(k), 0.0);
+    // Block weights over fixed 4096-vertex chunks, chunk partials reduced in
+    // ascending chunk order — bitwise identical at every thread count.
+    const auto kk = static_cast<std::size_t>(k);
+    const std::size_t n = part.size();
+    const std::size_t chunks = n == 0 ? 0 : (n + kMetricsChunk - 1) / kMetricsChunk;
+    std::vector<double> chunkWeight(chunks * (kk + 1));
+    par::parallelFor(threads, chunks, [&](std::size_t c0, std::size_t c1, int) {
+        for (std::size_t c = c0; c < c1; ++c) {
+            double* partial = &chunkWeight[c * (kk + 1)];
+            std::fill(partial, partial + kk + 1, 0.0);
+            const std::size_t v1 = std::min(n, (c + 1) * kMetricsChunk);
+            for (std::size_t v = c * kMetricsChunk; v < v1; ++v) {
+                const double w = weights.empty() ? 1.0 : weights[v];
+                partial[static_cast<std::size_t>(part[v])] += w;
+                partial[kk] += w;
+            }
+        }
+    });
+    std::vector<double> blockWeight(kk, 0.0);
     double total = 0.0;
-    for (std::size_t v = 0; v < part.size(); ++v) {
-        const double w = weights.empty() ? 1.0 : weights[v];
-        blockWeight[static_cast<std::size_t>(part[v])] += w;
-        total += w;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const double* partial = &chunkWeight[c * (kk + 1)];
+        for (std::size_t b = 0; b < kk; ++b) blockWeight[b] += partial[b];
+        total += partial[kk];
     }
     if (total <= 0.0) return 0.0;
     if (targetFractions.empty()) {
@@ -92,16 +197,17 @@ double imbalance(const Partition& part, std::int32_t k, std::span<const double> 
 }
 
 double topologyCommCost(const CsrGraph& g, const Partition& part, std::int32_t k,
-                        std::span<const double> linkCost) {
+                        std::span<const double> linkCost, int threads) {
     GEO_REQUIRE(linkCost.size() == static_cast<std::size_t>(k) * static_cast<std::size_t>(k),
                 "linkCost must be a k x k matrix");
-    double cost = 0.0;
     // Receiver-major per the contract: block `receiver` needs the ghost
-    // from block `owner`, weighted linkCost[receiver·k + owner].
-    forEachGhost(g, part, k, [&](std::int32_t owner, std::int32_t receiver, Vertex) {
-        cost += linkCost[static_cast<std::size_t>(receiver) * static_cast<std::size_t>(k) +
-                         static_cast<std::size_t>(owner)];
-    });
+    // from block `owner`, weighted linkCost[receiver·k + owner]. The fold
+    // runs over the integer pair-count matrix in fixed index order, so the
+    // floating-point sum is independent of the thread count.
+    const auto pairs = ghostPairCounts(g, part, k, threads);
+    double cost = 0.0;
+    for (std::size_t i = 0; i < pairs.size(); ++i)
+        if (pairs[i] != 0) cost += static_cast<double>(pairs[i]) * linkCost[i];
     return cost;
 }
 
@@ -198,18 +304,18 @@ std::vector<std::int32_t> blockComponents(const CsrGraph& g, const Partition& pa
 
 PartitionMetrics evaluatePartition(const CsrGraph& g, const Partition& part, std::int32_t k,
                                    std::span<const double> weights, bool computeDiameter,
-                                   std::span<const double> targetFractions) {
+                                   std::span<const double> targetFractions, int threads) {
     validatePartition(g, part, k);
     PartitionMetrics m;
-    m.edgeCut = edgeCut(g, part);
-    const auto ext = externalEdges(g, part, k);
+    m.edgeCut = edgeCut(g, part, threads);
+    const auto ext = externalEdges(g, part, k, threads);
     m.maxExternalEdges = ext.empty() ? 0 : *std::max_element(ext.begin(), ext.end());
-    const auto comm = communicationVolume(g, part, k);
+    const auto comm = communicationVolume(g, part, k, threads);
     for (const auto c : comm) {
         m.maxCommVolume = std::max(m.maxCommVolume, c);
         m.totalCommVolume += c;
     }
-    m.imbalance = imbalance(part, k, weights, targetFractions);
+    m.imbalance = imbalance(part, k, weights, targetFractions, threads);
 
     std::vector<std::size_t> blockSize(static_cast<std::size_t>(k), 0);
     for (const auto b : part) blockSize[static_cast<std::size_t>(b)]++;

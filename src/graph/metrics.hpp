@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "par/thread_pool.hpp"
 
 namespace geo::graph {
 
@@ -39,21 +40,24 @@ struct PartitionMetrics {
 void validatePartition(const CsrGraph& g, const Partition& part, std::int32_t k);
 
 /// Edge cut: number of undirected edges with endpoints in different blocks.
-std::int64_t edgeCut(const CsrGraph& g, const Partition& part);
+/// Threaded over vertex ranges; per-worker counts are exact integers, so the
+/// result is identical at every thread count.
+std::int64_t edgeCut(const CsrGraph& g, const Partition& part, int threads = par::defaultThreads());
 
 /// Per-block external edge counts (each cut edge counted at both blocks).
 std::vector<std::int64_t> externalEdges(const CsrGraph& g, const Partition& part,
-                                        std::int32_t k);
+                                        std::int32_t k, int threads = par::defaultThreads());
 
 /// Per-block communication volume comm(V_i).
 std::vector<std::int64_t> communicationVolume(const CsrGraph& g, const Partition& part,
-                                              std::int32_t k);
+                                              std::int32_t k, int threads = par::defaultThreads());
 
 /// Enumerate every ghost copy of a partition: fn(owner, receiver, v) is
 /// invoked exactly once per (vertex v, adjacent foreign block) pair — block
-/// `receiver` reads vertex v of block `owner`. The single source of truth
-/// for ghost counting; communicationVolume, topologyCommCost and
-/// hier::topologySpmvCommSeconds are all folds over it.
+/// `receiver` reads vertex v of block `owner`. The definitional form of
+/// ghost counting; callers that only need per-pair totals fold over
+/// ghostPairCounts below (its parallel matrix form — communicationVolume,
+/// topologyCommCost and hier::topologySpmvCommSeconds all do).
 template <typename Fn>
 void forEachGhost(const CsrGraph& g, const Partition& part, std::int32_t k, Fn&& fn) {
     const Vertex n = g.numVertices();
@@ -72,6 +76,19 @@ void forEachGhost(const CsrGraph& g, const Partition& part, std::int32_t k, Fn&&
     }
 }
 
+/// Ghost-copy counts per (receiver, owner) block pair: entry
+/// [receiver·k + owner] is the number of ghost copies block `receiver`
+/// needs from block `owner` — the matrix form of forEachGhost. Ghost
+/// detection is purely vertex-local (a vertex and its neighborhood), so the
+/// enumeration parallelizes over vertex ranges with per-worker count
+/// matrices; integer sums make the merged result independent of the thread
+/// count. communicationVolume, topologyCommCost and
+/// hier::topologySpmvCommSeconds fold over this matrix in fixed
+/// (receiver, owner) order, which also pins their floating-point
+/// accumulation order regardless of threads.
+std::vector<std::int64_t> ghostPairCounts(const CsrGraph& g, const Partition& part,
+                                          std::int32_t k, int threads = par::defaultThreads());
+
 /// max_i weight(V_i) / ceil(totalWeight/k) − 1. Empty weights = unit weights.
 double imbalance(const Partition& part, std::int32_t k,
                  std::span<const double> weights = {});
@@ -81,9 +98,11 @@ double imbalance(const Partition& part, std::int32_t k,
 /// (target_i · totalWeight) − 1, where target_i is the i-th fraction
 /// normalized over their sum. One positive fraction per block; empty
 /// fractions fall back to the uniform ceil definition above. A perfectly
-/// split non-uniform target reports exactly 0.
+/// split non-uniform target reports exactly 0. Block weights accumulate
+/// into per-block partials over fixed 4096-vertex chunks reduced in chunk
+/// order, so the value is bitwise identical at every `threads` (incl. 1).
 double imbalance(const Partition& part, std::int32_t k, std::span<const double> weights,
-                 std::span<const double> targetFractions);
+                 std::span<const double> targetFractions, int threads = par::defaultThreads());
 
 /// Topology-weighted communication cost: like the total communication
 /// volume, but each ghost copy a vertex of block i needs from block j is
@@ -92,7 +111,7 @@ double imbalance(const Partition& part, std::int32_t k, std::span<const double> 
 /// hier::Topology::blockCostMatrix). With all off-diagonal weights 1 this
 /// equals totalCommVolume.
 double topologyCommCost(const CsrGraph& g, const Partition& part, std::int32_t k,
-                        std::span<const double> linkCost);
+                        std::span<const double> linkCost, int threads = par::defaultThreads());
 
 /// Weighted fraction of vertices whose block differs between two partitions
 /// of the same vertex set — the partition-stability metric.
@@ -120,11 +139,15 @@ std::vector<std::int32_t> blockComponents(const CsrGraph& g, const Partition& pa
 /// One-call evaluation of all §2 metrics. Non-empty `targetFractions`
 /// switch the imbalance to the non-uniform-target definition — pass the
 /// same fractions the partitioner ran with (Settings::targetFractions),
-/// otherwise heterogeneous runs report a bogus imbalance.
+/// otherwise heterogeneous runs report a bogus imbalance. `threads` fans
+/// the O(n+m) metrics (cut, external edges, ghost counts, block weights)
+/// out over workers with deterministic reductions; the BFS-based diameter
+/// bound stays serial. All fields are identical at every thread count.
 PartitionMetrics evaluatePartition(const CsrGraph& g, const Partition& part, std::int32_t k,
                                    std::span<const double> weights = {},
                                    bool computeDiameter = true,
-                                   std::span<const double> targetFractions = {});
+                                   std::span<const double> targetFractions = {},
+                                   int threads = par::defaultThreads());
 
 inline constexpr std::int32_t kInfiniteDiameter = std::numeric_limits<std::int32_t>::max();
 

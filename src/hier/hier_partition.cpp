@@ -196,7 +196,8 @@ HierResult repartitionHierarchical(std::span<const Point<D>> points,
 
     for (const auto b : out.partition)
         GEO_CHECK(b >= 0 && b < k, "every point must be assigned a leaf block");
-    out.imbalance = graph::imbalance(out.partition, k, weights, out.leafCapacities);
+    out.imbalance = graph::imbalance(out.partition, k, weights, out.leafCapacities,
+                                     settings.resolvedThreads());
     return out;
 }
 
@@ -214,29 +215,26 @@ HierResult partitionHierarchical(std::span<const Point<D>> points,
 
 double topologySpmvCommSeconds(const graph::CsrGraph& g, const graph::Partition& part,
                                const Topology& topo, const par::CostModel& model,
-                               std::size_t bytesPerValue) {
+                               std::size_t bytesPerValue, int threads) {
     const std::int32_t k = topo.leafCount();
     graph::validatePartition(g, part, k);
     const auto cost = topo.blockCostMatrix();
     const auto kk = static_cast<std::size_t>(k);
-    std::vector<double> recvWeightedBytes(kk, 0.0);
-    std::vector<std::int32_t> neighborCount(kk, 0);
-    std::vector<char> pairSeen(kk * kk, 0);
-    graph::forEachGhost(
-        g, part, k, [&](std::int32_t owner, std::int32_t receiver, graph::Vertex) {
-            const auto idx = static_cast<std::size_t>(receiver) * kk +
-                             static_cast<std::size_t>(owner);
-            recvWeightedBytes[static_cast<std::size_t>(receiver)] +=
-                cost[idx] * static_cast<double>(bytesPerValue);
-            if (!pairSeen[idx]) {
-                pairSeen[idx] = 1;
-                neighborCount[static_cast<std::size_t>(receiver)]++;
-            }
-        });
+    const auto pairs = graph::ghostPairCounts(g, part, k, threads);
     double worst = 0.0;
-    for (std::size_t b = 0; b < kk; ++b)
-        worst = std::max(worst, model.alpha * neighborCount[b] +
-                                    model.beta * recvWeightedBytes[b]);
+    for (std::size_t receiver = 0; receiver < kk; ++receiver) {
+        double recvWeightedBytes = 0.0;
+        std::int32_t neighborCount = 0;
+        for (std::size_t owner = 0; owner < kk; ++owner) {
+            const auto idx = receiver * kk + owner;
+            if (pairs[idx] == 0) continue;
+            recvWeightedBytes += static_cast<double>(pairs[idx]) * cost[idx] *
+                                 static_cast<double>(bytesPerValue);
+            neighborCount++;
+        }
+        worst = std::max(worst, model.alpha * neighborCount +
+                                    model.beta * recvWeightedBytes);
+    }
     return worst;
 }
 

@@ -99,9 +99,13 @@ HierResult repartitionHierarchical(std::span<const Point<D>> points,
 /// per-byte cost scaled by the link cost of the (receiver, owner) leaf pair;
 /// the result is the slowest block's time — the topology-aware analog of
 /// spmv::SpmvTiming::modeledCommSecondsPerIteration.
+/// `threads` fans the ghost enumeration out over workers
+/// (graph::ghostPairCounts); the per-receiver folds run in fixed owner
+/// order, so the result is identical at every thread count.
 double topologySpmvCommSeconds(const graph::CsrGraph& g, const graph::Partition& part,
                                const Topology& topo, const par::CostModel& model = {},
-                               std::size_t bytesPerValue = sizeof(double));
+                               std::size_t bytesPerValue = sizeof(double),
+                               int threads = par::defaultThreads());
 
 extern template HierResult partitionHierarchical<2>(std::span<const Point2>,
                                                     std::span<const double>,

@@ -1,53 +1,40 @@
-// Intra-rank fork-join parallelism for the assignment engine.
+// Intra-rank fork-join parallelism for every O(n) phase of the pipeline.
 //
 // The simulated SPMD runtime (par/comm.hpp) dedicates one thread per logical
 // rank; `parallelFor` adds a second, nested level: a rank may fan its local
-// compute loop out over `threads` workers. Work is split into contiguous
-// chunks of *items* (the assignment engine passes cache blocks, never single
-// points), so the chunk boundaries — and therefore every floating-point
-// reduction the caller performs per chunk — are a function of the item count
-// only, not of the thread count. That is what makes threaded sweeps bitwise
-// reproducible at any `threads` value.
+// compute loop out over `threads` workers (Settings::threads). Work is split
+// into contiguous chunks of *items* (callers pass fixed-size cache blocks,
+// never single points, whenever they reduce floating-point partials), so the
+// chunk boundaries — and therefore every floating-point reduction the caller
+// performs per chunk — are a function of the item count only, not of the
+// thread count. That is what makes threaded sweeps bitwise reproducible at
+// any `threads` value; see DESIGN.md "Threading model".
+//
+// Execution goes through the calling thread's persistent par::ThreadPool, so
+// repeated phase launches (keying, sort, assignment, center update, metrics)
+// reuse the same workers instead of paying a thread spawn per phase.
 #pragma once
 
 #include <cstddef>
-#include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <utility>
+
+#include "par/thread_pool.hpp"
 
 namespace geo::par {
 
 /// Run `fn(begin, end, worker)` over [0, n) split into one contiguous chunk
 /// per worker (chunk w = [n·w/threads, n·(w+1)/threads)). Worker 0 runs on
-/// the calling thread; the rest are spawned. The first exception thrown by
-/// any worker is rethrown on the caller after all workers joined.
+/// the calling thread; the rest execute on the caller's pooled workers. The
+/// first exception thrown by any worker is rethrown on the caller after all
+/// chunks finished.
 template <typename Fn>
 void parallelFor(int threads, std::size_t n, Fn&& fn) {
     if (threads <= 1 || n <= 1) {
         if (n > 0) fn(std::size_t{0}, n, 0);
         return;
     }
-    const auto t = static_cast<std::size_t>(threads);
-    std::vector<std::thread> workers;
-    workers.reserve(t - 1);
-    std::exception_ptr firstError;
-    std::mutex errorMutex;
-    auto runChunk = [&](std::size_t w) {
-        const std::size_t begin = n * w / t;
-        const std::size_t end = n * (w + 1) / t;
-        if (begin >= end) return;
-        try {
-            fn(begin, end, static_cast<int>(w));
-        } catch (...) {
-            const std::lock_guard<std::mutex> lock(errorMutex);
-            if (!firstError) firstError = std::current_exception();
-        }
-    };
-    for (std::size_t w = 1; w < t; ++w) workers.emplace_back(runChunk, w);
-    runChunk(0);
-    for (auto& worker : workers) worker.join();
-    if (firstError) std::rethrow_exception(firstError);
+    const ThreadPool::Body body = std::forward<Fn>(fn);
+    ThreadPool::forThisThread().run(threads, n, body);
 }
 
 }  // namespace geo::par

@@ -1,6 +1,7 @@
 #include "repart/repartition.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <mutex>
@@ -134,12 +135,16 @@ void warmBody(par::Comm& comm, std::span<const Point<D>> points,
         comm.allgatherv(std::span<const std::int32_t>(outcome.assignment));
 
     const double kmeansMax = comm.allreduceMax(kmeansSeconds);
+    std::array<double, 2> subPhaseMax{outcome.assignSeconds, outcome.updateSeconds};
+    comm.allreduceMax(std::span<double>(subPhaseMax.data(), subPhaseMax.size()));
     core::detail::storeKMeansDiagnostics<D>(comm, outcome, result, resultMutex);
 
     if (comm.isRoot()) {
         const std::lock_guard<std::mutex> lock(resultMutex);
         result.partition = all;
         result.phaseSeconds["kmeans"] = kmeansMax;
+        result.phaseSeconds["assign"] = subPhaseMax[0];
+        result.phaseSeconds["update"] = subPhaseMax[1];
         result.modeledSeconds = pipelineMax;
     }
 }

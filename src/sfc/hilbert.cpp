@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <vector>
 
+#include "par/parallel_for.hpp"
 #include "support/assert.hpp"
 
 namespace geo::sfc {
@@ -130,11 +132,32 @@ Point<D> hilbertPoint(std::uint64_t index, const Box<D>& bounds) {
 }
 
 template <int D>
+Box<D> boundsOf(std::span<const Point<D>> points, int threads) {
+    if (points.empty()) return Box<D>::empty();
+    std::vector<Box<D>> partial(static_cast<std::size_t>(std::max(1, threads)),
+                                Box<D>::empty());
+    par::parallelFor(threads, points.size(),
+                     [&](std::size_t i0, std::size_t i1, int worker) {
+                         Box<D> bb = Box<D>::empty();
+                         for (std::size_t i = i0; i < i1; ++i) bb.extend(points[i]);
+                         partial[static_cast<std::size_t>(worker)] = bb;
+                     });
+    Box<D> out = Box<D>::empty();
+    for (const auto& bb : partial)
+        if (bb.valid()) out.extend(bb);
+    return out;
+}
+
+template <int D>
 std::vector<std::uint64_t> hilbertIndices(std::span<const Point<D>> points,
-                                          const Box<D>& bounds) {
-    const Box<D> bb = bounds.valid() ? bounds : Box<D>::around(points);
+                                          const Box<D>& bounds, int threads) {
+    const Box<D> bb = bounds.valid() ? bounds : boundsOf<D>(points, threads);
     std::vector<std::uint64_t> out(points.size());
-    for (std::size_t i = 0; i < points.size(); ++i) out[i] = hilbertIndex<D>(points[i], bb);
+    par::parallelFor(threads, points.size(),
+                     [&](std::size_t i0, std::size_t i1, int) {
+                         for (std::size_t i = i0; i < i1; ++i)
+                             out[i] = hilbertIndex<D>(points[i], bb);
+                     });
     return out;
 }
 
@@ -152,13 +175,30 @@ std::uint64_t mortonIndex(const Point<D>& p, const Box<D>& bounds) {
     return index;
 }
 
+template <int D>
+std::vector<std::uint64_t> mortonIndices(std::span<const Point<D>> points,
+                                         const Box<D>& bounds, int threads) {
+    const Box<D> bb = bounds.valid() ? bounds : boundsOf<D>(points, threads);
+    std::vector<std::uint64_t> out(points.size());
+    par::parallelFor(threads, points.size(),
+                     [&](std::size_t i0, std::size_t i1, int) {
+                         for (std::size_t i = i0; i < i1; ++i)
+                             out[i] = mortonIndex<D>(points[i], bb);
+                     });
+    return out;
+}
+
 template std::uint64_t hilbertIndex<2>(const Point2&, const Box2&);
 template std::uint64_t hilbertIndex<3>(const Point3&, const Box3&);
 template Point2 hilbertPoint<2>(std::uint64_t, const Box2&);
 template Point3 hilbertPoint<3>(std::uint64_t, const Box3&);
-template std::vector<std::uint64_t> hilbertIndices<2>(std::span<const Point2>, const Box2&);
-template std::vector<std::uint64_t> hilbertIndices<3>(std::span<const Point3>, const Box3&);
+template std::vector<std::uint64_t> hilbertIndices<2>(std::span<const Point2>, const Box2&, int);
+template std::vector<std::uint64_t> hilbertIndices<3>(std::span<const Point3>, const Box3&, int);
 template std::uint64_t mortonIndex<2>(const Point2&, const Box2&);
 template std::uint64_t mortonIndex<3>(const Point3&, const Box3&);
+template std::vector<std::uint64_t> mortonIndices<2>(std::span<const Point2>, const Box2&, int);
+template std::vector<std::uint64_t> mortonIndices<3>(std::span<const Point3>, const Box3&, int);
+template Box2 boundsOf<2>(std::span<const Point2>, int);
+template Box3 boundsOf<3>(std::span<const Point3>, int);
 
 }  // namespace geo::sfc

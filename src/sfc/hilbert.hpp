@@ -34,23 +34,45 @@ std::uint64_t hilbertIndex(const Point<D>& p, const Box<D>& bounds);
 template <int D>
 Point<D> hilbertPoint(std::uint64_t index, const Box<D>& bounds);
 
-/// Convenience: indices for a whole point set (bounds computed if invalid).
+/// Batch keying for a whole point set. Callers that already hold the global
+/// bounding box (geographer's allreduced box, repart's carried state) pass
+/// it and no per-call bounds pass runs; an invalid `bounds` falls back to a
+/// bounds computation over `points`. Both the bounds pass and the keying
+/// loop fan out over `threads` workers; indices are pure per-point integer
+/// functions and the bounds reduction is exact min/max, so results are
+/// identical at every thread count.
 template <int D>
 std::vector<std::uint64_t> hilbertIndices(std::span<const Point<D>> points,
-                                          const Box<D>& bounds);
+                                          const Box<D>& bounds, int threads = 1);
 
 /// Morton (Z-order) index; used as a cheaper, lower-locality comparator
 /// in ablation experiments.
 template <int D>
 std::uint64_t mortonIndex(const Point<D>& p, const Box<D>& bounds);
 
+/// Batch Morton keying with the same bounds-reuse and threading contract as
+/// hilbertIndices.
+template <int D>
+std::vector<std::uint64_t> mortonIndices(std::span<const Point<D>> points,
+                                         const Box<D>& bounds, int threads = 1);
+
+/// Bounding box of `points`, the reduction preceding keying: per-worker
+/// partial boxes merged into one. Box merge is exact coordinate min/max —
+/// associative and commutative — so the result is thread-count independent.
+template <int D>
+Box<D> boundsOf(std::span<const Point<D>> points, int threads = 1);
+
 extern template std::uint64_t hilbertIndex<2>(const Point2&, const Box2&);
 extern template std::uint64_t hilbertIndex<3>(const Point3&, const Box3&);
 extern template Point2 hilbertPoint<2>(std::uint64_t, const Box2&);
 extern template Point3 hilbertPoint<3>(std::uint64_t, const Box3&);
-extern template std::vector<std::uint64_t> hilbertIndices<2>(std::span<const Point2>, const Box2&);
-extern template std::vector<std::uint64_t> hilbertIndices<3>(std::span<const Point3>, const Box3&);
+extern template std::vector<std::uint64_t> hilbertIndices<2>(std::span<const Point2>, const Box2&, int);
+extern template std::vector<std::uint64_t> hilbertIndices<3>(std::span<const Point3>, const Box3&, int);
 extern template std::uint64_t mortonIndex<2>(const Point2&, const Box2&);
 extern template std::uint64_t mortonIndex<3>(const Point3&, const Box3&);
+extern template std::vector<std::uint64_t> mortonIndices<2>(std::span<const Point2>, const Box2&, int);
+extern template std::vector<std::uint64_t> mortonIndices<3>(std::span<const Point3>, const Box3&, int);
+extern template Box2 boundsOf<2>(std::span<const Point2>, int);
+extern template Box3 boundsOf<3>(std::span<const Point3>, int);
 
 }  // namespace geo::sfc

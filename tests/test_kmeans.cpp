@@ -494,13 +494,27 @@ SeedOutcome<D> seedKMeans(Comm& comm, std::span<const geo::Point<D>> points,
     bool converged = false;
     for (int iter = 0; iter < s.maxIterations; ++iter) {
         imbalanceNow = assignAndBalance();
-        std::vector<double> sums(static_cast<std::size_t>(k) * (D + 1), 0.0);
-        for (std::size_t oi = 0; oi < sampleSize; ++oi) {
-            const std::size_t p = order[oi];
-            const auto c = static_cast<std::size_t>(assignment[p]);
-            for (int d = 0; d < D; ++d)
-                sums[c * (D + 1) + static_cast<std::size_t>(d)] += weightOf(p) * points[p][d];
-            sums[c * (D + 1) + D] += weightOf(p);
+        // Center sums in the engine's deterministic association: per-cluster
+        // partials over fixed 1024-slot blocks of the (permuted) active
+        // order, added in ascending block order — the same association
+        // AssignEngine::updateCenters uses at every thread count. The value
+        // is the same weighted mean; only the floating-point grouping is
+        // pinned so the equivalence below can stay bitwise.
+        const std::size_t stride = static_cast<std::size_t>(k) * (D + 1);
+        std::vector<double> sums(stride, 0.0);
+        std::vector<double> blockSum(stride);
+        for (std::size_t b0 = 0; b0 < sampleSize; b0 += 1024) {
+            std::fill(blockSum.begin(), blockSum.end(), 0.0);
+            const std::size_t b1 = std::min(sampleSize, b0 + 1024);
+            for (std::size_t oi = b0; oi < b1; ++oi) {
+                const std::size_t p = order[oi];
+                const auto c = static_cast<std::size_t>(assignment[p]);
+                for (int d = 0; d < D; ++d)
+                    blockSum[c * (D + 1) + static_cast<std::size_t>(d)] +=
+                        weightOf(p) * points[p][d];
+                blockSum[c * (D + 1) + D] += weightOf(p);
+            }
+            for (std::size_t i = 0; i < stride; ++i) sums[i] += blockSum[i];
         }
         comm.allreduceSum(std::span<double>(sums));
         auto freshCenters = centers;
@@ -604,7 +618,7 @@ void runEquivalence(const std::vector<geo::Point<D>>& pts,
                              Config{false, 4}}) {
         Settings engine = s;
         engine.referenceAssignment = cfg.reference;
-        engine.assignThreads = cfg.threads;
+        engine.threads = cfg.threads;
         runSpmd(ranks, [&](Comm& comm) {
             const auto [lo, hi] = geo::par::blockRange(
                 static_cast<std::int64_t>(pts.size()), comm.rank(), ranks);

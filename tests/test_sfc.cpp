@@ -159,6 +159,66 @@ TEST(HilbertIndices, ComputesBoundsWhenInvalid) {
     EXPECT_EQ(idx.size(), pts.size());
 }
 
+TEST(HilbertIndices, UpperBoundaryClampsIntoLastCell2D) {
+    // The exact upper corner must key into the LAST cell, not one past it —
+    // a point just inside the last cell (cell width 2^-31) and the corner
+    // itself must agree, through the batch API.
+    const auto bb = unitBox2();
+    const double inside = 1.0 - 1e-12;  // within the last 2^-31 cell
+    const std::vector<Point2> pts{{{1.0, 1.0}}, {{inside, inside}}, {{1.0, inside}}};
+    const auto idx = sfc::hilbertIndices<2>(pts, bb);
+    EXPECT_EQ(idx[0], idx[1]);
+    EXPECT_EQ(idx[0], sfc::hilbertIndex<2>(pts[2], bb));
+    // Round-tripping the clamped corner stays inside the box.
+    const Point2 q = sfc::hilbertPoint<2>(idx[0], bb);
+    EXPECT_TRUE(bb.contains(q));
+}
+
+TEST(HilbertIndices, UpperBoundaryClampsIntoLastCell3D) {
+    const auto bb = unitBox3();
+    const double inside = 1.0 - 1e-8;  // within the last 2^-20 cell (~9.5e-7)
+    const std::vector<Point3> pts{{{1.0, 1.0, 1.0}}, {{inside, inside, inside}}};
+    const auto idx = sfc::hilbertIndices<3>(pts, bb);
+    EXPECT_EQ(idx[0], idx[1]);
+    const Point3 q = sfc::hilbertPoint<3>(idx[0], bb);
+    EXPECT_TRUE(bb.contains(q));
+    // Same clamp contract for the Morton batch keying.
+    const auto midx = sfc::mortonIndices<3>(pts, bb);
+    EXPECT_EQ(midx[0], midx[1]);
+}
+
+TEST(HilbertIndices, ReusesCallerBounds) {
+    // A caller-provided valid box must be used as-is (no recomputation from
+    // the points): keying against a wider box than the data's own bounds
+    // must match per-point indices in that wider box.
+    geo::Xoshiro256 rng(48);
+    std::vector<Point2> pts;
+    for (int i = 0; i < 200; ++i) pts.push_back(Point2{{rng.uniform(), rng.uniform()}});
+    Box2 wide;
+    wide.lo = Point2{{-1.0, -1.0}};
+    wide.hi = Point2{{3.0, 3.0}};
+    const auto idx = sfc::hilbertIndices<2>(pts, wide);
+    for (std::size_t i = 0; i < pts.size(); ++i)
+        ASSERT_EQ(idx[i], sfc::hilbertIndex<2>(pts[i], wide)) << i;
+}
+
+TEST(HilbertIndices, ThreadedKeyingMatchesSerial) {
+    geo::Xoshiro256 rng(49);
+    std::vector<Point2> pts;
+    for (int i = 0; i < 20000; ++i) pts.push_back(Point2{{rng.uniform(), rng.uniform()}});
+    // Valid box (keying only threaded) and invalid box (threaded bounds
+    // pass too) — both must be independent of the thread count.
+    for (const auto& bb : {Box2::around(std::span<const Point2>(pts)), Box2::empty()}) {
+        const auto serial = sfc::hilbertIndices<2>(pts, bb, 1);
+        for (const int threads : {2, 4, 8})
+            EXPECT_EQ(sfc::hilbertIndices<2>(pts, bb, threads), serial);
+        const auto serialMorton = sfc::mortonIndices<2>(pts, bb, 1);
+        EXPECT_EQ(sfc::mortonIndices<2>(pts, bb, 4), serialMorton);
+    }
+    EXPECT_EQ(sfc::boundsOf<2>(pts, 4).lo, Box2::around(std::span<const Point2>(pts)).lo);
+    EXPECT_EQ(sfc::boundsOf<2>(pts, 4).hi, Box2::around(std::span<const Point2>(pts)).hi);
+}
+
 TEST(Morton2D, PreservesGridDistinctness) {
     const auto bb = unitBox2();
     std::set<std::uint64_t> seen;

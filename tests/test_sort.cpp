@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <mutex>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "par/comm.hpp"
@@ -90,6 +92,85 @@ TEST(SampleSort, AllEqualKeysDoNotCrash) {
         EXPECT_EQ(total, 2000u);
         for (const auto& r : sorted) EXPECT_EQ(r.key, 42u);
     });
+}
+
+TEST(SampleSort, DuplicateHeavyKeysStaySpread) {
+    // Regression for the degenerate-splitter skew: with heavily duplicated
+    // keys, regular sampling used to produce equal splitters, and the
+    // bucketing then sent every duplicate of a key — in the all-equal
+    // extreme, the entire input — to one rank. Tie-breaking on
+    // (key, origin rank, local index) lets splitters land *inside* a
+    // duplicate run, so every rank keeps roughly its share.
+    const int p = 4, perRank = 3000;
+    runSpmd(p, [&](Comm& comm) {
+        // All records share ONE key — the worst case.
+        std::vector<Rec> local(perRank, Rec{7, comm.rank()});
+        auto sorted = geo::par::sampleSort(comm, local);
+        const auto total = comm.allreduceSum(static_cast<std::uint64_t>(sorted.size()));
+        EXPECT_EQ(total, static_cast<std::uint64_t>(p * perRank));
+        const double ideal = static_cast<double>(p * perRank) / p;
+        EXPECT_LT(static_cast<double>(sorted.size()), 1.5 * ideal);
+        EXPECT_GT(static_cast<double>(sorted.size()), 0.5 * ideal);
+
+        // Few distinct keys, skewed multiplicities: still no starving rank.
+        geo::Xoshiro256 rng(1200 + static_cast<std::uint64_t>(comm.rank()));
+        std::vector<Rec> fewKeys;
+        for (int i = 0; i < perRank; ++i) {
+            const std::uint64_t key = rng.below(100) < 80 ? 5 : 5 + rng.below(3);
+            fewKeys.push_back(Rec{key, comm.rank() * perRank + i});
+        }
+        auto spread = geo::par::sampleSort(comm, fewKeys);
+        EXPECT_TRUE(std::is_sorted(spread.begin(), spread.end()));
+        auto all = gatherAll(comm, spread);
+        EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+        EXPECT_LT(static_cast<double>(spread.size()), 1.75 * ideal);
+        EXPECT_GT(spread.size(), 0u);
+    });
+}
+
+TEST(SampleSort, ThreadedSortBitwiseMatchesSerial) {
+    // The tagged comparator is a strict total order, so the sorted
+    // permutation is unique — the per-rank output must be identical at any
+    // thread count, values included.
+    const int p = 2, perRank = 20000;
+    std::array<std::vector<Rec>, p> serial, threaded;
+    for (const int threads : {1, 3}) {
+        runSpmd(p, [&](Comm& comm) {
+            geo::Xoshiro256 rng(1300 + static_cast<std::uint64_t>(comm.rank()));
+            std::vector<Rec> local;
+            for (int i = 0; i < perRank; ++i)
+                local.push_back(Rec{rng.below(500), comm.rank() * perRank + i});
+            auto sorted = geo::par::sampleSort(comm, local, 16, threads);
+            auto& out = threads == 1 ? serial : threaded;
+            out[static_cast<std::size_t>(comm.rank())] = std::move(sorted);
+        });
+    }
+    for (int r = 0; r < p; ++r) {
+        const auto& a = serial[static_cast<std::size_t>(r)];
+        const auto& b = threaded[static_cast<std::size_t>(r)];
+        ASSERT_EQ(a.size(), b.size()) << "rank " << r;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i].key, b[i].key) << "rank " << r << " pos " << i;
+            EXPECT_EQ(a[i].value, b[i].value) << "rank " << r << " pos " << i;
+        }
+    }
+}
+
+TEST(ParallelSort, UniqueOrderMatchesSerialSort) {
+    // Direct unit test of the multiway mergesort: with a total order the
+    // result equals std::sort bitwise at every thread count.
+    using Item = std::pair<std::uint64_t, std::uint32_t>;
+    geo::Xoshiro256 rng(1400);
+    std::vector<Item> input;
+    for (std::uint32_t i = 0; i < 60000; ++i)
+        input.push_back({rng.below(1000), i});  // many duplicate keys, unique pairs
+    auto expected = input;
+    std::sort(expected.begin(), expected.end());
+    for (const int threads : {1, 2, 5, 8}) {
+        auto data = input;
+        geo::par::parallelSort(threads, data);
+        EXPECT_EQ(data, expected) << "threads " << threads;
+    }
 }
 
 TEST(RebalanceSorted, EqualizesCounts) {
