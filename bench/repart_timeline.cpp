@@ -1,16 +1,24 @@
 // Dynamic repartitioning timeline: warm-started balanced k-means vs. cold
 // re-partitioning vs. re-run RCB over the time-stepped workloads of
-// src/repart/scenarios.hpp.
+// src/repart/scenarios.hpp — now closed into an end-to-end
+// compute→serve→recompute loop through src/serve.
 //
 // For every scenario and step, each strategy partitions the evolved point
 // cloud; we report partitioning time, edge cut (on a per-step Delaunay
 // triangulation of the cloud), imbalance, k-means outer iterations, and the
-// migration volume against the strategy's own previous partition. The
-// summary quantifies the repartitioning claim: warm starts converge in fewer
-// outer iterations and move far less data than re-partitioning from scratch.
+// migration volume against the strategy's own previous partition. The warm
+// strategy additionally *serves*: each step publishes an immutable snapshot
+// into a serve::Router, and the NEXT step's points are first routed through
+// that (now stale) snapshot before repartitioning — the misroute column is
+// the fraction of queries the stale diagram sends to a different block than
+// the fresh partition, and staleness is the wall-clock window the snapshot
+// served alone. The summary quantifies the repartitioning claim: warm
+// starts converge in fewer outer iterations, move far less data, and leave
+// the serving layer only briefly inconsistent.
 //
-//   ./bench_repart_timeline [points] [steps] [blocks] [ranks]
+//   ./bench_repart_timeline [points] [steps] [blocks] [ranks] [--json PATH]
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <numeric>
 #include <string>
@@ -22,6 +30,8 @@
 #include "repart/migration.hpp"
 #include "repart/repartition.hpp"
 #include "repart/scenarios.hpp"
+#include "serve/router.hpp"
+#include "serve/snapshot.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
 
@@ -38,6 +48,11 @@ struct StepRecord {
     double imbalance = 0.0;
     double migratedFraction = 0.0;
     std::uint64_t migratedBytes = 0;
+    double misrouteFraction = -1.0;  ///< stale-snapshot misroutes; -1 = no snapshot yet
+    /// Recompute window the stale snapshot bridges: wall time from routing
+    /// this step's queries through the previous snapshot until the fresh
+    /// one is published (repartition + snapshot build + publish).
+    double stalenessSeconds = -1.0;
 };
 
 struct StrategyHistory {
@@ -66,13 +81,101 @@ double mean(const std::vector<double>& v) {
                                  static_cast<double>(v.size());
 }
 
+struct Summary {
+    std::string scenario;
+    double warmIters = 0.0, coldIters = 0.0;
+    double warmMig = 0.0, coldMig = 0.0, rcbMig = 0.0;
+    double misroute = 0.0;
+    int warmSteps = 0;
+};
+
+struct ScenarioTrace {
+    std::string name;
+    StrategyHistory warm, cold, rcb;
+    Summary summary;
+};
+
+void writeStepJson(std::ostream& out, const char* name, const StepRecord& rec,
+                   bool last) {
+    out << "        \"" << name << "\": {\"seconds\": " << rec.seconds
+        << ", \"modeled_s\": " << rec.modeledSeconds
+        << ", \"iters\": " << rec.outerIterations
+        << ", \"warm\": " << (rec.warm ? "true" : "false")
+        << ", \"cut\": " << rec.cut << ", \"imbalance\": " << rec.imbalance
+        << ", \"migrated\": " << rec.migratedFraction
+        << ", \"migratedBytes\": " << rec.migratedBytes;
+    if (rec.misrouteFraction >= 0.0)
+        out << ", \"misroute\": " << rec.misrouteFraction
+            << ", \"staleness_s\": " << rec.stalenessSeconds;
+    out << "}" << (last ? "" : ",") << "\n";
+}
+
+/// BENCH_repart.json: the repartitioning bench trajectory, mirroring
+/// components_breakdown's BENCH_pipeline.json.
+void writeJson(const std::string& path, std::int64_t n, int steps, std::int32_t k,
+               int ranks, const std::vector<ScenarioTrace>& traces) {
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot write " << path << "\n";
+        return;
+    }
+    out << "{\n  \"bench\": \"repart_timeline\",\n  \"n\": " << n
+        << ",\n  \"steps\": " << steps << ",\n  \"k\": " << k
+        << ",\n  \"ranks\": " << ranks << ",\n  \"scenarios\": [\n";
+    for (std::size_t s = 0; s < traces.size(); ++s) {
+        const auto& trace = traces[s];
+        out << "    {\"scenario\": \"" << trace.name << "\",\n     \"steps\": [\n";
+        for (std::size_t t = 0; t < trace.warm.records.size(); ++t) {
+            out << "      {\"step\": " << t << ",\n";
+            writeStepJson(out, "repart", trace.warm.records[t], false);
+            writeStepJson(out, "scratch", trace.cold.records[t], false);
+            writeStepJson(out, "rcb", trace.rcb.records[t], true);
+            out << "      }" << (t + 1 < trace.warm.records.size() ? "," : "") << "\n";
+        }
+        const auto& sum = trace.summary;
+        out << "     ],\n     \"summary\": {\"warmSteps\": " << sum.warmSteps
+            << ", \"itersWarm\": " << sum.warmIters << ", \"itersCold\": " << sum.coldIters
+            << ", \"migWarm\": " << sum.warmMig << ", \"migCold\": " << sum.coldMig
+            << ", \"migRcb\": " << sum.rcbMig << ", \"misrouteMean\": " << sum.misroute
+            << "}}" << (s + 1 < traces.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << path << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-    const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 10000;
-    const int steps = argc > 2 ? std::atoi(argv[2]) : 6;
-    const std::int32_t k = argc > 3 ? std::atoi(argv[3]) : 8;
-    const int ranks = argc > 4 ? std::atoi(argv[4]) : 4;
+    std::int64_t n = 10000;
+    int steps = 6;
+    std::int32_t k = 8;
+    int ranks = 4;
+    std::string jsonPath;
+    int positional = 0;
+    for (int a = 1; a < argc; ++a) {
+        const std::string arg = argv[a];
+        if (arg == "--json") {
+            if (a + 1 >= argc) {
+                std::cerr << "--json requires a path\nusage: " << argv[0]
+                          << " [points] [steps] [blocks] [ranks] [--json PATH]\n";
+                return 1;
+            }
+            jsonPath = argv[++a];
+        } else if (!arg.empty() &&
+                   arg.find_first_not_of("0123456789") == std::string::npos &&
+                   positional < 4) {
+            switch (positional++) {
+                case 0: n = std::atoll(arg.c_str()); break;
+                case 1: steps = std::atoi(arg.c_str()); break;
+                case 2: k = std::atoi(arg.c_str()); break;
+                case 3: ranks = std::atoi(arg.c_str()); break;
+            }
+        } else {
+            std::cerr << "unrecognized argument: " << arg << "\nusage: " << argv[0]
+                      << " [points] [steps] [blocks] [ranks] [--json PATH]\n";
+            return 1;
+        }
+    }
 
     core::Settings settings;
     settings.epsilon = 0.03;
@@ -84,13 +187,7 @@ int main(int argc, char** argv) {
         repart::ScenarioKind::Advection, repart::ScenarioKind::Rotation,
         repart::ScenarioKind::Hotspot, repart::ScenarioKind::Churn};
 
-    struct Summary {
-        std::string scenario;
-        double warmIters = 0.0, coldIters = 0.0;
-        double warmMig = 0.0, coldMig = 0.0, rcbMig = 0.0;
-        int warmSteps = 0;
-    };
-    std::vector<Summary> summaries;
+    std::vector<ScenarioTrace> traces;
 
     for (const auto kind : kinds) {
         repart::ScenarioConfig cfg;
@@ -99,28 +196,56 @@ int main(int argc, char** argv) {
         cfg.seed = 42;
         repart::Scenario<2> scenario(cfg);
 
+        ScenarioTrace trace;
+        trace.name = toString(kind);
         repart::RepartState<2> warmState, coldState;
-        StrategyHistory warmHist, coldHist, rcbHist;
+        StrategyHistory& warmHist = trace.warm;
+        StrategyHistory& coldHist = trace.cold;
+        StrategyHistory& rcbHist = trace.rcb;
         repart::RepartOptions coldOptions;
         coldOptions.forceCold = true;
+
+        // Serving layer of the warm strategy: every step publishes an
+        // immutable snapshot; the next step's queries are routed through it
+        // BEFORE the repartition finishes, then compared against the fresh
+        // partition (misroute) — the first end-to-end
+        // compute→serve→recompute loop.
+        serve::Router<2> router(1);
 
         // `seconds` is host wall time (thread machine incl. spawn/join for
         // the geographer strategies, serial for RCB); `modeled` is the
         // simulated-SPMD pipeline estimate incl. the drift probe — the
         // apples-to-apples warm-vs-scratch number.
         Table table({"step", "strategy", "seconds", "modeled", "iters", "cut",
-                     "imbalance", "migrated", "migKB"});
+                     "imbalance", "migrated", "migKB", "misroute"});
         for (int t = 0; t < steps; ++t) {
             const auto& step = scenario.current();
             const auto graph = gen::delaunayTriangulate2d(step.points);
 
             // Warm-capable repartitioning (cold only on step 0 / high drift).
             {
+                // Route this step's queries with the previous step's (now
+                // stale) snapshot, exactly as a serving process would while
+                // the "recompute" below still runs; the staleness timer
+                // spans that recompute window up to the fresh publish.
+                std::vector<std::int32_t> staleRouted;
+                if (router.hasSnapshot()) {
+                    staleRouted.assign(step.points.size(), -1);
+                    router.route(step.points, std::span<std::int32_t>(staleRouted));
+                }
+
                 Timer timer;
                 const auto res = repart::repartitionGeographer<2>(
                     step.points, step.weights, k, ranks, settings, warmState);
                 StepRecord rec;
                 rec.seconds = timer.seconds();
+                router.publish(serve::PartitionSnapshot<2>::fromResult(
+                    res.result, static_cast<std::uint64_t>(t + 1), ranks));
+                if (!staleRouted.empty()) {
+                    rec.stalenessSeconds = timer.seconds();  // route → fresh publish
+                    rec.misrouteFraction =
+                        serve::misrouteStats(staleRouted, res.result.partition).fraction();
+                }
                 rec.modeledSeconds = res.result.modeledSeconds;
                 rec.outerIterations = res.result.counters.outerIterations;
                 rec.warm = res.warmStarted;
@@ -169,7 +294,10 @@ int main(int argc, char** argv) {
                                                       : std::string("-"),
                               std::to_string(rec.cut), Table::num(rec.imbalance, 4),
                               Table::num(rec.migratedFraction, 4),
-                              Table::num(static_cast<double>(rec.migratedBytes) / 1024.0, 1)});
+                              Table::num(static_cast<double>(rec.migratedBytes) / 1024.0, 1),
+                              rec.misrouteFraction >= 0.0
+                                  ? Table::num(rec.misrouteFraction, 4)
+                                  : std::string("-")});
             };
             addRow("repart", warmHist.records.back(), true);
             addRow("scratch", coldHist.records.back(), false);
@@ -195,15 +323,17 @@ int main(int argc, char** argv) {
         printCounters("engine counters scratch", coldHist.counters);
 
         // Steps 1..T-1 (step 0 has no previous partition to migrate from).
-        Summary sum;
+        Summary& sum = trace.summary;
         sum.scenario = toString(kind);
-        std::vector<double> wIters, cIters, wMig, cMig, rMig;
+        std::vector<double> wIters, cIters, wMig, cMig, rMig, misroutes;
         for (std::size_t i = 1; i < warmHist.records.size(); ++i) {
             wIters.push_back(warmHist.records[i].outerIterations);
             cIters.push_back(coldHist.records[i].outerIterations);
             wMig.push_back(warmHist.records[i].migratedFraction);
             cMig.push_back(coldHist.records[i].migratedFraction);
             rMig.push_back(rcbHist.records[i].migratedFraction);
+            if (warmHist.records[i].misrouteFraction >= 0.0)
+                misroutes.push_back(warmHist.records[i].misrouteFraction);
             sum.warmSteps += warmHist.records[i].warm;
         }
         sum.warmIters = mean(wIters);
@@ -211,21 +341,30 @@ int main(int argc, char** argv) {
         sum.warmMig = mean(wMig);
         sum.coldMig = mean(cMig);
         sum.rcbMig = mean(rMig);
-        summaries.push_back(sum);
+        sum.misroute = mean(misroutes);
+        traces.push_back(std::move(trace));
         std::cout << '\n';
     }
 
     std::cout << "=== summary over steps 1.." << steps - 1
               << " (means; lower is better) ===\n";
     Table table({"scenario", "warmSteps", "itersWarm", "itersCold", "migWarm", "migCold",
-                 "migRcb"});
-    for (const auto& s : summaries)
+                 "migRcb", "misroute"});
+    for (const auto& trace : traces) {
+        const auto& s = trace.summary;
         table.addRow({s.scenario, std::to_string(s.warmSteps), Table::num(s.warmIters, 2),
                       Table::num(s.coldIters, 2), Table::num(s.warmMig, 4),
-                      Table::num(s.coldMig, 4), Table::num(s.rcbMig, 4)});
+                      Table::num(s.coldMig, 4), Table::num(s.rcbMig, 4),
+                      Table::num(s.misroute, 4)});
+    }
     table.print(std::cout);
     std::cout << "\nwarmSteps = steps the drift probe accepted the warm path.\n"
                  "itersWarm < itersCold and migWarm < migCold demonstrate the\n"
-                 "repartitioning claim (advection/hotspot acceptance criteria).\n";
+                 "repartitioning claim (advection/hotspot acceptance criteria).\n"
+                 "misroute = fraction of this step's queries the PREVIOUS step's\n"
+                 "snapshot routes to a different block than the fresh partition —\n"
+                 "the serving-layer cost of repartitioning lag.\n";
+
+    if (!jsonPath.empty()) writeJson(jsonPath, n, steps, k, ranks, traces);
     return 0;
 }

@@ -193,6 +193,7 @@ public:
         out.assignment = engine_.takeAssignment();
         out.centers = std::move(centers_);
         out.influence = std::move(influence_);
+        out.assignmentInfluence = std::move(lastSweepInfluence_);
         out.imbalance = imbalanceNow;
         out.converged = converged;
         out.counters = counters_;
@@ -216,6 +217,11 @@ private:
 
             engine_.beginRound(centers_, influence_, engine_.activeBox());
             engine_.sweep(localSizes_);
+            // The influence this sweep ran against — when the loop below
+            // exits by exhaustion, adaptInfluence has already moved
+            // influence_ past the state the (surviving) assignment is an
+            // exact Voronoi partition of. KMeansOutcome reports both.
+            lastSweepInfluence_.assign(influence_.begin(), influence_.end());
 
             globalSizes_ = localSizes_;
             comm_.allreduceSum(std::span<double>(globalSizes_));
@@ -290,6 +296,7 @@ private:
     // Hoisted buffers (one allocation for the whole run).
     std::vector<double> sums_, localSizes_, globalSizes_;
     std::vector<double> delta_, ratio_, shift_, influenceBefore_;
+    std::vector<double> lastSweepInfluence_;
     std::vector<Point<D>> freshCenters_;
 };
 

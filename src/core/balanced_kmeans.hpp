@@ -49,6 +49,16 @@ struct KMeansOutcome {
     std::vector<std::int32_t> assignment;  ///< block per *local* point
     std::vector<Point<D>> centers;         ///< final replicated centers
     std::vector<double> influence;         ///< final replicated influence
+    /// Influence values the *final assignment sweep* used: `assignment` is an
+    /// exact multiplicatively-weighted Voronoi partition of (centers,
+    /// assignmentInfluence). Equal to `influence` whenever the last balance
+    /// loop broke on imbalance <= epsilon; they differ when the loop
+    /// exhausted maxBalanceIterations, because influence adaptation runs
+    /// once more *after* the final sweep (that post-adapt state is the right
+    /// warm start for the next timestep, but not the state the assignment
+    /// was computed against). The online serving subsystem (src/serve)
+    /// snapshots this pair to reproduce the assignment bitwise.
+    std::vector<double> assignmentInfluence;
     double imbalance = 0.0;                ///< achieved global imbalance
     bool converged = false;                ///< center movement below threshold
     KMeansCounters counters;               ///< this rank's loop counters

@@ -204,6 +204,7 @@ void storeKMeansDiagnostics(par::Comm& comm, const KMeansOutcome<D>& outcome,
             result.centerCoords[c * D + static_cast<std::size_t>(d)] =
                 outcome.centers[c][d];
     result.influence = outcome.influence;
+    result.assignmentInfluence = outcome.assignmentInfluence;
 }
 
 template void storeKMeansDiagnostics<2>(par::Comm&, const KMeansOutcome<2>&,

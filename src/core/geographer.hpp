@@ -46,7 +46,28 @@ struct GeographerResult {
     std::vector<double> centerCoords;
     /// Final replicated influence values (one per block).
     std::vector<double> influence;
+    /// Influence values the final assignment sweep used: `partition` is an
+    /// exact multiplicatively-weighted Voronoi partition of (centerCoords,
+    /// assignmentInfluence). Equal to `influence` unless the last balance
+    /// loop exhausted maxBalanceIterations (see KMeansOutcome). Consumed by
+    /// the online serving subsystem (src/serve) so published snapshots
+    /// reproduce the partition bitwise.
+    std::vector<double> assignmentInfluence;
 };
+
+/// Unflatten row-major (k × D) center coordinates (the
+/// GeographerResult::centerCoords layout) back into Point form — the layout
+/// repart::RepartState and serve::PartitionSnapshot consume.
+template <int D>
+[[nodiscard]] inline std::vector<Point<D>> unflattenCenters(
+    std::span<const double> coords) {
+    std::vector<Point<D>> centers(coords.size() / static_cast<std::size_t>(D));
+    for (std::size_t c = 0; c < centers.size(); ++c)
+        for (int d = 0; d < D; ++d)
+            centers[c][d] = coords[c * static_cast<std::size_t>(D) +
+                                   static_cast<std::size_t>(d)];
+    return centers;
+}
 
 /// Partition `points` into k blocks with `ranks` simulated MPI processes.
 /// `weights` may be empty (unit weights).

@@ -43,6 +43,7 @@ public:
         if (state_.nodes.empty()) state_.nodes.resize(internalNodes);
         GEO_REQUIRE(state_.nodes.size() == internalNodes,
                     "HierState does not match the topology (node count differs)");
+        out_.nodeDiagrams.resize(internalNodes);
         levelAgg_.resize(static_cast<std::size_t>(topo_.depth()));
         // Per-level imbalances compound multiplicatively (a leaf can be over
         // target at every level of its path), so split the user's epsilon:
@@ -123,6 +124,12 @@ private:
         out_.counters.merge(res.result.counters);
         out_.converged = out_.converged && res.result.converged;
         res.warmStarted ? ++out_.warmNodes : ++out_.coldNodes;
+        // Freeze this node's serving diagram: the pair its share of the
+        // partition is the exact argmin of (see GeographerResult).
+        out_.nodeDiagrams[nodeId] = HierResult::NodeDiagram{
+            res.result.centerCoords, res.result.assignmentInfluence.empty()
+                                         ? res.result.influence
+                                         : res.result.assignmentInfluence};
 
         // Route every point to its child; recurse or, at the last level,
         // commit the leaf as the flat block id.

@@ -61,6 +61,20 @@ struct HierResult {
     /// (repartitionHierarchical only; partitionHierarchical is all cold).
     int warmNodes = 0;
     int coldNodes = 0;
+
+    /// Weighted-Voronoi diagram of one internal node's final split:
+    /// `branching` centers (row-major × D) and the influence values the
+    /// node's final assignment sweep used, so the node's share of
+    /// `partition` is the exact level-local argmin of this pair.
+    struct NodeDiagram {
+        std::vector<double> centerCoords;
+        std::vector<double> influence;
+    };
+    /// One diagram per internal topology node, in breadth-first node order
+    /// (the HierState indexing). serve::PartitionSnapshot replays these
+    /// level by level to route arbitrary points through the same descent
+    /// this run performed.
+    std::vector<NodeDiagram> nodeDiagrams;
 };
 
 /// Warm-start state for repartitionHierarchical: one (centers, influence)

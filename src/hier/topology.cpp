@@ -1,5 +1,6 @@
 #include "hier/topology.hpp"
 
+#include "par/comm.hpp"
 #include "support/assert.hpp"
 
 namespace geo::hier {
@@ -93,6 +94,10 @@ std::vector<double> Topology::blockCostMatrix() const {
             cost[static_cast<std::size_t>(a) * static_cast<std::size_t>(k) +
                  static_cast<std::size_t>(b)] = linkCost(a, b);
     return cost;
+}
+
+std::vector<std::int32_t> Topology::leafRankMap(int ranks) const {
+    return par::blockRankMap(leafCount(), ranks);
 }
 
 }  // namespace geo::hier

@@ -74,6 +74,12 @@ struct Topology {
     /// Flattened k × k matrix of linkCost over all leaf pairs — the weight
     /// matrix graph::topologyCommCost expects when block b maps to leaf b.
     [[nodiscard]] std::vector<double> blockCostMatrix() const;
+
+    /// Serving rank per leaf when the machine's leaves are hosted by
+    /// `ranks` processes: the same contiguous block split par::blockRange
+    /// gives the SPMD runtime (leaves are depth-first ordered, so a rank's
+    /// slice is a geometrically coherent subtree range).
+    [[nodiscard]] std::vector<std::int32_t> leafRankMap(int ranks) const;
 };
 
 }  // namespace geo::hier

@@ -1,0 +1,95 @@
+// Minimal atomically-swappable shared_ptr slot for single-slot
+// publish/subscribe (the serve::Router epoch swap).
+//
+// Why not std::atomic<std::shared_ptr<T>>: libstdc++ 12 guards the slot
+// with a lock bit but releases the READER side with memory_order_relaxed
+// (_Sp_atomic::load → _M_refcount.unlock(memory_order_relaxed)), so there
+// is no release/acquire edge from a reader's plain read of the stored
+// pointer to the next writer's plain write of it. That is a data race by
+// the letter of the memory model — harmless on x86 in practice, but
+// ThreadSanitizer rightly reports it, and the serving subsystem's swap
+// correctness is exactly what the TSan CI job exists to prove. This slot
+// uses the same one-bit spin protocol with release ordering on BOTH unlock
+// paths, which closes the edge and makes the protocol TSan-provable.
+//
+// Protocol: the slot holds a pointer to a heap-allocated
+// std::shared_ptr<T> with the low bit doubling as a spin bit. Readers and
+// writers hold the bit only for a pointer-sized critical section — a
+// shared_ptr copy (one atomic refcount increment) for readers, a pointer
+// exchange for writers; nobody ever blocks on a mutex or waits for the
+// other side to finish anything longer. The writer frees the displaced
+// holder OUTSIDE the critical section; any reader that copied it earlier
+// keeps the pointee alive through shared ownership.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace geo::par {
+
+template <typename T>
+class AtomicSharedPtr {
+public:
+    AtomicSharedPtr() = default;
+    AtomicSharedPtr(const AtomicSharedPtr&) = delete;
+    AtomicSharedPtr& operator=(const AtomicSharedPtr&) = delete;
+
+    ~AtomicSharedPtr() {
+        delete holderOf(slot_.load(std::memory_order_relaxed));
+    }
+
+    /// Replace the stored shared_ptr (release semantics: everything written
+    /// to *desired before the call is visible to readers that load it).
+    void store(std::shared_ptr<T> desired) {
+        Holder* next = desired ? new Holder(std::move(desired)) : nullptr;
+        const std::uintptr_t held = lock();
+        // Publishing store: installs the new holder and clears the lock bit
+        // in one release store.
+        slot_.store(reinterpret_cast<std::uintptr_t>(next),
+                    std::memory_order_release);
+        delete holderOf(held);  // outside the critical section
+    }
+
+    /// Copy the stored shared_ptr (acquire semantics).
+    [[nodiscard]] std::shared_ptr<T> load() const {
+        const std::uintptr_t held = lock();
+        const Holder* holder = holderOf(held);
+        std::shared_ptr<T> copy = holder ? holder->value : nullptr;
+        // Reader unlock must be a RELEASE store: it orders the copy above
+        // before the next writer's exchange of the slot (the edge libstdc++
+        // 12 omits).
+        slot_.store(held, std::memory_order_release);
+        return copy;
+    }
+
+private:
+    struct Holder {
+        explicit Holder(std::shared_ptr<T> v) : value(std::move(v)) {}
+        std::shared_ptr<T> value;
+    };
+    static constexpr std::uintptr_t kLockBit = 1;
+
+    static Holder* holderOf(std::uintptr_t bits) noexcept {
+        return reinterpret_cast<Holder*>(bits & ~kLockBit);
+    }
+
+    /// Spin until the lock bit flips 0 → 1; returns the held pointer bits
+    /// (without the lock bit). Acquire on success pairs with the release
+    /// unlock of whichever side held the bit before.
+    std::uintptr_t lock() const noexcept {
+        std::uintptr_t current = slot_.load(std::memory_order_relaxed);
+        for (;;) {
+            while (current & kLockBit)
+                current = slot_.load(std::memory_order_relaxed);
+            if (slot_.compare_exchange_weak(current, current | kLockBit,
+                                            std::memory_order_acquire,
+                                            std::memory_order_relaxed))
+                return current;
+        }
+    }
+
+    mutable std::atomic<std::uintptr_t> slot_{0};
+};
+
+}  // namespace geo::par

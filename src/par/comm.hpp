@@ -41,6 +41,20 @@ struct BlockRange {
     return {n * rank / size, n * (rank + 1) / size};
 }
 
+/// Materialized owner map of blockRange: the rank owning each of n items.
+/// Shared by hier::Topology::leafRankMap and the serving snapshots' block →
+/// rank maps, so the two can never disagree on the split convention.
+[[nodiscard]] inline std::vector<std::int32_t> blockRankMap(std::int64_t n, int size) {
+    GEO_REQUIRE(size >= 1, "need at least one rank");
+    std::vector<std::int32_t> map(static_cast<std::size_t>(n), 0);
+    for (int r = 0; r < size; ++r) {
+        const auto [lo, hi] = blockRange(n, r, size);
+        for (std::int64_t i = lo; i < hi; ++i)
+            map[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(r);
+    }
+    return map;
+}
+
 /// Per-rank communication statistics accumulated by the runtime.
 struct CommStats {
     std::uint64_t bytesSent = 0;

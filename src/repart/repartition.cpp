@@ -203,12 +203,7 @@ RepartResult<D> repartitionGeographer(std::span<const Point<D>> points,
     }
 
     // Carry this step's state to the next call.
-    state.centers.resize(static_cast<std::size_t>(k));
-    for (std::int32_t c = 0; c < k; ++c)
-        for (int d = 0; d < D; ++d)
-            state.centers[static_cast<std::size_t>(c)][d] =
-                out.result.centerCoords[static_cast<std::size_t>(c) * D +
-                                        static_cast<std::size_t>(d)];
+    state.centers = core::unflattenCenters<D>(out.result.centerCoords);
     state.influence = out.result.influence;
     return out;
 }

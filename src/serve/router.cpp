@@ -1,0 +1,64 @@
+#include "serve/router.hpp"
+
+#include "par/parallel_for.hpp"
+#include "support/assert.hpp"
+
+namespace geo::serve {
+
+template <int D>
+std::uint64_t Router<D>::publish(PartitionSnapshot<D> snapshot) {
+    auto next = std::make_shared<const PartitionSnapshot<D>>(std::move(snapshot));
+    // Serialize publishers (readers never take this mutex) so the returned
+    // epochs match the order the snapshots became visible; the slot store
+    // precedes the bump so epoch() >= E implies snapshot E is live.
+    const std::lock_guard<std::mutex> lock(publishMutex_);
+    current_.store(std::move(next));
+    return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+template <int D>
+std::int32_t Router<D>::route(const Point<D>& p) const {
+    const auto snap = snapshot();
+    GEO_REQUIRE(snap != nullptr, "route before the first publish");
+    return snap->blockOf(p);
+}
+
+template <int D>
+void Router<D>::route(std::span<const Point<D>> points,
+                      std::span<std::int32_t> blocks) const {
+    GEO_REQUIRE(points.size() == blocks.size(),
+                "need one output slot per query point");
+    const auto snap = snapshot();
+    GEO_REQUIRE(snap != nullptr, "route before the first publish");
+    // Workers share `snap` by reference: the shared_ptr grabbed above keeps
+    // the snapshot alive until every chunk finished (parallelFor joins
+    // before returning), however many publishes happen meanwhile.
+    par::parallelFor(threads_, points.size(),
+                     [&](std::size_t i0, std::size_t i1, int) {
+                         snap->blockOf(points.subspan(i0, i1 - i0),
+                                       blocks.subspan(i0, i1 - i0));
+                     });
+}
+
+template <int D>
+std::int32_t Router<D>::routeRank(const Point<D>& p) const {
+    const auto snap = snapshot();
+    GEO_REQUIRE(snap != nullptr, "route before the first publish");
+    return snap->rankOf(snap->blockOf(p));
+}
+
+MisrouteStats misrouteStats(std::span<const std::int32_t> routed,
+                            std::span<const std::int32_t> fresh) {
+    GEO_REQUIRE(routed.size() == fresh.size(),
+                "misroute comparison needs equally sized spans");
+    MisrouteStats stats;
+    stats.total = static_cast<std::int64_t>(routed.size());
+    for (std::size_t i = 0; i < routed.size(); ++i)
+        stats.misrouted += routed[i] != fresh[i];
+    return stats;
+}
+
+template class Router<2>;
+template class Router<3>;
+
+}  // namespace geo::serve

@@ -1,0 +1,116 @@
+// Lock-free epoch-swapped router: the thread-safe serving handle over
+// immutable PartitionSnapshots.
+//
+// A Router answers point → block (→ rank) lookups against "the current
+// partition" while repartitioning keeps publishing new ones. The contract:
+//   * readers never block — route()/snapshot() copy the current snapshot
+//     pointer out of a par::AtomicSharedPtr slot (a one-bit spin protocol
+//     held for a single refcount increment; see that header for why the
+//     standard atomic<shared_ptr> does not survive TSan) and then work
+//     exclusively on that immutable snapshot, so a reader mid-batch keeps
+//     its snapshot alive even if the publisher swaps and drops every other
+//     reference,
+//   * publishers swap in O(1) — publish() installs the new snapshot with
+//     one release store into the slot and bumps the router epoch; it never
+//     waits for readers, and the old snapshot is freed by whichever side
+//     drops the last reference,
+//   * a reader therefore observes either the complete old snapshot or the
+//     complete new one, never a mix — the property tests/test_serve.cpp
+//     hammers under the TSan CI job.
+//
+// Batched route() fans fixed tiles out over the router's worker threads via
+// par::parallelFor (Settings::threads semantics: per-point results are
+// independent, so the output is identical at every thread count). The
+// single-point overload is the low-latency path: one shared_ptr load + one
+// descent, no pool traffic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+
+#include "par/atomic_shared_ptr.hpp"
+#include "par/thread_pool.hpp"
+#include "serve/snapshot.hpp"
+
+namespace geo::serve {
+
+template <int D>
+class Router {
+public:
+    /// `threads` workers serve batched route() calls; 0 = the process
+    /// default (GEO_THREADS or 1), matching Settings::resolvedThreads().
+    explicit Router(int threads = 0)
+        : threads_(threads >= 1 ? threads : par::defaultThreads()) {}
+
+    Router(const Router&) = delete;
+    Router& operator=(const Router&) = delete;
+
+    /// Atomically install `snapshot` as the current one and bump the epoch.
+    /// Returns the new epoch (1 for the first publish). O(1): readers are
+    /// never blocked or waited for; concurrent publishers serialize among
+    /// themselves on a publisher-only mutex so the returned epochs match
+    /// the order the snapshots became visible. The epoch is bumped *after*
+    /// the slot store: observing epoch() >= E guarantees the E-th snapshot
+    /// (or a newer one) is already visible to snapshot()/route().
+    std::uint64_t publish(PartitionSnapshot<D> snapshot);
+
+    /// The current snapshot (nullptr before the first publish). The
+    /// returned shared_ptr keeps the snapshot alive across any number of
+    /// subsequent publishes.
+    [[nodiscard]] std::shared_ptr<const PartitionSnapshot<D>> snapshot() const {
+        return current_.load();
+    }
+
+    /// Number of publishes so far (0 = nothing published yet).
+    [[nodiscard]] std::uint64_t epoch() const noexcept {
+        return epoch_.load(std::memory_order_acquire);
+    }
+
+    [[nodiscard]] bool hasSnapshot() const { return snapshot() != nullptr; }
+
+    /// Low-latency single lookup against the current snapshot.
+    [[nodiscard]] std::int32_t route(const Point<D>& p) const;
+
+    /// Batched lookup: `blocks[i]` = block of `points[i]`, computed against
+    /// ONE snapshot (grabbed once for the whole batch) with the cache-
+    /// blocked squared-domain kernel across the router's worker threads.
+    void route(std::span<const Point<D>> points, std::span<std::int32_t> blocks) const;
+
+    /// Serving rank of the block owning `p` (-1 when the current snapshot
+    /// carries no rank map).
+    [[nodiscard]] std::int32_t routeRank(const Point<D>& p) const;
+
+    [[nodiscard]] int threads() const noexcept { return threads_; }
+
+private:
+    par::AtomicSharedPtr<const PartitionSnapshot<D>> current_;
+    std::atomic<std::uint64_t> epoch_{0};
+    std::mutex publishMutex_;  ///< serializes publishers; readers never touch it
+    int threads_;
+};
+
+/// Misroute accounting of a stale snapshot against the fresh partition of
+/// the SAME query points: position i compares the routed block to the block
+/// the freshly computed partition assigns. The fraction is the paper-side
+/// cost of serving block lookups from the previous timestep's diagram while
+/// the next repartition is still running.
+struct MisrouteStats {
+    std::int64_t total = 0;
+    std::int64_t misrouted = 0;
+
+    [[nodiscard]] double fraction() const noexcept {
+        return total == 0 ? 0.0
+                          : static_cast<double>(misrouted) / static_cast<double>(total);
+    }
+};
+
+[[nodiscard]] MisrouteStats misrouteStats(std::span<const std::int32_t> routed,
+                                          std::span<const std::int32_t> fresh);
+
+extern template class Router<2>;
+extern template class Router<3>;
+
+}  // namespace geo::serve

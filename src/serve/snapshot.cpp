@@ -1,0 +1,424 @@
+#include "serve/snapshot.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+
+#include "par/comm.hpp"
+#include "support/assert.hpp"
+
+#if defined(__SSE2__)
+#define GEO_SERVE_SSE2 1
+#include <emmintrin.h>
+#endif
+
+namespace geo::serve {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Points per batch tile — matches the assignment engine's cache block, so
+/// the kernel's working set (SoA lanes + best/bestC) stays L1/L2 resident.
+constexpr std::size_t kRouteTile = 1024;
+
+constexpr char kMagic[8] = {'G', 'E', 'O', 'S', 'N', 'P', '0', '1'};
+
+template <typename T>
+void writeRaw(std::ostream& out, const T& value) {
+    out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void writeVec(std::ostream& out, const std::vector<T>& v) {
+    if (!v.empty())
+        out.write(reinterpret_cast<const char*>(v.data()),
+                  static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+T readRaw(std::istream& in) {
+    T value{};
+    in.read(reinterpret_cast<char*>(&value), sizeof(T));
+    GEO_REQUIRE(in.good(), "snapshot stream truncated");
+    return value;
+}
+
+template <typename T>
+std::vector<T> readVec(std::istream& in, std::size_t count) {
+    // Callers validate `count` against the snapshot's level structure; this
+    // bound only guards the size_t multiplication below.
+    GEO_REQUIRE(count <= (std::size_t{1} << 34), "snapshot array too large");
+    std::vector<T> v(count);
+    if (count > 0) {
+        in.read(reinterpret_cast<char*>(v.data()),
+                static_cast<std::streamsize>(count * sizeof(T)));
+        GEO_REQUIRE(in.good(), "snapshot stream truncated");
+    }
+    return v;
+}
+
+}  // namespace
+
+template <int D>
+void PartitionSnapshot<D>::finalize(const SnapshotOptions& options) {
+    GEO_REQUIRE(!levels_.empty(), "snapshot needs at least one level");
+    std::int64_t nodes = 1;
+    for (auto& level : levels_) {
+        GEO_REQUIRE(level.branching >= 1, "level branching must be at least 1");
+        const auto entries =
+            static_cast<std::size_t>(nodes) * static_cast<std::size_t>(level.branching);
+        GEO_REQUIRE(level.influence.size() == entries,
+                    "level influence size does not match node count × branching");
+        for (int d = 0; d < D; ++d)
+            GEO_REQUIRE(level.cx[static_cast<std::size_t>(d)].size() == entries,
+                        "level center coordinates do not match node count × branching");
+        level.invInfluence2.resize(entries);
+        for (std::size_t i = 0; i < entries; ++i) {
+            const double inf = level.influence[i];
+            GEO_REQUIRE(inf > 0.0, "influence values must be positive");
+            level.invInfluence2[i] = 1.0 / (inf * inf);
+        }
+        nodes *= level.branching;
+        GEO_REQUIRE(nodes <= (std::int64_t{1} << 30), "snapshot block count overflows");
+    }
+    k_ = static_cast<std::int32_t>(nodes);
+    GEO_REQUIRE(blockLeaf_.empty() ||
+                    blockLeaf_.size() == static_cast<std::size_t>(k_),
+                "block → leaf map must cover every block");
+    GEO_REQUIRE(blockRank_.empty() ||
+                    blockRank_.size() == static_cast<std::size_t>(k_),
+                "block → rank map must cover every block");
+    // Value validation matters for load(): a corrupt-but-structurally-valid
+    // stream must fail here, not hand a serving process garbage leaf/rank
+    // ids to index its dispatch structures with.
+    for (const std::int32_t leaf : blockLeaf_)
+        GEO_REQUIRE(leaf >= 0 && leaf < k_, "block → leaf map entry out of range");
+    for (const std::int32_t rank : blockRank_)
+        GEO_REQUIRE(rank >= 0, "block → rank map entry out of range");
+
+    useTree_ = false;
+    if (depth() == 1 && options.kdTreeFromK > 0 && k_ >= options.kdTreeFromK) {
+        const Level& flat = levels_.front();
+        std::vector<Point<D>> centers(static_cast<std::size_t>(k_));
+        for (std::int32_t c = 0; c < k_; ++c)
+            for (int d = 0; d < D; ++d)
+                centers[static_cast<std::size_t>(c)][d] =
+                    flat.cx[static_cast<std::size_t>(d)][static_cast<std::size_t>(c)];
+        tree_.rebuild(centers, flat.influence);
+        useTree_ = true;
+    }
+}
+
+template <int D>
+PartitionSnapshot<D> PartitionSnapshot<D>::fromCenters(
+    std::span<const Point<D>> centers, std::span<const double> influence,
+    std::uint64_t version, int ranks, const SnapshotOptions& options) {
+    GEO_REQUIRE(!centers.empty(), "snapshot needs at least one center");
+    GEO_REQUIRE(centers.size() == influence.size(),
+                "need one influence value per center");
+    PartitionSnapshot snap;
+    snap.version_ = version;
+    Level level;
+    level.branching = static_cast<std::int32_t>(centers.size());
+    for (int d = 0; d < D; ++d)
+        level.cx[static_cast<std::size_t>(d)].resize(centers.size());
+    for (std::size_t c = 0; c < centers.size(); ++c)
+        for (int d = 0; d < D; ++d)
+            level.cx[static_cast<std::size_t>(d)][c] = centers[c][d];
+    level.influence.assign(influence.begin(), influence.end());
+    snap.levels_.push_back(std::move(level));
+    if (ranks >= 1)
+        snap.blockRank_ =
+            par::blockRankMap(static_cast<std::int64_t>(centers.size()), ranks);
+    snap.finalize(options);
+    return snap;
+}
+
+template <int D>
+PartitionSnapshot<D> PartitionSnapshot<D>::fromResult(
+    const core::GeographerResult& result, std::uint64_t version, int ranks,
+    const SnapshotOptions& options) {
+    const auto centers = core::unflattenCenters<D>(result.centerCoords);
+    const auto& influence = result.assignmentInfluence.empty()
+                                ? result.influence
+                                : result.assignmentInfluence;
+    return fromCenters(centers, influence, version, ranks, options);
+}
+
+template <int D>
+PartitionSnapshot<D> PartitionSnapshot<D>::fromState(
+    const repart::RepartState<D>& state, std::uint64_t version, int ranks,
+    const SnapshotOptions& options) {
+    return fromCenters(std::span<const Point<D>>(state.centers), state.influence,
+                       version, ranks, options);
+}
+
+template <int D>
+PartitionSnapshot<D> PartitionSnapshot<D>::fromHierResult(
+    const hier::HierResult& result, const hier::Topology& topo, std::uint64_t version,
+    int ranks, const SnapshotOptions& options) {
+    topo.validate();
+    const std::int32_t k = topo.leafCount();
+    PartitionSnapshot snap;
+    snap.version_ = version;
+
+    // Breadth-first level offsets, mirroring the HierRun node numbering.
+    std::size_t nodesAtLevel = 1;
+    std::size_t offset = 0;
+    for (int l = 0; l < topo.depth(); ++l) {
+        const auto& tl = topo.levels[static_cast<std::size_t>(l)];
+        const auto b = static_cast<std::size_t>(tl.branching);
+        Level level;
+        level.branching = tl.branching;
+        const std::size_t entries = nodesAtLevel * b;
+        for (int d = 0; d < D; ++d)
+            level.cx[static_cast<std::size_t>(d)].resize(entries);
+        level.influence.resize(entries);
+        for (std::size_t node = 0; node < nodesAtLevel; ++node) {
+            GEO_REQUIRE(offset + node < result.nodeDiagrams.size(),
+                        "HierResult node diagrams do not cover the topology");
+            const auto& diagram = result.nodeDiagrams[offset + node];
+            GEO_REQUIRE(diagram.centerCoords.size() == b * D &&
+                            diagram.influence.size() == b,
+                        "node diagram does not match the level branching");
+            for (std::size_t c = 0; c < b; ++c) {
+                for (int d = 0; d < D; ++d)
+                    level.cx[static_cast<std::size_t>(d)][node * b + c] =
+                        diagram.centerCoords[c * D + static_cast<std::size_t>(d)];
+                level.influence[node * b + c] = diagram.influence[c];
+            }
+        }
+        snap.levels_.push_back(std::move(level));
+        offset += nodesAtLevel;
+        nodesAtLevel *= b;
+    }
+
+    snap.blockLeaf_ = result.blockLeaf;
+    if (ranks >= 1) {
+        const auto leafRank = topo.leafRankMap(ranks);
+        snap.blockRank_.resize(static_cast<std::size_t>(k));
+        for (std::int32_t blk = 0; blk < k; ++blk) {
+            const std::int32_t leaf = snap.blockLeaf_.empty()
+                                          ? blk
+                                          : snap.blockLeaf_[static_cast<std::size_t>(blk)];
+            snap.blockRank_[static_cast<std::size_t>(blk)] =
+                leafRank[static_cast<std::size_t>(leaf)];
+        }
+    }
+    snap.finalize(options);
+    GEO_CHECK(snap.k_ == k, "snapshot block count must equal the topology leaf count");
+    return snap;
+}
+
+template <int D>
+std::int32_t PartitionSnapshot<D>::leafOf(std::int32_t block) const {
+    GEO_REQUIRE(block >= 0 && block < k_, "block id out of range");
+    return blockLeaf_.empty() ? block : blockLeaf_[static_cast<std::size_t>(block)];
+}
+
+template <int D>
+std::int32_t PartitionSnapshot<D>::rankOf(std::int32_t block) const {
+    GEO_REQUIRE(block >= 0 && block < k_, "block id out of range");
+    return blockRank_.empty() ? -1 : blockRank_[static_cast<std::size_t>(block)];
+}
+
+template <int D>
+std::int32_t PartitionSnapshot<D>::blockOf(const Point<D>& p) const {
+    if (useTree_) return tree_.queryNearestIds(p).best;
+    std::int64_t node = 0;
+    for (const Level& level : levels_) {
+        const auto b = static_cast<std::size_t>(level.branching);
+        const std::size_t base = static_cast<std::size_t>(node) * b;
+        double best2 = kInf;
+        std::size_t best = 0;
+        for (std::size_t c = 0; c < b; ++c) {
+            double d2 = 0.0;
+            for (int d = 0; d < D; ++d) {
+                const double diff = p[d] - level.cx[static_cast<std::size_t>(d)][base + c];
+                d2 += diff * diff;
+            }
+            const double e2 = d2 * level.invInfluence2[base + c];
+            if (e2 < best2) {
+                best2 = e2;
+                best = c;
+            }
+        }
+        node = node * level.branching + static_cast<std::int64_t>(best);
+    }
+    return static_cast<std::int32_t>(node);
+}
+
+/// One tile through the flat branchless kernel (depth-1, no tree): lanes are
+/// points, the outer loop walks centers, and best/bestC update via pure
+/// min + flat selects — the same if-convertible shape as the assignment
+/// engine's batch kernel, minus the second-best and pruning lanes. Center
+/// ids travel as doubles so every select lane has one vector width.
+template <int D>
+void PartitionSnapshot<D>::routeTile(const Point<D>* pts, std::size_t count,
+                                     std::int32_t* out) const {
+    if (useTree_) {
+        for (std::size_t i = 0; i < count; ++i)
+            out[i] = tree_.queryNearestIds(pts[i]).best;
+        return;
+    }
+    if (depth() > 1) {
+        for (std::size_t i = 0; i < count; ++i) out[i] = blockOf(pts[i]);
+        return;
+    }
+
+    const Level& flat = levels_.front();
+    double gx[static_cast<std::size_t>(D)][kRouteTile];
+    double best2[kRouteTile];
+    double bestC[kRouteTile];
+    for (std::size_t i = 0; i < count; ++i) {
+        for (int d = 0; d < D; ++d) gx[static_cast<std::size_t>(d)][i] = pts[i][d];
+        best2[i] = kInf;
+        bestC[i] = 0.0;
+    }
+
+    const auto k = static_cast<std::size_t>(flat.branching);
+    for (std::size_t c = 0; c < k; ++c) {
+        std::array<double, static_cast<std::size_t>(D)> cx;
+        for (int d = 0; d < D; ++d)
+            cx[static_cast<std::size_t>(d)] = flat.cx[static_cast<std::size_t>(d)][c];
+        const double inv = flat.invInfluence2[c];
+        const auto cd = static_cast<double>(c);
+
+        const auto scalarLanes = [&](std::size_t from, std::size_t to) {
+            for (std::size_t j = from; j < to; ++j) {
+                double d2 = 0.0;
+                for (int d = 0; d < D; ++d) {
+                    const double diff =
+                        gx[static_cast<std::size_t>(d)][j] - cx[static_cast<std::size_t>(d)];
+                    d2 += diff * diff;
+                }
+                const double e2 = d2 * inv;
+                const double ob = best2[j];
+                best2[j] = std::min(e2, ob);
+                bestC[j] = e2 < ob ? cd : bestC[j];
+            }
+        };
+#if GEO_SERVE_SSE2
+        const __m128d cdv = _mm_set1_pd(cd);
+        const __m128d invv = _mm_set1_pd(inv);
+        std::size_t j = 0;
+        for (; j + 2 <= count; j += 2) {
+            __m128d d2 = _mm_setzero_pd();
+            for (int d = 0; d < D; ++d) {
+                const __m128d diff =
+                    _mm_sub_pd(_mm_loadu_pd(&gx[static_cast<std::size_t>(d)][j]),
+                               _mm_set1_pd(cx[static_cast<std::size_t>(d)]));
+                d2 = _mm_add_pd(d2, _mm_mul_pd(diff, diff));
+            }
+            const __m128d e2 = _mm_mul_pd(d2, invv);
+            const __m128d ob = _mm_loadu_pd(best2 + j);
+            const __m128d obc = _mm_loadu_pd(bestC + j);
+            const __m128d mb = _mm_cmplt_pd(e2, ob);
+            _mm_storeu_pd(best2 + j, _mm_min_pd(e2, ob));
+            _mm_storeu_pd(bestC + j,
+                          _mm_or_pd(_mm_and_pd(mb, cdv), _mm_andnot_pd(mb, obc)));
+        }
+        scalarLanes(j, count);
+#else
+        scalarLanes(0, count);
+#endif
+    }
+    for (std::size_t i = 0; i < count; ++i) out[i] = static_cast<std::int32_t>(bestC[i]);
+}
+
+template <int D>
+void PartitionSnapshot<D>::blockOf(std::span<const Point<D>> points,
+                                   std::span<std::int32_t> blocks) const {
+    GEO_REQUIRE(points.size() == blocks.size(),
+                "need one output slot per query point");
+    for (std::size_t i0 = 0; i0 < points.size(); i0 += kRouteTile)
+        routeTile(points.data() + i0, std::min(kRouteTile, points.size() - i0),
+                  blocks.data() + i0);
+}
+
+template <int D>
+void PartitionSnapshot<D>::save(std::ostream& out) const {
+    out.write(kMagic, sizeof(kMagic));
+    writeRaw<std::uint32_t>(out, static_cast<std::uint32_t>(D));
+    writeRaw<std::uint64_t>(out, version_);
+    writeRaw<std::int32_t>(out, k_);
+    writeRaw<std::int32_t>(out, static_cast<std::int32_t>(levels_.size()));
+    for (const Level& level : levels_) {
+        writeRaw<std::int32_t>(out, level.branching);
+        writeRaw<std::uint64_t>(out, static_cast<std::uint64_t>(level.influence.size()));
+        for (int d = 0; d < D; ++d) writeVec(out, level.cx[static_cast<std::size_t>(d)]);
+        writeVec(out, level.influence);
+    }
+    writeRaw<std::uint8_t>(out, blockLeaf_.empty() ? 0 : 1);
+    writeVec(out, blockLeaf_);
+    writeRaw<std::uint8_t>(out, blockRank_.empty() ? 0 : 1);
+    writeVec(out, blockRank_);
+    GEO_REQUIRE(out.good(), "snapshot write failed");
+}
+
+template <int D>
+void PartitionSnapshot<D>::save(const std::string& path) const {
+    std::ofstream out(path, std::ios::binary);
+    GEO_REQUIRE(out.is_open(), "cannot open snapshot file for writing");
+    save(out);
+}
+
+template <int D>
+PartitionSnapshot<D> PartitionSnapshot<D>::load(std::istream& in,
+                                                const SnapshotOptions& options) {
+    char magic[sizeof(kMagic)] = {};
+    in.read(magic, sizeof(magic));
+    GEO_REQUIRE(in.good() && std::equal(magic, magic + sizeof(magic), kMagic),
+                "not a partition snapshot (bad magic)");
+    GEO_REQUIRE(readRaw<std::uint32_t>(in) == static_cast<std::uint32_t>(D),
+                "snapshot dimension does not match");
+    PartitionSnapshot snap;
+    snap.version_ = readRaw<std::uint64_t>(in);
+    const auto k = readRaw<std::int32_t>(in);
+    const auto depth = readRaw<std::int32_t>(in);
+    GEO_REQUIRE(k >= 1 && k <= (std::int32_t{1} << 30) && depth >= 1 && depth <= 64,
+                "corrupt snapshot header");
+    // Every size field is validated against the level structure BEFORE any
+    // allocation sized by it: a corrupt (or hostile) stream must fail with
+    // the clean "corrupt snapshot" error, not by attempting a giant vector.
+    std::int64_t nodes = 1;
+    for (std::int32_t l = 0; l < depth; ++l) {
+        Level level;
+        level.branching = readRaw<std::int32_t>(in);
+        GEO_REQUIRE(level.branching >= 1 &&
+                        nodes * level.branching <= (std::int64_t{1} << 30),
+                    "corrupt snapshot (bad level branching)");
+        const auto entries = readRaw<std::uint64_t>(in);
+        GEO_REQUIRE(entries ==
+                        static_cast<std::uint64_t>(nodes * level.branching),
+                    "corrupt snapshot (level entry count mismatch)");
+        for (int d = 0; d < D; ++d)
+            level.cx[static_cast<std::size_t>(d)] =
+                readVec<double>(in, static_cast<std::size_t>(entries));
+        level.influence = readVec<double>(in, static_cast<std::size_t>(entries));
+        snap.levels_.push_back(std::move(level));
+        nodes *= level.branching;
+    }
+    GEO_REQUIRE(nodes == k, "corrupt snapshot (level product != block count)");
+    if (readRaw<std::uint8_t>(in) != 0)
+        snap.blockLeaf_ = readVec<std::int32_t>(in, static_cast<std::size_t>(k));
+    if (readRaw<std::uint8_t>(in) != 0)
+        snap.blockRank_ = readVec<std::int32_t>(in, static_cast<std::size_t>(k));
+    snap.finalize(options);
+    GEO_CHECK(snap.k_ == k, "snapshot block count diverged from its header");
+    return snap;
+}
+
+template <int D>
+PartitionSnapshot<D> PartitionSnapshot<D>::load(const std::string& path,
+                                                const SnapshotOptions& options) {
+    std::ifstream in(path, std::ios::binary);
+    GEO_REQUIRE(in.is_open(), "cannot open snapshot file for reading");
+    return load(in, options);
+}
+
+template class PartitionSnapshot<2>;
+template class PartitionSnapshot<3>;
+
+}  // namespace geo::serve

@@ -101,7 +101,7 @@ INSTANTIATE_TEST_SUITE_P(
     Modes, EngineModeSweep,
     ::testing::Combine(::testing::Bool(),          // referenceAssignment
                        ::testing::Bool(),          // useKdTree
-                       ::testing::Values(1, 3)));  // assignThreads
+                       ::testing::Values(1, 3)));  // threads
 
 TEST_P(EngineModeSweep, SingleSweepMatchesBruteForce) {
     const auto [reference, kdTree, threads] = GetParam();
@@ -114,7 +114,7 @@ TEST_P(EngineModeSweep, SingleSweepMatchesBruteForce) {
     Settings s;
     s.referenceAssignment = reference;
     s.useKdTree = kdTree;
-    s.assignThreads = threads;
+    s.threads = threads;
     AssignEngine<2> engine(points, {}, s, 23);
     engine.setActive(identityOrder(points.size()), points.size());
     engine.beginRound(centers, influence, engine.activeBox());
@@ -215,7 +215,7 @@ TEST(AssignEngine, ThreadCountNeverChangesSizesBitwise) {
     std::vector<std::int32_t> wantAssign;
     for (const int threads : {1, 2, 3, 4}) {
         Settings s;
-        s.assignThreads = threads;
+        s.threads = threads;
         AssignEngine<2> engine(points, weights, s, 16);
         engine.setActive(identityOrder(points.size()), points.size());
         engine.beginRound(centers, influence, engine.activeBox());

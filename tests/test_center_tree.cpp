@@ -179,7 +179,7 @@ TEST(KMeansWithKdTree, FastEngineMatchesReferenceOnKdTreePath) {
     reference.useKdTree = fast.useKdTree = true;
     reference.referenceAssignment = true;
     fast.referenceAssignment = false;
-    fast.assignThreads = 2;
+    fast.threads = 2;
     std::vector<std::int32_t> a, b;
     par::runSpmd(1, [&](par::Comm& comm) {
         a = core::balancedKMeans<2>(comm, pts, {}, centers, reference).assignment;

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
 #include <sstream>
 
+#include "core/settings.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
@@ -12,6 +14,18 @@ namespace {
 
 using geo::SplitMix64;
 using geo::Xoshiro256;
+
+// Pin GEO_THREADS before main() — and before the first defaultThreads()
+// call anywhere in this process (its value is read once and cached) — so
+// the env-var leg of Settings::resolvedThreads() is testable regardless of
+// the environment ctest launched us with. defaultThreads() caches on first
+// CALL (function-local static), not at static initialization, so this
+// file-scope initializer reliably runs first: nothing in this binary calls
+// it during static init.
+const bool kGeoThreadsPinned = [] {
+    setenv("GEO_THREADS", "3", /*overwrite=*/1);
+    return true;
+}();
 
 TEST(Rng, SplitMixIsDeterministic) {
     SplitMix64 a(42), b(42);
@@ -93,6 +107,39 @@ TEST(Assert, MessageIsIncluded) {
     } catch (const std::invalid_argument& e) {
         EXPECT_NE(std::string(e.what()).find("the-detail"), std::string::npos);
     }
+}
+
+TEST(Settings, ResolvedThreadsPrecedence) {
+    // Precedence: threads > assignThreads (deprecated alias) > GEO_THREADS
+    // env > 1. The env leg reads the value pinned by kGeoThreadsPinned
+    // above; the final built-in default (1) is only reachable with the
+    // variable unset, which cannot be exercised in the same process.
+    ASSERT_TRUE(kGeoThreadsPinned);
+    EXPECT_EQ(geo::par::defaultThreads(), 3);
+
+    geo::core::Settings s;
+    EXPECT_EQ(s.resolvedThreads(), 3);  // both unset: the env default
+
+    s.assignThreads = 5;
+    EXPECT_EQ(s.resolvedThreads(), 5);  // alias beats the env default
+
+    s.threads = 2;
+    EXPECT_EQ(s.resolvedThreads(), 2);  // threads beats the alias
+
+    s.assignThreads = 0;
+    EXPECT_EQ(s.resolvedThreads(), 2);  // threads alone still wins
+
+    s.threads = 0;
+    EXPECT_EQ(s.resolvedThreads(), 3);  // back to the env default
+}
+
+TEST(Settings, ResolvedThreadsTreatsNonPositiveAsUnset) {
+    geo::core::Settings s;
+    s.threads = -4;
+    s.assignThreads = -2;
+    EXPECT_EQ(s.resolvedThreads(), 3);  // negative values fall through
+    s.assignThreads = 7;
+    EXPECT_EQ(s.resolvedThreads(), 7);  // threads < 1 defers to the alias
 }
 
 TEST(Timer, MeasuresNonNegativeTime) {
