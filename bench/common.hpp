@@ -3,19 +3,66 @@
 #pragma once
 
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "baseline/tools.hpp"
 #include "gen/mesh.hpp"
 #include "graph/metrics.hpp"
+#include "par/transport/transport.hpp"
 #include "spmv/spmv.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
 
 namespace geo::bench {
+
+/// Multi-process awareness: under `geo_launch -n N -- bench_...` the whole
+/// binary executes once per worker process, so tables and BENCH_*.json must
+/// come from rank 0 only. Outside a worker every process is "root".
+[[nodiscard]] inline bool isRootProcess() {
+    const char* rank = std::getenv("GEO_RANK");
+    return rank == nullptr || std::string_view(rank) == "0";
+}
+
+/// Real worker-process count this binary runs across (1 outside geo_launch).
+[[nodiscard]] inline int workerProcesses() {
+    return std::getenv("GEO_RANK") == nullptr ? 1 : par::defaultRanks();
+}
+
+/// Display name of the transport a Settings-carried kind will resolve to —
+/// what the BENCH_*.json "transport" field records.
+[[nodiscard]] inline const char* resolvedTransportName(par::TransportKind kind) {
+    return par::transportKindName(kind == par::TransportKind::Auto
+                                      ? par::envTransportKind()
+                                      : kind);
+}
+
+/// Silences std::cout on non-root worker ranks for the lifetime of the
+/// object. Restores the original stream buffer on destruction — std::cout
+/// is flushed again during static teardown, after any main-local filebuf
+/// is gone.
+class MuteNonRoot {
+public:
+    MuteNonRoot() {
+        if (isRootProcess()) return;
+        devnull_.open("/dev/null");
+        saved_ = std::cout.rdbuf(devnull_.rdbuf());
+    }
+    ~MuteNonRoot() {
+        if (saved_ != nullptr) std::cout.rdbuf(saved_);
+    }
+    MuteNonRoot(const MuteNonRoot&) = delete;
+    MuteNonRoot& operator=(const MuteNonRoot&) = delete;
+
+private:
+    std::ofstream devnull_;
+    std::streambuf* saved_ = nullptr;
+};
 
 /// Quality + timing of one tool on one instance (one row of Tables 1/2).
 struct ToolRow {

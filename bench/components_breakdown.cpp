@@ -37,7 +37,7 @@ struct ScalingRow {
 };
 
 void writeJson(const std::string& path, std::int64_t n, std::int32_t k,
-               const std::vector<ScalingRow>& rows) {
+               geo::par::TransportKind transport, const std::vector<ScalingRow>& rows) {
     std::ofstream out(path);
     if (!out) {
         std::cerr << "cannot write " << path << "\n";
@@ -46,6 +46,8 @@ void writeJson(const std::string& path, std::int64_t n, std::int32_t k,
     out << "{\n  \"bench\": \"components_breakdown\",\n"
         << "  \"instance\": \"delaunay2d\",\n"
         << "  \"n\": " << n << ",\n  \"k\": " << k << ",\n  \"ranks\": 1,\n"
+        << "  \"transport\": \"" << geo::bench::resolvedTransportName(transport)
+        << "\",\n  \"processes\": " << geo::bench::workerProcesses() << ",\n"
         << "  \"rows\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const auto& r = rows[i];
@@ -67,23 +69,34 @@ int main(int argc, char** argv) {
     using namespace geo;
     std::int64_t scalingN = 1'000'000;
     std::string jsonPath;
+    par::TransportKind transport = par::TransportKind::Auto;
+    const char* usage = " [scaling-n] [--transport sim|socket|tcp] [--json PATH]\n";
     for (int a = 1; a < argc; ++a) {
         const std::string arg = argv[a];
         if (arg == "--json") {
             if (a + 1 >= argc) {
-                std::cerr << "--json requires a path\nusage: " << argv[0]
-                          << " [scaling-n] [--json PATH]\n";
+                std::cerr << "--json requires a path\nusage: " << argv[0] << usage;
                 return 1;
             }
             jsonPath = argv[++a];
+        } else if (arg == "--transport") {
+            if (a + 1 >= argc) {
+                std::cerr << "--transport requires a backend\nusage: " << argv[0] << usage;
+                return 1;
+            }
+            transport = par::parseTransportKind(argv[++a]);
         } else if (!arg.empty() && arg.find_first_not_of("0123456789") == std::string::npos) {
             scalingN = std::atoll(arg.c_str());
         } else {
             std::cerr << "unrecognized argument: " << arg << "\nusage: " << argv[0]
-                      << " [scaling-n] [--json PATH]\n";
+                      << usage;
             return 1;
         }
     }
+
+    // Under geo_launch every worker runs this whole binary; non-root ranks
+    // still participate in the socket collectives but stay silent.
+    const bench::MuteNonRoot mute;
     if (scalingN < 1000) {
         std::cerr << "scaling-n must be >= 1000 (got " << scalingN << ")\n";
         return 1;
@@ -99,6 +112,7 @@ int main(int argc, char** argv) {
                  "redistribute%", "kmeans%"});
     for (const int ranks : {1, 2, 4, 8, 16, 32}) {
         core::Settings settings;
+        settings.transport = transport;
         const auto res = core::partitionGeographer<2>(mesh.points, {}, k, ranks, settings);
         const double h = res.phaseSeconds.at("hilbert");
         const double r = res.phaseSeconds.at("redistribute");
@@ -122,6 +136,7 @@ int main(int argc, char** argv) {
     for (const int ranks : {1, 4}) {
         for (const bool reference : {true, false}) {
             core::Settings settings;
+            settings.transport = transport;
             settings.referenceAssignment = reference;
             const auto res =
                 core::partitionGeographer<2>(mesh.points, {}, k, ranks, settings);
@@ -150,6 +165,7 @@ int main(int argc, char** argv) {
                         "metrics[s]", "total[s]", "keyedPoints", "sortedRecords"});
     for (const int threads : {1, 2, 4, 8}) {
         core::Settings settings;
+        settings.transport = transport;
         settings.threads = threads;
         Timer whole;
         const auto res =
@@ -188,6 +204,7 @@ int main(int argc, char** argv) {
               << "%\n(results bitwise identical across rows; targets: >= 2x and >= 30% "
                  "on >= 8 hardware threads)\n";
 
-    if (!jsonPath.empty()) writeJson(jsonPath, scalingN, k, rows);
+    if (!jsonPath.empty() && bench::isRootProcess())
+        writeJson(jsonPath, scalingN, k, transport, rows);
     return 0;
 }

@@ -16,7 +16,13 @@
 // starts converge in fewer outer iterations, move far less data, and leave
 // the serving layer only briefly inconsistent.
 //
-//   ./bench_repart_timeline [points] [steps] [blocks] [ranks] [--json PATH]
+//   ./bench_repart_timeline [points] [steps] [blocks] [ranks]
+//                           [--transport sim|socket|tcp] [--json PATH]
+//
+// Under `geo_launch -n N -- bench_repart_timeline ... --transport socket`
+// the run spans N real processes: the ranks argument is overridden by the
+// worker count, every process executes the loop in lockstep, and only
+// rank 0 prints tables or writes the JSON.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -32,6 +38,7 @@
 #include "repart/scenarios.hpp"
 #include "serve/router.hpp"
 #include "serve/snapshot.hpp"
+#include "common.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
 
@@ -113,7 +120,8 @@ void writeStepJson(std::ostream& out, const char* name, const StepRecord& rec,
 /// BENCH_repart.json: the repartitioning bench trajectory, mirroring
 /// components_breakdown's BENCH_pipeline.json.
 void writeJson(const std::string& path, std::int64_t n, int steps, std::int32_t k,
-               int ranks, const std::vector<ScenarioTrace>& traces) {
+               int ranks, geo::par::TransportKind transport,
+               const std::vector<ScenarioTrace>& traces) {
     std::ofstream out(path);
     if (!out) {
         std::cerr << "cannot write " << path << "\n";
@@ -121,7 +129,9 @@ void writeJson(const std::string& path, std::int64_t n, int steps, std::int32_t 
     }
     out << "{\n  \"bench\": \"repart_timeline\",\n  \"n\": " << n
         << ",\n  \"steps\": " << steps << ",\n  \"k\": " << k
-        << ",\n  \"ranks\": " << ranks << ",\n  \"scenarios\": [\n";
+        << ",\n  \"ranks\": " << ranks << ",\n  \"transport\": \""
+        << geo::bench::resolvedTransportName(transport) << "\",\n  \"processes\": "
+        << geo::bench::workerProcesses() << ",\n  \"scenarios\": [\n";
     for (std::size_t s = 0; s < traces.size(); ++s) {
         const auto& trace = traces[s];
         out << "    {\"scenario\": \"" << trace.name << "\",\n     \"steps\": [\n";
@@ -151,16 +161,24 @@ int main(int argc, char** argv) {
     std::int32_t k = 8;
     int ranks = 4;
     std::string jsonPath;
+    par::TransportKind transport = par::TransportKind::Auto;
+    const char* usage =
+        " [points] [steps] [blocks] [ranks] [--transport sim|socket|tcp] [--json PATH]\n";
     int positional = 0;
     for (int a = 1; a < argc; ++a) {
         const std::string arg = argv[a];
         if (arg == "--json") {
             if (a + 1 >= argc) {
-                std::cerr << "--json requires a path\nusage: " << argv[0]
-                          << " [points] [steps] [blocks] [ranks] [--json PATH]\n";
+                std::cerr << "--json requires a path\nusage: " << argv[0] << usage;
                 return 1;
             }
             jsonPath = argv[++a];
+        } else if (arg == "--transport") {
+            if (a + 1 >= argc) {
+                std::cerr << "--transport requires a backend\nusage: " << argv[0] << usage;
+                return 1;
+            }
+            transport = par::parseTransportKind(argv[++a]);
         } else if (!arg.empty() &&
                    arg.find_first_not_of("0123456789") == std::string::npos &&
                    positional < 4) {
@@ -172,13 +190,19 @@ int main(int argc, char** argv) {
             }
         } else {
             std::cerr << "unrecognized argument: " << arg << "\nusage: " << argv[0]
-                      << " [points] [steps] [blocks] [ranks] [--json PATH]\n";
+                      << usage;
             return 1;
         }
     }
 
+    // Under geo_launch the SPMD width IS the worker count; non-root ranks
+    // run the same loop through the socket collectives but stay silent.
+    if (std::getenv("GEO_RANK") != nullptr) ranks = bench::workerProcesses();
+    const bench::MuteNonRoot mute;
+
     core::Settings settings;
     settings.epsilon = 0.03;
+    settings.transport = transport;
 
     std::cout << "Dynamic repartitioning timeline: n=" << n << ", T=" << steps
               << ", k=" << k << ", ranks=" << ranks << "\n\n";
@@ -365,6 +389,7 @@ int main(int argc, char** argv) {
                  "snapshot routes to a different block than the fresh partition —\n"
                  "the serving-layer cost of repartitioning lag.\n";
 
-    if (!jsonPath.empty()) writeJson(jsonPath, n, steps, k, ranks, traces);
+    if (!jsonPath.empty() && bench::isRootProcess())
+        writeJson(jsonPath, n, steps, k, ranks, transport, traces);
     return 0;
 }

@@ -8,6 +8,7 @@
 #include "par/sort.hpp"
 #include "sfc/hilbert.hpp"
 #include "support/assert.hpp"
+#include "support/binio.hpp"
 #include "support/timer.hpp"
 
 namespace geo::core {
@@ -166,6 +167,9 @@ void spmdBody(par::Comm& comm, std::span<const Point<D>> points,
         result.phaseSeconds["update"] = phaseMax[4];
         result.modeledSeconds = pipelineMax;
     }
+    // Cross-process runs have no shared result object: hand every rank the
+    // root's assembled copy (no-op on the simulator).
+    detail::replicateResult(comm, result, resultMutex);
 }
 
 }  // namespace
@@ -212,6 +216,86 @@ template void storeKMeansDiagnostics<2>(par::Comm&, const KMeansOutcome<2>&,
 template void storeKMeansDiagnostics<3>(par::Comm&, const KMeansOutcome<3>&,
                                         GeographerResult&, std::mutex&);
 
+void replicateResult(par::Comm& comm, GeographerResult& result,
+                     std::mutex& resultMutex) {
+    if (!comm.crossProcess() || comm.size() == 1) return;
+    par::Transport& transport = comm.transport();
+
+    if (comm.isRoot()) {
+        binio::Writer w;
+        {
+            const std::lock_guard<std::mutex> lock(resultMutex);
+            w.u64(result.partition.size());
+            w.vec(result.partition);
+            w.f64(result.imbalance);
+            w.u8(result.converged ? 1 : 0);
+            w.u64(result.counters.pointEvaluations);
+            w.u64(result.counters.boundSkips);
+            w.u64(result.counters.distanceCalcs);
+            w.u64(result.counters.bboxBreaks);
+            w.u64(result.counters.balanceIterations);
+            w.u64(result.counters.epochBoundApplications);
+            w.u64(result.counters.batchedDistanceCalcs);
+            w.u64(result.counters.keyedPoints);
+            w.u64(result.counters.sortedRecords);
+            w.i32(result.counters.outerIterations);
+            w.f64(result.modeledSeconds);
+            w.u32(static_cast<std::uint32_t>(result.phaseSeconds.size()));
+            for (const auto& [name, seconds] : result.phaseSeconds) {
+                w.u32(static_cast<std::uint32_t>(name.size()));
+                w.bytes(name.data(), name.size());
+                w.f64(seconds);
+            }
+            w.u64(result.centerCoords.size());
+            w.vec(result.centerCoords);
+            w.u64(result.influence.size());
+            w.vec(result.influence);
+            w.u64(result.assignmentInfluence.size());
+            w.vec(result.assignmentInfluence);
+        }
+        std::uint64_t bytes = w.size();
+        transport.broadcast(&bytes, sizeof(bytes), 0);
+        transport.broadcast(const_cast<std::byte*>(w.buffer().data()), w.size(), 0);
+        return;
+    }
+
+    std::uint64_t bytes = 0;
+    transport.broadcast(&bytes, sizeof(bytes), 0);
+    std::vector<std::byte> payload(static_cast<std::size_t>(bytes));
+    transport.broadcast(payload.data(), payload.size(), 0);
+
+    binio::Reader r(payload);
+    const std::lock_guard<std::mutex> lock(resultMutex);
+    result.partition = r.vec<graph::Partition::value_type>(
+        static_cast<std::size_t>(r.u64()));
+    result.imbalance = r.f64();
+    result.converged = r.u8() != 0;
+    result.counters.pointEvaluations = r.u64();
+    result.counters.boundSkips = r.u64();
+    result.counters.distanceCalcs = r.u64();
+    result.counters.bboxBreaks = r.u64();
+    result.counters.balanceIterations = r.u64();
+    result.counters.epochBoundApplications = r.u64();
+    result.counters.batchedDistanceCalcs = r.u64();
+    result.counters.keyedPoints = r.u64();
+    result.counters.sortedRecords = r.u64();
+    result.counters.outerIterations = r.i32();
+    result.modeledSeconds = r.f64();
+    const std::uint32_t phases = r.u32();
+    result.phaseSeconds.clear();
+    for (std::uint32_t i = 0; i < phases; ++i) {
+        const std::uint32_t len = r.u32();
+        const auto nameBytes = r.bytes(len);
+        std::string name(reinterpret_cast<const char*>(nameBytes.data()),
+                         nameBytes.size());
+        result.phaseSeconds[name] = r.f64();
+    }
+    result.centerCoords = r.vec<double>(static_cast<std::size_t>(r.u64()));
+    result.influence = r.vec<double>(static_cast<std::size_t>(r.u64()));
+    result.assignmentInfluence = r.vec<double>(static_cast<std::size_t>(r.u64()));
+    r.expectEnd("replicated result");
+}
+
 }  // namespace detail
 
 template <int D>
@@ -228,7 +312,7 @@ GeographerResult partitionGeographer(std::span<const Point<D>> points,
 
     GeographerResult result;
     std::mutex resultMutex;
-    par::Machine machine(ranks, model);
+    par::Machine machine(ranks, model, settings.resolvedTransport());
     result.runStats = machine.run([&](par::Comm& comm) {
         spmdBody<D>(comm, points, weights, k, settings, result, resultMutex);
     });

@@ -100,6 +100,16 @@ extern template void storeKMeansDiagnostics<2>(par::Comm&, const KMeansOutcome<2
 extern template void storeKMeansDiagnostics<3>(par::Comm&, const KMeansOutcome<3>&,
                                                GeographerResult&, std::mutex&);
 
+/// Replicate the root-assembled GeographerResult to every rank. On the
+/// shared-memory simulator all ranks already see the one result object and
+/// this is a no-op; on a cross-process transport the root serializes the
+/// result and broadcasts it over RAW transport calls — bookkeeping, not
+/// algorithm communication, so it never touches CommStats and stats stay
+/// comparable across backends. Collective: every rank must call it at the
+/// same point (both SPMD bodies do, as their last step).
+void replicateResult(par::Comm& comm, GeographerResult& result,
+                     std::mutex& resultMutex);
+
 }  // namespace detail
 
 }  // namespace geo::core

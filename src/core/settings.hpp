@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "par/thread_pool.hpp"
+#include "par/transport/transport.hpp"
 
 namespace geo::core {
 
@@ -83,6 +84,35 @@ struct Settings {
         if (threads >= 1) return threads;
         if (assignThreads >= 1) return assignThreads;
         return defaultThreads();
+    }
+
+    /// SPMD rank count for entry points that own their Machine (examples,
+    /// benches, serve tooling). 0 = unset: fall back to GEO_RANKS, then 1.
+    /// Mirrors the `threads`/GEO_THREADS pattern — and inside a geo_launch
+    /// worker GEO_RANKS is exactly the mesh size, so a Settings-driven run
+    /// automatically matches the launched process count.
+    int ranks = 0;
+
+    /// Transport backend for the SPMD runs this Settings drives. Auto =
+    /// unset: fall back to GEO_TRANSPORT, then the simulator. Socket/Tcp
+    /// only take effect inside a geo_launch worker whose mesh size matches
+    /// the Machine's rank count; anything else simulates (par::Machine).
+    par::TransportKind transport = par::TransportKind::Auto;
+
+    /// The rank count actually used: `ranks` if set, else GEO_RANKS, else 1.
+    /// Unlike resolvedThreads this is NOT cached process-wide: geo_launch
+    /// workers and the precedence tests mutate the environment at runtime.
+    [[nodiscard]] int resolvedRanks() const noexcept {
+        if (ranks >= 1) return ranks;
+        return par::defaultRanks();
+    }
+
+    /// The transport actually used: `transport` if set, else GEO_TRANSPORT,
+    /// else the simulator. Never returns Auto. Throws std::invalid_argument
+    /// on an unparseable GEO_TRANSPORT value.
+    [[nodiscard]] par::TransportKind resolvedTransport() const {
+        if (transport != par::TransportKind::Auto) return transport;
+        return par::envTransportKind();
     }
 
     /// Equivalence mode: run the scalar sqrt-domain reference kernel (the

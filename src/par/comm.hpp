@@ -1,30 +1,30 @@
-// Thread-SPMD simulated message-passing runtime.
+// Typed SPMD communicator over a pluggable transport.
 //
 // This substitutes for MPI on SuperMUC (see DESIGN.md §2). Every logical
 // rank runs the same SPMD function a real MPI rank would run, against a
 // `Comm` handle providing the collectives Geographer needs: barrier,
 // allreduce (sum/min/max), broadcast, allgather(v), alltoallv, exscan.
 //
-// Semantics match MPI: collectives must be called by all ranks of the
-// communicator in the same order; data races are prevented by a two-phase
-// publish/read protocol around a central barrier.
-//
-// Every collective updates per-rank statistics (bytes, rounds) and a modeled
-// communication time from `CostModel`, so scaling experiments can report a
-// latency–bandwidth estimate alongside measured per-rank CPU time.
+// Comm is the typed, stats-accounted face; the byte moving underneath is a
+// `Transport` (par/transport/transport.hpp) selected per Machine run:
+// either the in-process thread-SPMD simulator (ranks are threads — the
+// deterministic default) or the multi-process socket backend installed by a
+// geo_launch worker. Algorithms never see the difference: collective
+// semantics match MPI, reductions fold in rank order 0..p-1 on every
+// backend, and CommStats are computed HERE from logical payload sizes and
+// the CostModel, so bytes/rounds/modeled-seconds are identical no matter
+// which backend carried the bits.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
-#include <mutex>
-#include <numeric>
 #include <span>
 #include <vector>
 
 #include "par/cost_model.hpp"
+#include "par/transport/transport.hpp"
 #include "support/assert.hpp"
 
 namespace geo::par {
@@ -85,78 +85,40 @@ struct RunStats {
 
 namespace detail {
 
-/// Central sense-reversing barrier (condition-variable based, so waiting
-/// ranks release the core — essential when simulating many ranks on few
-/// cores).
-class Barrier {
-public:
-    explicit Barrier(int parties) : parties_(parties) {}
-
-    void arriveAndWait() {
-        std::unique_lock lock(mutex_);
-        const std::uint64_t gen = generation_;
-        if (++arrived_ == parties_) {
-            arrived_ = 0;
-            ++generation_;
-            cv_.notify_all();
-        } else {
-            cv_.wait(lock, [&] { return generation_ != gen; });
-        }
-    }
-
-private:
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    int parties_;
-    int arrived_ = 0;
-    std::uint64_t generation_ = 0;
-};
-
-/// Shared state of one machine run: publication slots + barrier.
-struct SharedState {
-    explicit SharedState(int ranks, CostModel model)
-        : size(ranks), cost(model), barrier(ranks), slots(static_cast<std::size_t>(ranks)),
-          stats(static_cast<std::size_t>(ranks)) {}
-
-    int size;
-    CostModel cost;
-    Barrier barrier;
-    std::vector<const void*> slots;  ///< per-rank published pointer
-    std::vector<CommStats> stats;
-    std::vector<double> cpuSeconds = std::vector<double>(static_cast<std::size_t>(size), 0.0);
-};
-
 double threadCpuSeconds() noexcept;
 
 }  // namespace detail
 
 /// Communicator handle owned by one logical rank inside an SPMD region.
+/// Thin typed wrapper over a Transport plus uniform stats accounting.
 class Comm {
 public:
-    Comm(int rank, detail::SharedState& shared) : rank_(rank), shared_(&shared) {}
+    Comm(Transport& transport, const CostModel& cost, CommStats& stats)
+        : transport_(&transport), cost_(&cost), stats_(&stats) {}
 
-    [[nodiscard]] int rank() const noexcept { return rank_; }
-    [[nodiscard]] int size() const noexcept { return shared_->size; }
-    [[nodiscard]] bool isRoot() const noexcept { return rank_ == 0; }
-    [[nodiscard]] const CostModel& costModel() const noexcept { return shared_->cost; }
+    [[nodiscard]] int rank() const noexcept { return transport_->rank(); }
+    [[nodiscard]] int size() const noexcept { return transport_->size(); }
+    [[nodiscard]] bool isRoot() const noexcept { return rank() == 0; }
+    [[nodiscard]] const CostModel& costModel() const noexcept { return *cost_; }
 
-    void barrier() { shared_->barrier.arriveAndWait(); }
+    /// The byte engine underneath — entry points use crossProcess() to
+    /// decide whether root-assembled results must be replicated, and raw
+    /// transport calls to move data WITHOUT touching the stats (so
+    /// bookkeeping traffic never skews backend-comparable reports).
+    [[nodiscard]] Transport& transport() const noexcept { return *transport_; }
+    [[nodiscard]] bool crossProcess() const noexcept { return transport_->crossProcess(); }
+
+    void barrier() { transport_->barrier(); }
 
     /// Element-wise sum-allreduce of a vector, in place (MPI_Allreduce SUM).
     template <typename T>
-    void allreduceSum(std::span<T> inout) {
-        allreduceImpl(inout, [](T& a, const T& b) { a += b; });
-    }
+    void allreduceSum(std::span<T> inout) { allreduceImpl(inout, ReduceOp::Sum); }
 
     /// Element-wise min / max allreduce, in place.
     template <typename T>
-    void allreduceMin(std::span<T> inout) {
-        allreduceImpl(inout, [](T& a, const T& b) { if (b < a) a = b; });
-    }
+    void allreduceMin(std::span<T> inout) { allreduceImpl(inout, ReduceOp::Min); }
     template <typename T>
-    void allreduceMax(std::span<T> inout) {
-        allreduceImpl(inout, [](T& a, const T& b) { if (a < b) a = b; });
-    }
+    void allreduceMax(std::span<T> inout) { allreduceImpl(inout, ReduceOp::Max); }
 
     /// Scalar conveniences.
     template <typename T>
@@ -179,17 +141,12 @@ public:
     /// buffers (MPI_Bcast).
     template <typename T>
     void broadcast(std::span<T> data, int root = 0) {
+        static_assert(std::is_trivially_copyable_v<T>);
         if (size() == 1) return;
-        publish(data.data());
-        barrier();
-        if (rank_ != root) {
-            const T* src = static_cast<const T*>(shared_->slots[static_cast<std::size_t>(root)]);
-            std::copy(src, src + data.size(), data.begin());
-        }
-        barrier();
         const std::size_t bytes = data.size() * sizeof(T);
-        account(rank_ == root ? bytes : 0, rank_ == root ? 0 : bytes,
-                shared_->cost.broadcast(size(), bytes));
+        transport_->broadcast(data.data(), bytes, root);
+        account(rank() == root ? bytes : 0, rank() == root ? 0 : bytes,
+                cost_->broadcast(size(), bytes));
     }
 
     /// Gather one value from each rank; every rank receives the full vector
@@ -204,28 +161,17 @@ public:
     /// order (MPI_Allgatherv).
     template <typename T>
     [[nodiscard]] std::vector<T> allgatherv(std::span<const T> mine) {
+        static_assert(std::is_trivially_copyable_v<T>);
         if (size() == 1) return std::vector<T>(mine.begin(), mine.end());
-        struct Contribution {
-            const T* data;
-            std::size_t count;
-        } contrib{mine.data(), mine.size()};
-        publish(&contrib);
-        barrier();
-        std::vector<T> out;
-        std::size_t total = 0;
-        for (int r = 0; r < size(); ++r) {
-            const auto* c = static_cast<const Contribution*>(shared_->slots[static_cast<std::size_t>(r)]);
-            total += c->count;
-        }
-        out.reserve(total);
-        for (int r = 0; r < size(); ++r) {
-            const auto* c = static_cast<const Contribution*>(shared_->slots[static_cast<std::size_t>(r)]);
-            out.insert(out.end(), c->data, c->data + c->count);
-        }
-        barrier();
-        const std::size_t totalBytes = total * sizeof(T);
-        account(mine.size() * sizeof(T), totalBytes - mine.size() * sizeof(T),
-                shared_->cost.allgather(size(), totalBytes));
+        const std::size_t mineBytes = mine.size() * sizeof(T);
+        const std::vector<std::byte> raw =
+            transport_->allgatherv(ConstBuf{mine.data(), mineBytes});
+        GEO_CHECK(raw.size() % sizeof(T) == 0,
+                  "allgatherv returned a partial element");
+        std::vector<T> out(raw.size() / sizeof(T));
+        if (!raw.empty()) std::memcpy(out.data(), raw.data(), raw.size());
+        account(mineBytes, raw.size() - mineBytes,
+                cost_->allgather(size(), raw.size()));
         return out;
     }
 
@@ -234,42 +180,38 @@ public:
     /// one (MPI_Alltoallv).
     template <typename T>
     [[nodiscard]] std::vector<T> alltoallv(const std::vector<std::vector<T>>& sendTo) {
+        static_assert(std::is_trivially_copyable_v<T>);
         GEO_REQUIRE(static_cast<int>(sendTo.size()) == size(),
                     "alltoallv needs one bucket per rank");
         if (size() == 1) return sendTo[0];
-        publish(&sendTo);
-        barrier();
-        std::vector<T> out;
-        std::size_t recvCount = 0;
-        for (int r = 0; r < size(); ++r) {
-            const auto* buckets = static_cast<const std::vector<std::vector<T>>*>(
-                shared_->slots[static_cast<std::size_t>(r)]);
-            recvCount += (*buckets)[static_cast<std::size_t>(rank_)].size();
-        }
-        out.reserve(recvCount);
-        for (int r = 0; r < size(); ++r) {
-            const auto* buckets = static_cast<const std::vector<std::vector<T>>*>(
-                shared_->slots[static_cast<std::size_t>(r)]);
-            const auto& msg = (*buckets)[static_cast<std::size_t>(rank_)];
-            out.insert(out.end(), msg.begin(), msg.end());
-        }
-        barrier();
+        std::vector<ConstBuf> bufs(sendTo.size());
+        for (std::size_t r = 0; r < sendTo.size(); ++r)
+            bufs[r] = ConstBuf{sendTo[r].data(), sendTo[r].size() * sizeof(T)};
+        const std::vector<std::byte> raw = transport_->alltoallv(bufs);
+        GEO_CHECK(raw.size() % sizeof(T) == 0,
+                  "alltoallv returned a partial element");
+        std::vector<T> out(raw.size() / sizeof(T));
+        if (!raw.empty()) std::memcpy(out.data(), raw.data(), raw.size());
         std::size_t sent = 0;
         for (int r = 0; r < size(); ++r)
-            if (r != rank_) sent += sendTo[static_cast<std::size_t>(r)].size() * sizeof(T);
-        const std::size_t selfBytes = sendTo[static_cast<std::size_t>(rank_)].size() * sizeof(T);
-        const std::size_t received = recvCount * sizeof(T) - selfBytes;
-        account(sent, received, shared_->cost.alltoallv(size(), sent, received));
+            if (r != rank()) sent += sendTo[static_cast<std::size_t>(r)].size() * sizeof(T);
+        const std::size_t selfBytes = sendTo[static_cast<std::size_t>(rank())].size() * sizeof(T);
+        const std::size_t received = raw.size() - selfBytes;
+        account(sent, received, cost_->alltoallv(size(), sent, received));
         return out;
     }
 
     /// Exclusive prefix sum over ranks (MPI_Exscan); rank 0 receives 0.
+    /// Accounted as the one-element allgather it is implemented with, so
+    /// stats match the pre-transport runtime exactly.
     template <typename T>
     [[nodiscard]] T exscanSum(const T& mine) {
-        const auto all = allgather(mine);
-        T acc{};
-        for (int r = 0; r < rank_; ++r) acc += all[static_cast<std::size_t>(r)];
-        return acc;
+        if (size() == 1) return T{};
+        T v = mine;
+        transport_->exscanSum(&v, DTypeOf<T>::value);
+        const std::size_t total = static_cast<std::size_t>(size()) * sizeof(T);
+        account(sizeof(T), total - sizeof(T), cost_->allgather(size(), total));
+        return v;
     }
 
     /// Record non-collective communication performed through shared memory
@@ -277,65 +219,55 @@ public:
     void accountNeighborExchange(int neighbors, std::size_t sentBytes,
                                  std::size_t recvBytes) {
         account(sentBytes, recvBytes,
-                shared_->cost.neighborExchange(size(), neighbors, sentBytes + recvBytes));
+                cost_->neighborExchange(size(), neighbors, sentBytes + recvBytes));
     }
 
-    [[nodiscard]] const CommStats& stats() const noexcept {
-        return shared_->stats[static_cast<std::size_t>(rank_)];
-    }
-    void resetStats() noexcept {
-        shared_->stats[static_cast<std::size_t>(rank_)] = CommStats{};
-    }
+    [[nodiscard]] const CommStats& stats() const noexcept { return *stats_; }
+    void resetStats() noexcept { *stats_ = CommStats{}; }
 
-    /// On-CPU time consumed by this rank's thread so far (excludes time
-    /// blocked in barriers) — the simulator's stand-in for per-rank compute
-    /// wall time on a dedicated core.
+    /// On-CPU time consumed by this rank so far (excludes time blocked in
+    /// barriers) — the stand-in for per-rank compute wall time on a
+    /// dedicated core. Per-thread in the simulator, per-process over
+    /// sockets; identical meaning either way.
     [[nodiscard]] double cpuSeconds() const noexcept { return detail::threadCpuSeconds(); }
 
 private:
-    template <typename T, typename Op>
-    void allreduceImpl(std::span<T> inout, Op op) {
+    template <typename T>
+    void allreduceImpl(std::span<T> inout, ReduceOp op) {
+        static_assert(std::is_trivially_copyable_v<T>);
         if (size() == 1) return;
-        // Publish a copy so in-place accumulation cannot race with readers.
-        std::vector<T> mine(inout.begin(), inout.end());
-        publish(mine.data());
-        barrier();
-        // Fold strictly in rank order on EVERY rank: replicated algorithm
-        // state (k-means centers, influence values) must stay bit-identical
-        // across ranks, which a rank-dependent summation order would break.
-        const T* first = static_cast<const T*>(shared_->slots[0]);
-        std::copy(first, first + inout.size(), inout.begin());
-        for (int r = 1; r < size(); ++r) {
-            const T* other = static_cast<const T*>(shared_->slots[static_cast<std::size_t>(r)]);
-            for (std::size_t i = 0; i < inout.size(); ++i) op(inout[i], other[i]);
-        }
-        barrier();
+        transport_->allreduce(inout.data(), inout.size(), DTypeOf<T>::value, op);
         const std::size_t bytes = inout.size() * sizeof(T);
-        account(bytes, bytes, shared_->cost.allreduce(size(), bytes));
-    }
-
-    void publish(const void* ptr) noexcept {
-        shared_->slots[static_cast<std::size_t>(rank_)] = ptr;
+        account(bytes, bytes, cost_->allreduce(size(), bytes));
     }
 
     void account(std::size_t sent, std::size_t received, double modeledSeconds) noexcept {
-        auto& s = shared_->stats[static_cast<std::size_t>(rank_)];
-        s.bytesSent += sent;
-        s.bytesReceived += received;
-        s.collectives += 1;
-        s.modeledCommSeconds += modeledSeconds;
+        stats_->bytesSent += sent;
+        stats_->bytesReceived += received;
+        stats_->collectives += 1;
+        stats_->modeledCommSeconds += modeledSeconds;
     }
 
-    int rank_;
-    detail::SharedState* shared_;
+    Transport* transport_;
+    const CostModel* cost_;
+    CommStats* stats_;
 };
 
-/// Owns an SPMD execution: spawns one thread per logical rank and runs the
-/// given body with a rank-local Comm. Usable repeatedly; each run() returns
-/// aggregated statistics.
+/// Owns an SPMD execution: resolves a transport backend and runs the given
+/// body once per logical rank with a rank-local Comm. Usable repeatedly;
+/// each run() returns aggregated statistics.
+///
+/// Backend resolution per run: `kind` Auto defers to GEO_TRANSPORT (unset →
+/// simulator). Socket/Tcp claim the process-wide transport installed by
+/// geo_launch — available, size-matched and not already leased by an
+/// enclosing run — and execute the body ONCE on this process's rank;
+/// otherwise the run silently falls back to the thread simulator, which
+/// keeps single-rank helpers, hier's nested sub-partitions and plain test
+/// binaries working unchanged inside or outside a worker.
 class Machine {
 public:
-    explicit Machine(int ranks, CostModel model = {});
+    explicit Machine(int ranks, CostModel model = {},
+                     TransportKind kind = TransportKind::Auto);
 
     /// Run the SPMD body on all ranks; rethrows the first rank exception.
     RunStats run(const std::function<void(Comm&)>& body);
@@ -345,10 +277,11 @@ public:
 private:
     int ranks_;
     CostModel model_;
+    TransportKind kind_;
 };
 
 /// Convenience: single SPMD run.
 RunStats runSpmd(int ranks, const std::function<void(Comm&)>& body,
-                 CostModel model = {});
+                 CostModel model = {}, TransportKind kind = TransportKind::Auto);
 
 }  // namespace geo::par

@@ -1,0 +1,86 @@
+#include "par/transport/sim.hpp"
+
+#include <cstring>
+
+#include "support/assert.hpp"
+
+namespace geo::par {
+
+void SimTransport::allreduce(void* inout, std::size_t count, DType type,
+                             ReduceOp op) {
+    const int p = size();
+    if (p == 1) return;
+    const std::size_t bytes = count * dtypeSize(type);
+
+    // Publish a private copy so the fold below can overwrite `inout`
+    // without racing other ranks still reading our contribution.
+    std::vector<std::byte> copy(bytes);
+    std::memcpy(copy.data(), inout, bytes);
+    publish(copy.data());
+    barrier();
+
+    std::memcpy(inout, slot(0), bytes);
+    for (int r = 1; r < p; ++r) reduceInPlace(type, op, inout, slot(r), count);
+    barrier();
+}
+
+void SimTransport::broadcast(void* data, std::size_t bytes, int root) {
+    const int p = size();
+    if (p == 1) return;
+    GEO_REQUIRE(root >= 0 && root < p, "broadcast root out of range");
+    publish(data);
+    barrier();
+    if (rank_ != root && bytes > 0) std::memcpy(data, slot(root), bytes);
+    barrier();
+}
+
+std::vector<std::byte> SimTransport::allgatherv(ConstBuf mine) {
+    const int p = size();
+    if (p == 1) {
+        std::vector<std::byte> out(mine.bytes);
+        if (mine.bytes > 0) std::memcpy(out.data(), mine.data, mine.bytes);
+        return out;
+    }
+    publish(&mine);
+    barrier();
+
+    std::size_t total = 0;
+    for (int r = 0; r < p; ++r)
+        total += static_cast<const ConstBuf*>(slot(r))->bytes;
+
+    std::vector<std::byte> out;
+    out.reserve(total);
+    for (int r = 0; r < p; ++r) {
+        const auto* buf = static_cast<const ConstBuf*>(slot(r));
+        const auto* src = static_cast<const std::byte*>(buf->data);
+        out.insert(out.end(), src, src + buf->bytes);
+    }
+    barrier();
+    return out;
+}
+
+std::vector<std::byte> SimTransport::alltoallv(std::span<const ConstBuf> sendTo) {
+    const int p = size();
+    GEO_REQUIRE(static_cast<int>(sendTo.size()) == p,
+                "alltoallv needs one send buffer per rank");
+    if (p == 1) {
+        std::vector<std::byte> out(sendTo[0].bytes);
+        if (sendTo[0].bytes > 0)
+            std::memcpy(out.data(), sendTo[0].data, sendTo[0].bytes);
+        return out;
+    }
+    publish(sendTo.data());
+    barrier();
+
+    std::vector<std::byte> out;
+    for (int r = 0; r < p; ++r) {
+        const auto* bufs = static_cast<const ConstBuf*>(slot(r));
+        const ConstBuf& forMe = bufs[rank_];
+        const auto* src = static_cast<const std::byte*>(forMe.data);
+        out.insert(out.end(), src, src + forMe.bytes);
+    }
+    barrier();
+    return out;
+}
+
+}  // namespace geo::par

@@ -1,0 +1,130 @@
+#include "par/transport/transport.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "support/assert.hpp"
+
+namespace geo::par {
+
+TransportKind parseTransportKind(std::string_view name) {
+    if (name == "sim") return TransportKind::Sim;
+    if (name == "socket") return TransportKind::Socket;
+    if (name == "tcp") return TransportKind::Tcp;
+    GEO_REQUIRE(false, "unknown transport '" + std::string(name) +
+                           "' (use sim, socket, or tcp)");
+}
+
+const char* transportKindName(TransportKind kind) noexcept {
+    switch (kind) {
+        case TransportKind::Auto: return "auto";
+        case TransportKind::Sim: return "sim";
+        case TransportKind::Socket: return "socket";
+        case TransportKind::Tcp: return "tcp";
+    }
+    return "?";
+}
+
+TransportKind envTransportKind() {
+    const char* env = std::getenv("GEO_TRANSPORT");
+    if (!env || *env == '\0') return TransportKind::Sim;
+    const TransportKind kind = parseTransportKind(env);
+    return kind == TransportKind::Auto ? TransportKind::Sim : kind;
+}
+
+int defaultRanks() noexcept {
+    const char* env = std::getenv("GEO_RANKS");
+    const int parsed = env ? std::atoi(env) : 0;
+    return parsed >= 1 ? parsed : 1;
+}
+
+std::size_t dtypeSize(DType type) noexcept {
+    switch (type) {
+        case DType::U8: return 1;
+        case DType::I32:
+        case DType::U32:
+        case DType::F32: return 4;
+        case DType::I64:
+        case DType::U64:
+        case DType::F64: return 8;
+    }
+    return 0;
+}
+
+namespace {
+
+template <typename T>
+void reduceTyped(ReduceOp op, void* accRaw, const void* otherRaw, std::size_t count) {
+    auto* acc = static_cast<T*>(accRaw);
+    const auto* other = static_cast<const T*>(otherRaw);
+    switch (op) {
+        case ReduceOp::Sum:
+            for (std::size_t i = 0; i < count; ++i) acc[i] += other[i];
+            break;
+        case ReduceOp::Min:
+            for (std::size_t i = 0; i < count; ++i)
+                if (other[i] < acc[i]) acc[i] = other[i];
+            break;
+        case ReduceOp::Max:
+            for (std::size_t i = 0; i < count; ++i)
+                if (acc[i] < other[i]) acc[i] = other[i];
+            break;
+    }
+}
+
+}  // namespace
+
+void reduceInPlace(DType type, ReduceOp op, void* acc, const void* other,
+                   std::size_t count) {
+    switch (type) {
+        case DType::U8: return reduceTyped<std::uint8_t>(op, acc, other, count);
+        case DType::I32: return reduceTyped<std::int32_t>(op, acc, other, count);
+        case DType::U32: return reduceTyped<std::uint32_t>(op, acc, other, count);
+        case DType::I64: return reduceTyped<std::int64_t>(op, acc, other, count);
+        case DType::U64: return reduceTyped<std::uint64_t>(op, acc, other, count);
+        case DType::F32: return reduceTyped<float>(op, acc, other, count);
+        case DType::F64: return reduceTyped<double>(op, acc, other, count);
+    }
+}
+
+namespace {
+
+Transport* g_processTransport = nullptr;
+bool g_processTransportLeased = false;
+
+}  // namespace
+
+void setProcessTransport(Transport* transport) noexcept {
+    g_processTransport = transport;
+    g_processTransportLeased = false;
+}
+
+Transport* processTransport() noexcept { return g_processTransport; }
+
+Transport* acquireProcessTransport(int ranks) noexcept {
+    if (!g_processTransport || g_processTransportLeased ||
+        g_processTransport->size() != ranks)
+        return nullptr;
+    g_processTransportLeased = true;
+    return g_processTransport;
+}
+
+void releaseProcessTransport() noexcept { g_processTransportLeased = false; }
+
+void Transport::exscanSum(void* inout, DType type) {
+    const std::size_t bytes = dtypeSize(type);
+    if (size() == 1) {
+        std::memset(inout, 0, bytes);  // arithmetic zero for every DType
+        return;
+    }
+    const std::vector<std::byte> all = allgatherv(ConstBuf{inout, bytes});
+    GEO_CHECK(all.size() == bytes * static_cast<std::size_t>(size()),
+              "exscan gather size mismatch");
+    std::memset(inout, 0, bytes);
+    for (int r = 0; r < rank(); ++r)
+        reduceInPlace(type, ReduceOp::Sum, inout,
+                      all.data() + static_cast<std::size_t>(r) * bytes, 1);
+}
+
+}  // namespace geo::par

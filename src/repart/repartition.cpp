@@ -147,6 +147,11 @@ void warmBody(par::Comm& comm, std::span<const Point<D>> points,
         result.phaseSeconds["update"] = subPhaseMax[1];
         result.modeledSeconds = pipelineMax;
     }
+    // Cross-process runs have no shared result object: hand every rank the
+    // root's assembled copy (no-op on the simulator). The carried-over
+    // RepartState below is rebuilt from these replicated fields, so every
+    // worker process enters the next step with identical warm state.
+    core::detail::replicateResult(comm, result, resultMutex);
 }
 
 }  // namespace
@@ -181,7 +186,7 @@ RepartResult<D> repartitionGeographer(std::span<const Point<D>> points,
 
     if (warm) {
         std::mutex resultMutex;
-        par::Machine machine(ranks, model);
+        par::Machine machine(ranks, model, settings.resolvedTransport());
         out.result.runStats = machine.run([&](par::Comm& comm) {
             warmBody<D>(comm, points, weights, settings, state, out.result, resultMutex);
         });

@@ -1,11 +1,13 @@
 #include "serve/snapshot.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <limits>
 
 #include "par/comm.hpp"
 #include "support/assert.hpp"
+#include "support/binio.hpp"
 
 #if defined(__SSE2__)
 #define GEO_SERVE_SSE2 1
@@ -36,27 +38,11 @@ void writeVec(std::ostream& out, const std::vector<T>& v) {
                   static_cast<std::streamsize>(v.size() * sizeof(T)));
 }
 
-template <typename T>
-T readRaw(std::istream& in) {
-    T value{};
-    in.read(reinterpret_cast<char*>(&value), sizeof(T));
-    GEO_REQUIRE(in.good(), "snapshot stream truncated");
-    return value;
-}
-
-template <typename T>
-std::vector<T> readVec(std::istream& in, std::size_t count) {
-    // Callers validate `count` against the snapshot's level structure; this
-    // bound only guards the size_t multiplication below.
-    GEO_REQUIRE(count <= (std::size_t{1} << 34), "snapshot array too large");
-    std::vector<T> v(count);
-    if (count > 0) {
-        in.read(reinterpret_cast<char*>(v.data()),
-                static_cast<std::streamsize>(count * sizeof(T)));
-        GEO_REQUIRE(in.good(), "snapshot stream truncated");
-    }
-    return v;
-}
+/// Hard ceiling on a snapshot file: 4 GiB holds > 10^8 blocks of a 3D
+/// flat diagram, far past the serving tier's reach. readAll enforces it
+/// while slurping, so an oversized (or unbounded, e.g. piped) stream fails
+/// at the cap instead of after exhausting memory.
+constexpr std::size_t kMaxSnapshotBytes = std::size_t{1} << 32;
 
 }  // namespace
 
@@ -367,44 +353,56 @@ void PartitionSnapshot<D>::save(const std::string& path) const {
 template <int D>
 PartitionSnapshot<D> PartitionSnapshot<D>::load(std::istream& in,
                                                 const SnapshotOptions& options) {
-    char magic[sizeof(kMagic)] = {};
-    in.read(magic, sizeof(magic));
-    GEO_REQUIRE(in.good() && std::equal(magic, magic + sizeof(magic), kMagic),
+    // Slurp-then-decode through the shared binio primitives (the same ones
+    // the socket transport's wire codec uses): every read — fixed field or
+    // counted array — is bounds-checked against the bytes actually present
+    // BEFORE any allocation, so a truncated or hostile stream fails with a
+    // clean error instead of a giant vector construction; expectEnd at the
+    // bottom rejects oversized input carrying trailing bytes.
+    const std::vector<std::byte> buf = binio::readAll(in, kMaxSnapshotBytes);
+    binio::Reader r(buf);
+
+    const std::vector<std::byte> magic = r.remaining() >= sizeof(kMagic)
+                                             ? r.bytes(sizeof(kMagic))
+                                             : std::vector<std::byte>{};
+    GEO_REQUIRE(magic.size() == sizeof(kMagic) &&
+                    std::memcmp(magic.data(), kMagic, sizeof(kMagic)) == 0,
                 "not a partition snapshot (bad magic)");
-    GEO_REQUIRE(readRaw<std::uint32_t>(in) == static_cast<std::uint32_t>(D),
+    GEO_REQUIRE(r.u32() == static_cast<std::uint32_t>(D),
                 "snapshot dimension does not match");
     PartitionSnapshot snap;
-    snap.version_ = readRaw<std::uint64_t>(in);
-    const auto k = readRaw<std::int32_t>(in);
-    const auto depth = readRaw<std::int32_t>(in);
+    snap.version_ = r.u64();
+    const auto k = r.i32();
+    const auto depth = r.i32();
     GEO_REQUIRE(k >= 1 && k <= (std::int32_t{1} << 30) && depth >= 1 && depth <= 64,
                 "corrupt snapshot header");
-    // Every size field is validated against the level structure BEFORE any
-    // allocation sized by it: a corrupt (or hostile) stream must fail with
-    // the clean "corrupt snapshot" error, not by attempting a giant vector.
+    // Structural validation on top of the byte bounds: entry counts must
+    // also match the level product, so a stream that is long enough but
+    // structurally inconsistent still fails loudly.
     std::int64_t nodes = 1;
     for (std::int32_t l = 0; l < depth; ++l) {
         Level level;
-        level.branching = readRaw<std::int32_t>(in);
+        level.branching = r.i32();
         GEO_REQUIRE(level.branching >= 1 &&
                         nodes * level.branching <= (std::int64_t{1} << 30),
                     "corrupt snapshot (bad level branching)");
-        const auto entries = readRaw<std::uint64_t>(in);
+        const std::uint64_t entries = r.u64();
         GEO_REQUIRE(entries ==
                         static_cast<std::uint64_t>(nodes * level.branching),
                     "corrupt snapshot (level entry count mismatch)");
         for (int d = 0; d < D; ++d)
             level.cx[static_cast<std::size_t>(d)] =
-                readVec<double>(in, static_cast<std::size_t>(entries));
-        level.influence = readVec<double>(in, static_cast<std::size_t>(entries));
+                r.vec<double>(static_cast<std::size_t>(entries));
+        level.influence = r.vec<double>(static_cast<std::size_t>(entries));
         snap.levels_.push_back(std::move(level));
         nodes *= level.branching;
     }
     GEO_REQUIRE(nodes == k, "corrupt snapshot (level product != block count)");
-    if (readRaw<std::uint8_t>(in) != 0)
-        snap.blockLeaf_ = readVec<std::int32_t>(in, static_cast<std::size_t>(k));
-    if (readRaw<std::uint8_t>(in) != 0)
-        snap.blockRank_ = readVec<std::int32_t>(in, static_cast<std::size_t>(k));
+    if (r.u8() != 0)
+        snap.blockLeaf_ = r.vec<std::int32_t>(static_cast<std::size_t>(k));
+    if (r.u8() != 0)
+        snap.blockRank_ = r.vec<std::int32_t>(static_cast<std::size_t>(k));
+    r.expectEnd("partition snapshot");
     snap.finalize(options);
     GEO_CHECK(snap.k_ == k, "snapshot block count diverged from its header");
     return snap;

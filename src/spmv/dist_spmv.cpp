@@ -50,7 +50,10 @@ DistSpmvTiming runSpmvDistributed(const graph::CsrGraph& g, const graph::Partiti
     std::vector<double> modeledComm(static_cast<std::size_t>(ranks), 0.0);
     std::vector<std::int64_t> ghosts(static_cast<std::size_t>(ranks), 0);
 
-    par::Machine machine(ranks, model);
+    // Pinned to the simulator: the body assembles per-rank timing vectors
+    // through shared memory (perRankCpu, checksums, ...), which a
+    // cross-process transport cannot provide.
+    par::Machine machine(ranks, model, par::TransportKind::Sim);
     machine.run([&](par::Comm& comm) {
         const int r = comm.rank();
         const int p = comm.size();

@@ -1,0 +1,167 @@
+// Bounds-checked binary encode/decode primitives.
+//
+// One set of helpers backs every binary surface of the system: the serving
+// snapshot files (src/serve/snapshot.cpp) and the transport wire codec
+// (src/par/transport/socket.cpp). Both face the same failure modes — a
+// truncated stream, a hostile length field sized to force a giant
+// allocation, trailing garbage after a well-formed prefix — so the
+// validation lives here once:
+//
+//   * Reader never reads past the buffer: every fixed-size read and every
+//     count-prefixed array read is checked against the bytes actually
+//     remaining BEFORE any allocation sized by it. A corrupt count fails
+//     with a clean error instead of an std::bad_alloc (or worse).
+//   * vec<T>(count) additionally guards the count * sizeof(T) product, so
+//     an overflowing length field cannot wrap into a small allocation.
+//   * Decoders assert atEnd() when a message must be consumed exactly —
+//     oversized input (valid prefix + trailing bytes) is an error, not
+//     silently ignored data.
+//
+// Values are encoded in native byte order: snapshots are host-local files
+// and the socket transport only spans one host (DESIGN.md §2), so a
+// byte-swapping layer would be untestable dead code today. The format
+// carries magic tags; a file moved across endianness fails the magic check.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace geo::binio {
+
+/// Bounds-checked sequential decoder over an in-memory buffer. Throws
+/// std::invalid_argument (via GEO_REQUIRE) on any attempt to read past the
+/// end — the caller-facing signal for "truncated or corrupt input".
+class Reader {
+public:
+    explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+    [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+    [[nodiscard]] bool atEnd() const noexcept { return pos_ == data_.size(); }
+
+    /// Remaining bytes as a view (does not advance).
+    [[nodiscard]] std::span<const std::byte> rest() const noexcept {
+        return data_.subspan(pos_);
+    }
+
+    template <typename T>
+    [[nodiscard]] T raw() {
+        static_assert(std::is_trivially_copyable_v<T>);
+        GEO_REQUIRE(remaining() >= sizeof(T), "binary input truncated");
+        T value;
+        std::memcpy(&value, data_.data() + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return value;
+    }
+
+    [[nodiscard]] std::uint8_t u8() { return raw<std::uint8_t>(); }
+    [[nodiscard]] std::uint32_t u32() { return raw<std::uint32_t>(); }
+    [[nodiscard]] std::uint64_t u64() { return raw<std::uint64_t>(); }
+    [[nodiscard]] std::int32_t i32() { return raw<std::int32_t>(); }
+    [[nodiscard]] std::int64_t i64() { return raw<std::int64_t>(); }
+    [[nodiscard]] double f64() { return raw<double>(); }
+
+    /// `count` elements of T. The count is validated against the bytes
+    /// actually remaining BEFORE the vector is allocated, and the byte size
+    /// is computed overflow-safely, so a hostile count cannot trigger a
+    /// giant or wrapped allocation.
+    template <typename T>
+    [[nodiscard]] std::vector<T> vec(std::size_t count) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        GEO_REQUIRE(count <= remaining() / sizeof(T),
+                    "binary input truncated (array exceeds remaining bytes)");
+        std::vector<T> v(count);
+        if (count > 0) {
+            std::memcpy(v.data(), data_.data() + pos_, count * sizeof(T));
+            pos_ += count * sizeof(T);
+        }
+        return v;
+    }
+
+    /// Raw byte run of explicit length.
+    [[nodiscard]] std::vector<std::byte> bytes(std::size_t count) {
+        return vec<std::byte>(count);
+    }
+
+    /// Skip `count` bytes (still bounds-checked).
+    void skip(std::size_t count) {
+        GEO_REQUIRE(count <= remaining(), "binary input truncated");
+        pos_ += count;
+    }
+
+    /// Assert the buffer is fully consumed — rejects oversized input that
+    /// carries trailing bytes after a well-formed message.
+    void expectEnd(const char* what) const {
+        GEO_REQUIRE(atEnd(), std::string(what) + " carries trailing bytes");
+    }
+
+private:
+    std::span<const std::byte> data_;
+    std::size_t pos_ = 0;
+};
+
+/// Append-only encoder mirroring Reader. take() moves the buffer out.
+class Writer {
+public:
+    template <typename T>
+    void raw(const T& value) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const auto* p = reinterpret_cast<const std::byte*>(&value);
+        out_.insert(out_.end(), p, p + sizeof(T));
+    }
+
+    void u8(std::uint8_t v) { raw(v); }
+    void u32(std::uint32_t v) { raw(v); }
+    void u64(std::uint64_t v) { raw(v); }
+    void i32(std::int32_t v) { raw(v); }
+    void i64(std::int64_t v) { raw(v); }
+    void f64(double v) { raw(v); }
+
+    void bytes(const void* data, std::size_t count) {
+        const auto* p = static_cast<const std::byte*>(data);
+        out_.insert(out_.end(), p, p + count);
+    }
+    void bytes(std::span<const std::byte> data) { bytes(data.data(), data.size()); }
+
+    /// Element payload of a vector (no length prefix — callers encode the
+    /// count explicitly so the decode side can validate it first).
+    template <typename T>
+    void vec(const std::vector<T>& v) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        if (!v.empty()) bytes(v.data(), v.size() * sizeof(T));
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return out_.size(); }
+    [[nodiscard]] std::vector<std::byte> take() && { return std::move(out_); }
+    [[nodiscard]] const std::vector<std::byte>& buffer() const noexcept { return out_; }
+
+private:
+    std::vector<std::byte> out_;
+};
+
+/// Slurp a stream into memory with an explicit size cap, reading in chunks
+/// so an oversized input fails at the cap instead of after exhausting
+/// memory. The cap is a REQUIRE: exceeding it reports "input too large"
+/// rather than feeding a decoder an absurd buffer.
+[[nodiscard]] inline std::vector<std::byte> readAll(std::istream& in,
+                                                    std::size_t maxBytes) {
+    std::vector<std::byte> buf;
+    std::byte chunk[1 << 16];
+    while (in.good()) {
+        in.read(reinterpret_cast<char*>(chunk), sizeof(chunk));
+        const auto got = static_cast<std::size_t>(in.gcount());
+        if (got == 0) break;
+        GEO_REQUIRE(buf.size() + got <= maxBytes, "binary input too large");
+        buf.insert(buf.end(), chunk, chunk + got);
+    }
+    GEO_REQUIRE(in.eof(), "binary input stream failed mid-read");
+    return buf;
+}
+
+}  // namespace geo::binio

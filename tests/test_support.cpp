@@ -142,6 +142,68 @@ TEST(Settings, ResolvedThreadsTreatsNonPositiveAsUnset) {
     EXPECT_EQ(s.resolvedThreads(), 7);  // threads < 1 defers to the alias
 }
 
+TEST(Settings, ResolvedRanksPrecedence) {
+    // Precedence: ranks > GEO_RANKS env > 1. Unlike GEO_THREADS the env leg
+    // is deliberately UNCACHED (geo_launch workers and this test mutate the
+    // variable at runtime), so every leg is exercisable in one process.
+    setenv("GEO_RANKS", "4", /*overwrite=*/1);
+    geo::core::Settings s;
+    EXPECT_EQ(s.resolvedRanks(), 4);  // unset field: the env default
+
+    s.ranks = 2;
+    EXPECT_EQ(s.resolvedRanks(), 2);  // field beats the env
+
+    s.ranks = 0;
+    unsetenv("GEO_RANKS");
+    EXPECT_EQ(s.resolvedRanks(), 1);  // both unset: built-in default
+
+    setenv("GEO_RANKS", "-3", 1);
+    EXPECT_EQ(s.resolvedRanks(), 1);  // non-positive env falls through
+    setenv("GEO_RANKS", "junk", 1);
+    EXPECT_EQ(s.resolvedRanks(), 1);  // unparseable env falls through
+    unsetenv("GEO_RANKS");
+
+    s.ranks = -2;
+    EXPECT_EQ(s.resolvedRanks(), 1);  // non-positive field falls through
+}
+
+TEST(Settings, ResolvedTransportPrecedence) {
+    using geo::par::TransportKind;
+    // Precedence: transport > GEO_TRANSPORT env > simulator. Also uncached.
+    unsetenv("GEO_TRANSPORT");
+    geo::core::Settings s;
+    EXPECT_EQ(s.resolvedTransport(), TransportKind::Sim);  // all unset
+
+    setenv("GEO_TRANSPORT", "tcp", /*overwrite=*/1);
+    EXPECT_EQ(s.resolvedTransport(), TransportKind::Tcp);  // env applies
+
+    s.transport = TransportKind::Socket;
+    EXPECT_EQ(s.resolvedTransport(), TransportKind::Socket);  // field beats env
+
+    s.transport = TransportKind::Auto;
+    setenv("GEO_TRANSPORT", "socket", 1);
+    EXPECT_EQ(s.resolvedTransport(), TransportKind::Socket);
+    setenv("GEO_TRANSPORT", "sim", 1);
+    EXPECT_EQ(s.resolvedTransport(), TransportKind::Sim);
+    setenv("GEO_TRANSPORT", "", 1);
+    EXPECT_EQ(s.resolvedTransport(), TransportKind::Sim);  // empty = unset
+
+    setenv("GEO_TRANSPORT", "carrier-pigeon", 1);
+    EXPECT_THROW((void)s.resolvedTransport(), std::invalid_argument);
+    unsetenv("GEO_TRANSPORT");
+}
+
+TEST(Settings, TransportKindNamesRoundTrip) {
+    using geo::par::TransportKind;
+    using geo::par::parseTransportKind;
+    using geo::par::transportKindName;
+    for (const TransportKind kind :
+         {TransportKind::Sim, TransportKind::Socket, TransportKind::Tcp})
+        EXPECT_EQ(parseTransportKind(transportKindName(kind)), kind);
+    EXPECT_THROW((void)parseTransportKind("auto"), std::invalid_argument);
+    EXPECT_THROW((void)parseTransportKind(""), std::invalid_argument);
+}
+
 TEST(Timer, MeasuresNonNegativeTime) {
     geo::Timer t;
     double sink = 0.0;

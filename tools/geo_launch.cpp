@@ -1,0 +1,172 @@
+// geo_launch — SPMD process launcher for the socket transport.
+//
+// Spawns N copies of a program, each as one rank of a socket-transport
+// mesh, and waits for all of them:
+//
+//     geo_launch -n 4 -- ./example_quickstart
+//     geo_launch -n 2 --transport tcp --port-base 24000 -- ./test_transport --worker=conformance
+//
+// Each worker gets GEO_RANK / GEO_RANKS / GEO_TRANSPORT plus the rendezvous
+// (GEO_SOCKET_DIR for Unix-domain sockets — a fresh temp directory by
+// default — or GEO_PORT_BASE for TCP). Workers run completely unchanged
+// SPMD entry points: the first Machine run inside each process joins the
+// mesh via par::ensureWorkerTransport.
+//
+// Exit status: 0 when every rank exits 0; otherwise the first failing
+// rank's status (128+signal for signal deaths). On the first failure the
+// remaining ranks are killed — a dead peer would leave them blocked in a
+// collective forever.
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s -n <ranks> [--transport socket|tcp] [--socket-dir DIR]\n"
+                 "       [--port-base PORT] -- <program> [args...]\n",
+                 argv0);
+}
+
+int parseInt(const char* s, const char* what) {
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (!end || *end != '\0' || v < 0) {
+        std::fprintf(stderr, "geo_launch: bad %s '%s'\n", what, s);
+        std::exit(2);
+    }
+    return static_cast<int>(v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    int ranks = 0;
+    bool tcp = false;
+    std::string socketDir;
+    int portBase = 0;
+    int cmdStart = -1;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--") {
+            cmdStart = i + 1;
+            break;
+        }
+        if (arg == "-n" || arg == "--ranks") {
+            if (++i >= argc) { usage(argv[0]); return 2; }
+            ranks = parseInt(argv[i], "rank count");
+        } else if (arg == "--transport") {
+            if (++i >= argc) { usage(argv[0]); return 2; }
+            const std::string kind = argv[i];
+            if (kind == "tcp") {
+                tcp = true;
+            } else if (kind == "socket" || kind == "unix") {
+                tcp = false;
+            } else {
+                std::fprintf(stderr, "geo_launch: unknown transport '%s'\n",
+                             kind.c_str());
+                return 2;
+            }
+        } else if (arg == "--socket-dir") {
+            if (++i >= argc) { usage(argv[0]); return 2; }
+            socketDir = argv[i];
+        } else if (arg == "--port-base") {
+            if (++i >= argc) { usage(argv[0]); return 2; }
+            portBase = parseInt(argv[i], "port base");
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (ranks < 1 || cmdStart < 0 || cmdStart >= argc) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    bool ownDir = false;
+    if (tcp) {
+        if (portBase <= 0) {
+            // Derive a per-launch port range from the pid so concurrent
+            // launches on one host don't collide; +ranks must stay < 65536.
+            portBase = 20000 + static_cast<int>(getpid()) % 30000;
+        }
+        if (portBase + ranks > 65535) {
+            std::fprintf(stderr, "geo_launch: port range overflows\n");
+            return 2;
+        }
+    } else if (socketDir.empty()) {
+        const char* tmp = std::getenv("TMPDIR");
+        std::string tmpl = std::string(tmp && *tmp ? tmp : "/tmp") + "/geo_launch.XXXXXX";
+        std::vector<char> buf(tmpl.begin(), tmpl.end());
+        buf.push_back('\0');
+        if (!mkdtemp(buf.data())) {
+            std::perror("geo_launch: mkdtemp");
+            return 1;
+        }
+        socketDir = buf.data();
+        ownDir = true;
+    }
+
+    std::vector<pid_t> pids(static_cast<std::size_t>(ranks), -1);
+    for (int r = 0; r < ranks; ++r) {
+        const pid_t pid = fork();
+        if (pid < 0) {
+            std::perror("geo_launch: fork");
+            for (int k = 0; k < r; ++k) kill(pids[static_cast<std::size_t>(k)], SIGKILL);
+            return 1;
+        }
+        if (pid == 0) {
+            setenv("GEO_RANK", std::to_string(r).c_str(), 1);
+            setenv("GEO_RANKS", std::to_string(ranks).c_str(), 1);
+            setenv("GEO_TRANSPORT", tcp ? "tcp" : "socket", 1);
+            if (tcp)
+                setenv("GEO_PORT_BASE", std::to_string(portBase).c_str(), 1);
+            else
+                setenv("GEO_SOCKET_DIR", socketDir.c_str(), 1);
+            execvp(argv[cmdStart], argv + cmdStart);
+            std::perror("geo_launch: exec");
+            _exit(127);
+        }
+        pids[static_cast<std::size_t>(r)] = pid;
+    }
+
+    int failStatus = 0;
+    int live = ranks;
+    while (live > 0) {
+        int status = 0;
+        const pid_t pid = wait(&status);
+        if (pid < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        --live;
+        int rc = 0;
+        if (WIFEXITED(status)) rc = WEXITSTATUS(status);
+        else if (WIFSIGNALED(status)) rc = 128 + WTERMSIG(status);
+        if (rc != 0 && failStatus == 0) {
+            failStatus = rc;
+            // One dead rank deadlocks the rest mid-collective: take the
+            // whole job down and report the original failure.
+            for (const pid_t p : pids)
+                if (p > 0 && p != pid) kill(p, SIGKILL);
+        }
+    }
+
+    if (ownDir) {
+        for (int r = 0; r < ranks; ++r)
+            unlink((socketDir + "/geo." + std::to_string(r) + ".sock").c_str());
+        rmdir(socketDir.c_str());
+    }
+    return failStatus;
+}
