@@ -16,6 +16,7 @@
 #include "graph/metrics.hpp"
 #include "par/transport/transport.hpp"
 #include "spmv/spmv.hpp"
+#include "support/mem.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
 
@@ -40,6 +41,13 @@ namespace geo::bench {
     return par::transportKindName(kind == par::TransportKind::Auto
                                       ? par::envTransportKind()
                                       : kind);
+}
+
+/// Emit the peak-RSS field every BENCH_*.json carries, so the bench
+/// trajectory tracks memory alongside time. Callers place it right after
+/// the opening lines of the object (note the trailing comma + newline).
+inline void writePeakRssField(std::ostream& out) {
+    out << "  \"peak_rss_bytes\": " << support::peakRssBytes() << ",\n";
 }
 
 /// Silences std::cout on non-root worker ranks for the lifetime of the
@@ -78,17 +86,20 @@ struct ToolRow {
 
 /// Run every registered tool on a mesh and collect the §2 metrics.
 /// `spmvIterations` = 0 skips the SpMV benchmark (faster sweeps).
+/// `ranks` only affects Geographer (the baselines run serially); pairing it
+/// with GEO_TRANSPORT=socket under geo_launch puts its SPMD phase on the
+/// real multi-process backend.
 template <int D>
 std::vector<ToolRow> runAllTools(const gen::Mesh<D>& mesh, std::int32_t k, double eps,
                                  std::uint64_t seed, int spmvIterations = 20,
-                                 bool computeDiameter = true) {
+                                 bool computeDiameter = true, int ranks = 1) {
     const auto& tools = [] {
         if constexpr (D == 2) return baseline::tools2();
         else return baseline::tools3();
     }();
     std::vector<ToolRow> rows;
     for (const auto& tool : tools) {
-        const auto res = tool.run(mesh.points, mesh.weights, k, eps, /*ranks=*/1, seed);
+        const auto res = tool.run(mesh.points, mesh.weights, k, eps, ranks, seed);
         const auto m =
             graph::evaluatePartition(mesh.graph, res.partition, k, mesh.weights,
                                      computeDiameter);

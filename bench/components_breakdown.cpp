@@ -10,6 +10,15 @@
 // `--json PATH` writes the rows as BENCH_pipeline.json for the CI bench
 // trajectory; optional first positional argument overrides the scaling
 // instance size (default 1M points — the acceptance configuration).
+//
+// Memory budgeting: `--mem-budget BYTES` (suffixes k/m/g accepted) caps the
+// point pipeline's tile storage via Settings::memoryBudgetBytes — the
+// chunked PointStore path, bitwise identical to the resident path.
+// `--assert-rss BYTES` makes the binary exit non-zero if the process peak
+// RSS ends above the cap (the CI bench-smoke guard). After the scaling rows
+// the final run's diagram is frozen into a PartitionSnapshot and every
+// input point routed back through the serving layer, so a budgeted run
+// covers the whole partition+serve pipeline under one RSS cap.
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -20,6 +29,8 @@
 #include "common.hpp"
 #include "core/geographer.hpp"
 #include "gen/delaunay2d.hpp"
+#include "serve/router.hpp"
+#include "serve/snapshot.hpp"
 
 namespace {
 
@@ -34,10 +45,15 @@ struct ScalingRow {
     double total = 0.0;    ///< pipeline + metrics wall time
     std::uint64_t keyedPoints = 0;
     std::uint64_t sortedRecords = 0;
+    std::uint64_t peakTileBytes = 0;  ///< engine point-store high-water mark
+    std::uint64_t residentBytes = 0;  ///< tile bytes live at the end
+    std::uint64_t spilledTiles = 0;   ///< tile refills beyond the first fill
 };
 
 void writeJson(const std::string& path, std::int64_t n, std::int32_t k,
-               geo::par::TransportKind transport, const std::vector<ScalingRow>& rows) {
+               geo::par::TransportKind transport, std::uint64_t memBudget,
+               double serveSeconds, std::int64_t servedPoints,
+               const std::vector<ScalingRow>& rows) {
     std::ofstream out(path);
     if (!out) {
         std::cerr << "cannot write " << path << "\n";
@@ -48,7 +64,11 @@ void writeJson(const std::string& path, std::int64_t n, std::int32_t k,
         << "  \"n\": " << n << ",\n  \"k\": " << k << ",\n  \"ranks\": 1,\n"
         << "  \"transport\": \"" << geo::bench::resolvedTransportName(transport)
         << "\",\n  \"processes\": " << geo::bench::workerProcesses() << ",\n"
-        << "  \"rows\": [\n";
+        << "  \"mem_budget_bytes\": " << memBudget << ",\n"
+        << "  \"serve_s\": " << serveSeconds << ",\n"
+        << "  \"served_points\": " << servedPoints << ",\n";
+    geo::bench::writePeakRssField(out);
+    out << "  \"rows\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const auto& r = rows[i];
         out << "    {\"threads\": " << r.threads << ", \"keying_s\": " << r.keying
@@ -56,7 +76,10 @@ void writeJson(const std::string& path, std::int64_t n, std::int32_t k,
             << ", \"update_s\": " << r.update << ", \"kmeans_s\": " << r.kmeans
             << ", \"metrics_s\": " << r.metrics << ", \"total_s\": " << r.total
             << ", \"keyedPoints\": " << r.keyedPoints
-            << ", \"sortedRecords\": " << r.sortedRecords << "}"
+            << ", \"sortedRecords\": " << r.sortedRecords
+            << ", \"peakTileBytes\": " << r.peakTileBytes
+            << ", \"residentBytes\": " << r.residentBytes
+            << ", \"spilledTiles\": " << r.spilledTiles << "}"
             << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
@@ -70,7 +93,11 @@ int main(int argc, char** argv) {
     std::int64_t scalingN = 1'000'000;
     std::string jsonPath;
     par::TransportKind transport = par::TransportKind::Auto;
-    const char* usage = " [scaling-n] [--transport sim|socket|tcp] [--json PATH]\n";
+    std::uint64_t memBudget = 0;
+    std::uint64_t assertRss = 0;
+    const char* usage =
+        " [scaling-n] [--transport sim|socket|tcp] [--mem-budget BYTES]"
+        " [--assert-rss BYTES] [--json PATH]\n";
     for (int a = 1; a < argc; ++a) {
         const std::string arg = argv[a];
         if (arg == "--json") {
@@ -85,6 +112,18 @@ int main(int argc, char** argv) {
                 return 1;
             }
             transport = par::parseTransportKind(argv[++a]);
+        } else if (arg == "--mem-budget" || arg == "--assert-rss") {
+            if (a + 1 >= argc) {
+                std::cerr << arg << " requires a byte count\nusage: " << argv[0] << usage;
+                return 1;
+            }
+            try {
+                (arg == "--mem-budget" ? memBudget : assertRss) =
+                    support::parseMemBytes(argv[++a]);
+            } catch (const std::exception& e) {
+                std::cerr << arg << ": " << e.what() << "\nusage: " << argv[0] << usage;
+                return 1;
+            }
         } else if (!arg.empty() && arg.find_first_not_of("0123456789") == std::string::npos) {
             scalingN = std::atoll(arg.c_str());
         } else {
@@ -113,6 +152,7 @@ int main(int argc, char** argv) {
     for (const int ranks : {1, 2, 4, 8, 16, 32}) {
         core::Settings settings;
         settings.transport = transport;
+        settings.memoryBudgetBytes = memBudget;
         const auto res = core::partitionGeographer<2>(mesh.points, {}, k, ranks, settings);
         const double h = res.phaseSeconds.at("hilbert");
         const double r = res.phaseSeconds.at("redistribute");
@@ -137,6 +177,7 @@ int main(int argc, char** argv) {
         for (const bool reference : {true, false}) {
             core::Settings settings;
             settings.transport = transport;
+            settings.memoryBudgetBytes = memBudget;
             settings.referenceAssignment = reference;
             const auto res =
                 core::partitionGeographer<2>(mesh.points, {}, k, ranks, settings);
@@ -161,11 +202,13 @@ int main(int argc, char** argv) {
               << ", k=" << k << ", ranks=1) ===\n";
     const auto big = scalingN == n ? mesh : gen::delaunay2d(scalingN, 9);
     std::vector<ScalingRow> rows;
+    core::GeographerResult lastRes;
     Table scalingTable({"threads", "keying[s]", "sort[s]", "assign[s]", "update[s]",
-                        "metrics[s]", "total[s]", "keyedPoints", "sortedRecords"});
+                        "metrics[s]", "total[s]", "peakTileMB", "spills"});
     for (const int threads : {1, 2, 4, 8}) {
         core::Settings settings;
         settings.transport = transport;
+        settings.memoryBudgetBytes = memBudget;
         settings.threads = threads;
         Timer whole;
         const auto res =
@@ -184,12 +227,18 @@ int main(int argc, char** argv) {
         row.total = whole.seconds();
         row.keyedPoints = res.counters.keyedPoints;
         row.sortedRecords = res.counters.sortedRecords;
+        row.peakTileBytes = res.counters.peakTileBytes;
+        row.residentBytes = res.counters.residentBytes;
+        row.spilledTiles = res.counters.spilledTiles;
         rows.push_back(row);
-        scalingTable.addRow({std::to_string(row.threads), Table::num(row.keying, 3),
-                             Table::num(row.sort, 3), Table::num(row.assign, 3),
-                             Table::num(row.update, 3), Table::num(row.metrics, 3),
-                             Table::num(row.total, 3), std::to_string(row.keyedPoints),
-                             std::to_string(row.sortedRecords)});
+        if (threads == 8) lastRes = res;
+        scalingTable.addRow(
+            {std::to_string(row.threads), Table::num(row.keying, 3),
+             Table::num(row.sort, 3), Table::num(row.assign, 3),
+             Table::num(row.update, 3), Table::num(row.metrics, 3),
+             Table::num(row.total, 3),
+             Table::num(static_cast<double>(row.peakTileBytes) / (1024.0 * 1024.0), 2),
+             std::to_string(row.spilledTiles)});
         (void)m;
     }
     scalingTable.print(std::cout);
@@ -204,7 +253,51 @@ int main(int argc, char** argv) {
               << "%\n(results bitwise identical across rows; targets: >= 2x and >= 30% "
                  "on >= 8 hardware threads)\n";
 
+    // Serve stage: freeze the final run's weighted-Voronoi diagram and route
+    // every input point back through the online serving layer — the snapshot
+    // must reproduce the producing partition exactly, and the routing pass
+    // shares the process RSS budget with the pipeline above.
+    std::cout << "\n=== serve (route all " << scalingN << " points) ===\n";
+    serve::Router<2> router(1);
+    router.publish(serve::PartitionSnapshot<2>::fromResult(lastRes, /*version=*/1));
+    std::vector<std::int32_t> routed(big.points.size(), -1);
+    Timer serveTimer;
+    constexpr std::int64_t kServeBatch = 16384;
+    for (std::int64_t lo = 0; lo < static_cast<std::int64_t>(big.points.size());
+         lo += kServeBatch) {
+        const auto len = std::min<std::int64_t>(kServeBatch,
+                                                static_cast<std::int64_t>(big.points.size()) - lo);
+        router.route(std::span<const Point2>(big.points.data() + lo, len),
+                     std::span<std::int32_t>(routed.data() + lo, len));
+    }
+    const double serveSeconds = serveTimer.seconds();
+    for (std::size_t i = 0; i < routed.size(); ++i) {
+        if (routed[i] != lastRes.partition[i]) {
+            std::cerr << "FAIL: serve route diverges from partition at point " << i << "\n";
+            return 1;
+        }
+    }
+    std::cout << "routed " << routed.size() << " points in " << Table::num(serveSeconds, 3)
+              << " s (" << Table::num(static_cast<double>(routed.size()) / serveSeconds / 1e6, 2)
+              << " Mqps), all blocks verified against the producing run\n";
+
+    const std::uint64_t peakRss = support::peakRssBytes();
+    std::cout << "\nmem budget: "
+              << (memBudget == 0 ? std::string("unlimited")
+                                 : std::to_string(memBudget) + " bytes")
+              << " | engine peak tile bytes: " << rows.back().peakTileBytes
+              << " | spilled tiles: " << rows.back().spilledTiles
+              << " | process peak RSS: "
+              << Table::num(static_cast<double>(peakRss) / (1024.0 * 1024.0), 1)
+              << " MB\n";
+
     if (!jsonPath.empty() && bench::isRootProcess())
-        writeJson(jsonPath, scalingN, k, transport, rows);
+        writeJson(jsonPath, scalingN, k, transport, memBudget, serveSeconds,
+                  static_cast<std::int64_t>(routed.size()), rows);
+    if (assertRss > 0 && peakRss > assertRss) {
+        std::cerr << "FAIL: peak RSS " << peakRss << " bytes exceeds --assert-rss "
+                  << assertRss << "\n";
+        return 1;
+    }
     return 0;
 }

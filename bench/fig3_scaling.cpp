@@ -11,7 +11,17 @@
 // The serial baselines are projected with the per-algorithm comm model
 // (DESIGN.md §2). The shape to reproduce: Geographer/MJ/HSFC scale nearly
 // flat (weak) and downward (strong); RCB/RIB degrade visibly.
+//
+//   ./bench_fig3_scaling [--transport sim|socket|tcp] [--ranks N]
+//
+// `--ranks N` replaces the p sweep with the single width N — the mode for
+// `geo_launch -n N -- bench_fig3_scaling --transport socket --ranks N`,
+// where only a run whose SPMD width matches the launched process mesh
+// engages the real socket backend (any other width silently falls back to
+// the simulator, which would mislabel the rows).
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "baseline/rcb_dist.hpp"
 #include "baseline/tools.hpp"
@@ -23,9 +33,11 @@ namespace {
 
 using namespace geo;
 
-double geographerModeledSeconds(const gen::Mesh2& mesh, std::int32_t k, int ranks) {
+double geographerModeledSeconds(const gen::Mesh2& mesh, std::int32_t k, int ranks,
+                                par::TransportKind transport) {
     core::Settings settings;
     settings.epsilon = 0.03;
+    settings.transport = transport;
     const auto res = core::partitionGeographer<2>(mesh.points, {}, k, ranks, settings);
     return res.modeledSeconds;
 }
@@ -53,9 +65,42 @@ double serialSeconds(const baseline::Tool<2>& tool, const gen::Mesh2& mesh, std:
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    par::TransportKind transport = par::TransportKind::Auto;
+    int ranksArg = 0;
+    const char* usage = " [--transport sim|socket|tcp] [--ranks N]\n";
+    for (int a = 1; a < argc; ++a) {
+        const std::string arg = argv[a];
+        if (arg == "--transport") {
+            if (a + 1 >= argc) {
+                std::cerr << "--transport requires a backend\nusage: " << argv[0] << usage;
+                return 1;
+            }
+            transport = par::parseTransportKind(argv[++a]);
+        } else if (arg == "--ranks") {
+            if (a + 1 >= argc) {
+                std::cerr << "--ranks requires a count\nusage: " << argv[0] << usage;
+                return 1;
+            }
+            ranksArg = std::atoi(argv[++a]);
+            if (ranksArg < 2) {
+                std::cerr << "--ranks must be >= 2 (got " << ranksArg << ")\n";
+                return 1;
+            }
+        } else {
+            std::cerr << "unrecognized argument: " << arg << "\nusage: " << argv[0]
+                      << usage;
+            return 1;
+        }
+    }
+
+    // Under geo_launch every worker runs the whole binary; non-root ranks
+    // join the socket collectives of the matching-width runs but stay quiet.
+    const bench::MuteNonRoot mute;
+
     const par::CostModel model;
-    const std::vector<int> procs{2, 4, 8, 16, 32, 64};
+    std::vector<int> procs{2, 4, 8, 16, 32, 64};
+    if (ranksArg > 0) procs = {ranksArg};
 
     std::cout << "=== Fig. 3a: weak scaling, DelaunayX series (4096 points/proc) ===\n"
               << "(geoKmeans and Rcb-spmd are measured SPMD runs; the other columns are\n"
@@ -66,7 +111,7 @@ int main() {
         const std::int64_t n = 4096LL * p;
         const auto mesh = gen::delaunay2d(n, 100 + static_cast<std::uint64_t>(p));
         std::vector<std::string> row{std::to_string(p), std::to_string(n)};
-        row.push_back(Table::num(geographerModeledSeconds(mesh, p, p), 4));
+        row.push_back(Table::num(geographerModeledSeconds(mesh, p, p, transport), 4));
         row.push_back(Table::num(rcbSpmdModeledSeconds(mesh, p, p), 4));
         for (std::size_t t = 1; t < baseline::tools2().size(); ++t) {
             const auto& tool = baseline::tools2()[t];
@@ -83,7 +128,7 @@ int main() {
     Table strong({"p=k", "geoKmeans[s]", "MJ[s]", "Rcb[s]", "Rib[s]", "Hsfc[s]"});
     for (const int p : procs) {
         std::vector<std::string> row{std::to_string(p)};
-        row.push_back(Table::num(geographerModeledSeconds(big, p, p), 4));
+        row.push_back(Table::num(geographerModeledSeconds(big, p, p, transport), 4));
         for (std::size_t t = 1; t < baseline::tools2().size(); ++t) {
             const auto& tool = baseline::tools2()[t];
             const double serial = serialSeconds(tool, big, p);

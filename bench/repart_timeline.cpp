@@ -17,7 +17,13 @@
 // the serving layer only briefly inconsistent.
 //
 //   ./bench_repart_timeline [points] [steps] [blocks] [ranks]
-//                           [--transport sim|socket|tcp] [--json PATH]
+//                           [--transport sim|socket|tcp]
+//                           [--mem-budget BYTES] [--json PATH]
+//
+// `--mem-budget BYTES` (k/m/g suffixes accepted) caps the assignment
+// engine's tile storage via Settings::memoryBudgetBytes; partitions are
+// bitwise unchanged (chunked-vs-resident contract), only the memory
+// counters and wall clock move.
 //
 // Under `geo_launch -n N -- bench_repart_timeline ... --transport socket`
 // the run spans N real processes: the ranks argument is overridden by the
@@ -120,7 +126,7 @@ void writeStepJson(std::ostream& out, const char* name, const StepRecord& rec,
 /// BENCH_repart.json: the repartitioning bench trajectory, mirroring
 /// components_breakdown's BENCH_pipeline.json.
 void writeJson(const std::string& path, std::int64_t n, int steps, std::int32_t k,
-               int ranks, geo::par::TransportKind transport,
+               int ranks, geo::par::TransportKind transport, std::uint64_t memBudget,
                const std::vector<ScenarioTrace>& traces) {
     std::ofstream out(path);
     if (!out) {
@@ -131,7 +137,10 @@ void writeJson(const std::string& path, std::int64_t n, int steps, std::int32_t 
         << ",\n  \"steps\": " << steps << ",\n  \"k\": " << k
         << ",\n  \"ranks\": " << ranks << ",\n  \"transport\": \""
         << geo::bench::resolvedTransportName(transport) << "\",\n  \"processes\": "
-        << geo::bench::workerProcesses() << ",\n  \"scenarios\": [\n";
+        << geo::bench::workerProcesses() << ",\n  \"mem_budget_bytes\": " << memBudget
+        << ",\n";
+    geo::bench::writePeakRssField(out);
+    out << "  \"scenarios\": [\n";
     for (std::size_t s = 0; s < traces.size(); ++s) {
         const auto& trace = traces[s];
         out << "    {\"scenario\": \"" << trace.name << "\",\n     \"steps\": [\n";
@@ -162,8 +171,10 @@ int main(int argc, char** argv) {
     int ranks = 4;
     std::string jsonPath;
     par::TransportKind transport = par::TransportKind::Auto;
+    std::uint64_t memBudget = 0;
     const char* usage =
-        " [points] [steps] [blocks] [ranks] [--transport sim|socket|tcp] [--json PATH]\n";
+        " [points] [steps] [blocks] [ranks] [--transport sim|socket|tcp]"
+        " [--mem-budget BYTES] [--json PATH]\n";
     int positional = 0;
     for (int a = 1; a < argc; ++a) {
         const std::string arg = argv[a];
@@ -179,6 +190,19 @@ int main(int argc, char** argv) {
                 return 1;
             }
             transport = par::parseTransportKind(argv[++a]);
+        } else if (arg == "--mem-budget") {
+            if (a + 1 >= argc) {
+                std::cerr << "--mem-budget requires a byte count\nusage: " << argv[0]
+                          << usage;
+                return 1;
+            }
+            try {
+                memBudget = support::parseMemBytes(argv[++a]);
+            } catch (const std::exception& e) {
+                std::cerr << "--mem-budget: " << e.what() << "\nusage: " << argv[0]
+                          << usage;
+                return 1;
+            }
         } else if (!arg.empty() &&
                    arg.find_first_not_of("0123456789") == std::string::npos &&
                    positional < 4) {
@@ -203,6 +227,7 @@ int main(int argc, char** argv) {
     core::Settings settings;
     settings.epsilon = 0.03;
     settings.transport = transport;
+    settings.memoryBudgetBytes = memBudget;
 
     std::cout << "Dynamic repartitioning timeline: n=" << n << ", T=" << steps
               << ", k=" << k << ", ranks=" << ranks << "\n\n";
@@ -341,7 +366,9 @@ int main(int argc, char** argv) {
             std::cout << name << ": distCalcs=" << c.distanceCalcs
                       << " batched=" << c.batchedDistanceCalcs
                       << " epochApps=" << c.epochBoundApplications << " skip%="
-                      << Table::num(100.0 * c.skipFraction(), 3) << '\n';
+                      << Table::num(100.0 * c.skipFraction(), 3)
+                      << " peakTileKB=" << c.peakTileBytes / 1024
+                      << " spills=" << c.spilledTiles << '\n';
         };
         printCounters("engine counters repart ", warmHist.counters);
         printCounters("engine counters scratch", coldHist.counters);
@@ -389,7 +416,15 @@ int main(int argc, char** argv) {
                  "snapshot routes to a different block than the fresh partition —\n"
                  "the serving-layer cost of repartitioning lag.\n";
 
+    std::cout << "\nprocess peak RSS: "
+              << Table::num(static_cast<double>(support::peakRssBytes()) /
+                                (1024.0 * 1024.0), 1)
+              << " MB (mem budget: "
+              << (memBudget == 0 ? std::string("unlimited")
+                                 : std::to_string(memBudget) + " bytes")
+              << ")\n";
+
     if (!jsonPath.empty() && bench::isRootProcess())
-        writeJson(jsonPath, n, steps, k, ranks, transport, traces);
+        writeJson(jsonPath, n, steps, k, ranks, transport, memBudget, traces);
     return 0;
 }

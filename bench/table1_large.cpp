@@ -3,7 +3,17 @@
 // refinedtrace-00006/7). Scaled to one machine: the largest generated
 // analogs at k = 32. Columns: time, cut, maxCommVol, ΣcommVol, diameter,
 // timeSpMVComm — best value per instance/metric marked with '*'.
+//
+//   ./bench_table1_large [--transport sim|socket|tcp] [--ranks N]
+//
+// `--ranks N` runs Geographer's SPMD phase at width N (baselines stay
+// serial). The tool registry builds its own Settings, so `--transport`
+// flows through the GEO_TRANSPORT environment fallback; under
+// `geo_launch -n N -- bench_table1_large --transport socket --ranks N`
+// the Geographer rows run on the real multi-process backend.
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "common.hpp"
 #include "gen/alya.hpp"
@@ -49,11 +59,47 @@ void printInstance(const std::string& name, std::int64_t n,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    int ranks = 1;
+    const char* usage = " [--transport sim|socket|tcp] [--ranks N]\n";
+    for (int a = 1; a < argc; ++a) {
+        const std::string arg = argv[a];
+        if (arg == "--transport") {
+            if (a + 1 >= argc) {
+                std::cerr << "--transport requires a backend\nusage: " << argv[0] << usage;
+                return 1;
+            }
+            // Validate, then hand the choice to the tools through the
+            // GEO_TRANSPORT fallback of Settings::resolvedTransport.
+            const auto kind = par::parseTransportKind(argv[++a]);
+            setenv("GEO_TRANSPORT", par::transportKindName(kind), 1);
+        } else if (arg == "--ranks") {
+            if (a + 1 >= argc) {
+                std::cerr << "--ranks requires a count\nusage: " << argv[0] << usage;
+                return 1;
+            }
+            ranks = std::atoi(argv[++a]);
+            if (ranks < 1) {
+                std::cerr << "--ranks must be >= 1 (got " << ranks << ")\n";
+                return 1;
+            }
+        } else {
+            std::cerr << "unrecognized argument: " << arg << "\nusage: " << argv[0]
+                      << usage;
+            return 1;
+        }
+    }
+
+    // Under geo_launch the whole binary runs once per worker; only rank 0
+    // prints (the workers join Geographer's socket collectives).
+    const bench::MuteNonRoot mute;
+    if (std::getenv("GEO_RANK") != nullptr) ranks = bench::workerProcesses();
+
     const std::int32_t k = 32;
     const double eps = 0.03;
     std::cout << "=== Table 1: large graphs, k=" << k << " (paper: k=p=1024) ===\n"
-              << "('*' marks the best value per column)\n\n";
+              << "('*' marks the best value per column; geoKmeans SPMD width: "
+              << ranks << ")\n\n";
 
     struct Case2 {
         std::string name;
@@ -67,14 +113,17 @@ int main() {
 
     for (auto& c : cases2)
         printInstance(c.name, c.mesh.numVertices(),
-                      bench::runAllTools<2>(c.mesh, k, eps, 1, 20));
+                      bench::runAllTools<2>(c.mesh, k, eps, 1, 20,
+                                            /*computeDiameter=*/true, ranks));
 
     const auto alya = gen::alya3d(100000, 7, 4);
     printInstance("alyaTestCaseB-analog", alya.numVertices(),
-                  bench::runAllTools<3>(alya, k, eps, 1, 20));
+                  bench::runAllTools<3>(alya, k, eps, 1, 20,
+                                        /*computeDiameter=*/true, ranks));
     const auto del3 = gen::delaunay3d(60000, 5);
     printInstance("delaunay3d-large", del3.numVertices(),
-                  bench::runAllTools<3>(del3, k, eps, 1, 20));
+                  bench::runAllTools<3>(del3, k, eps, 1, 20,
+                                        /*computeDiameter=*/true, ranks));
 
     std::cout << "Paper shape: geoKmeans leads S commVol and timeSpMVComm on most rows;\n"
                  "MJ is the strongest competitor; Hsfc has the fastest partitioning time.\n";

@@ -22,8 +22,11 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// Points per cache block. Fixed (never derived from the thread count) so
 /// the per-block size partials — and with them every floating-point sum the
 /// sweep and the center update produce — are identical at any
-/// Settings::threads.
+/// Settings::threads. Must equal the PointStore tile so wave boundaries
+/// always fall on block boundaries (the chunked-path bitwise guarantee).
 constexpr std::size_t kAssignBlock = 1024;
+static_assert(kAssignBlock == PointStore<2>::kTilePoints &&
+              kAssignBlock == PointStore<3>::kTilePoints);
 
 }  // namespace
 
@@ -31,7 +34,11 @@ template <int D>
 AssignEngine<D>::AssignEngine(std::span<const Point<D>> points,
                               std::span<const double> weights,
                               const Settings& settings, std::int32_t k)
-    : points_(points), weights_(weights), settings_(settings), k_(k) {
+    : points_(points),
+      weights_(weights),
+      settings_(settings),
+      k_(k),
+      store_(points, weights, settings.resolvedMemoryBudget()) {
     GEO_REQUIRE(k_ >= 1, "need at least one center");
     GEO_REQUIRE(weights_.empty() || weights_.size() == points_.size(),
                 "weights must be empty or match points");
@@ -45,20 +52,19 @@ AssignEngine<D>::AssignEngine(std::span<const Point<D>> points,
 template <int D>
 void AssignEngine<D>::setActive(std::span<const std::size_t> order,
                                 std::size_t activeCount) {
-    GEO_REQUIRE(activeCount <= order.size() && activeCount <= points_.size(),
-                "active count exceeds available points");
-    order_.assign(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(activeCount));
-    active_ = activeCount;
-    for (int d = 0; d < D; ++d) soa_[static_cast<std::size_t>(d)].resize(active_);
-    soaWeight_.resize(active_);
-    activeBox_ = Box<D>::empty();
-    for (std::size_t i = 0; i < active_; ++i) {
-        const std::size_t p = order_[i];
-        const Point<D>& pt = points_[p];
-        for (int d = 0; d < D; ++d) soa_[static_cast<std::size_t>(d)][i] = pt[d];
-        soaWeight_[i] = weightOf(p);
-        activeBox_.extend(pt);
-    }
+    store_.setActive(order, activeCount, settings_.resolvedThreads());
+    recordStoreCounters();
+}
+
+/// Surface the store's accounting through KMeansCounters. The store totals
+/// are cumulative over its lifetime, so they are assigned (peaks via max),
+/// not added — merge() across engines then maxes peaks and sums spills.
+template <int D>
+void AssignEngine<D>::recordStoreCounters() {
+    const auto& acc = store_.accounting();
+    counters_.peakTileBytes = std::max(counters_.peakTileBytes, acc.peakResidentBytes);
+    counters_.residentBytes = acc.residentBytes;
+    counters_.spilledTiles = acc.spilledTiles;
 }
 
 template <int D>
@@ -110,32 +116,41 @@ void AssignEngine<D>::sweep(std::span<double> localSizes) {
     GEO_REQUIRE(static_cast<std::int32_t>(localSizes.size()) == k_,
                 "localSizes must have one entry per cluster");
     std::fill(localSizes.begin(), localSizes.end(), 0.0);
-    if (active_ == 0) return;
+    const std::size_t active = store_.activeCount();
+    if (active == 0) return;
     GEO_CHECK(!centers_.empty(), "beginRound must precede sweep");
 
-    const std::size_t blocks = (active_ + kAssignBlock - 1) / kAssignBlock;
     const auto stride = static_cast<std::size_t>(k_);
-    blockSizes_.resize(blocks * stride);
+    const std::size_t waveBlocks =
+        (std::min(store_.wavePoints(), active) + kAssignBlock - 1) / kAssignBlock;
+    blockSizes_.resize(waveBlocks * stride);
     const int threads = settings_.resolvedThreads();
     if (scratch_.size() < static_cast<std::size_t>(threads))
         scratch_.resize(static_cast<std::size_t>(threads));
 
-    par::parallelFor(threads, blocks,
-                     [&](std::size_t b0, std::size_t b1, int worker) {
-                         auto& scratch = scratch_[static_cast<std::size_t>(worker)];
-                         for (std::size_t b = b0; b < b1; ++b)
-                             processBlock(b, scratch, &blockSizes_[b * stride]);
-                     });
-
-    // Deterministic reduction: block partials in ascending block order.
-    for (std::size_t b = 0; b < blocks; ++b)
-        for (std::size_t c = 0; c < stride; ++c)
-            localSizes[c] += blockSizes_[b * stride + c];
+    // Waves in ascending order, each wave's blocks in parallel; folding the
+    // per-block partials wave-by-wave in ascending block order is the same
+    // left fold the resident single-wave path performs, so localSizes is
+    // bitwise identical at every budget and thread count.
+    for (std::size_t w = 0; w < store_.waveCount(); ++w) {
+        const auto wave = store_.wave(w, threads);
+        const std::size_t blocks = (wave.count + kAssignBlock - 1) / kAssignBlock;
+        par::parallelFor(threads, blocks,
+                         [&](std::size_t b0, std::size_t b1, int worker) {
+                             auto& scratch = scratch_[static_cast<std::size_t>(worker)];
+                             for (std::size_t b = b0; b < b1; ++b)
+                                 processBlock(wave, b, scratch, &blockSizes_[b * stride]);
+                         });
+        for (std::size_t b = 0; b < blocks; ++b)
+            for (std::size_t c = 0; c < stride; ++c)
+                localSizes[c] += blockSizes_[b * stride + c];
+    }
     // Counter merges are integer sums — order-independent.
     for (auto& scratch : scratch_) {
         counters_.merge(scratch.counters);
         scratch.counters = KMeansCounters{};
     }
+    recordStoreCounters();
 }
 
 template <int D>
@@ -143,45 +158,57 @@ void AssignEngine<D>::updateCenters(std::span<double> sums) {
     const auto stride = static_cast<std::size_t>(k_) * (D + 1);
     GEO_REQUIRE(sums.size() == stride, "sums must be k*(D+1) wide");
     std::fill(sums.begin(), sums.end(), 0.0);
-    if (active_ == 0) return;
+    const std::size_t active = store_.activeCount();
+    if (active == 0) return;
 
-    const std::size_t blocks = (active_ + kAssignBlock - 1) / kAssignBlock;
-    blockSums_.resize(blocks * stride);
-    par::parallelFor(
-        settings_.resolvedThreads(), blocks,
-        [&](std::size_t b0, std::size_t b1, int) {
-            for (std::size_t b = b0; b < b1; ++b) {
-                double* partial = &blockSums_[b * stride];
-                std::fill(partial, partial + stride, 0.0);
-                const std::size_t i0 = b * kAssignBlock;
-                const std::size_t i1 = std::min(active_, i0 + kAssignBlock);
-                for (std::size_t i = i0; i < i1; ++i) {
-                    const auto c = static_cast<std::size_t>(assignment_[order_[i]]);
-                    const double w = soaWeight_[i];
-                    double* row = partial + c * (D + 1);
-                    for (int d = 0; d < D; ++d)
-                        row[d] += w * soa_[static_cast<std::size_t>(d)][i];
-                    row[D] += w;
+    const std::size_t waveBlocks =
+        (std::min(store_.wavePoints(), active) + kAssignBlock - 1) / kAssignBlock;
+    blockSums_.resize(waveBlocks * stride);
+    const int threads = settings_.resolvedThreads();
+    const std::size_t* ids = store_.ids().data();
+    // Same wave-then-block left fold as sweep(): bitwise identical at every
+    // budget and thread count.
+    for (std::size_t w = 0; w < store_.waveCount(); ++w) {
+        const auto wave = store_.wave(w, threads);
+        const std::size_t blocks = (wave.count + kAssignBlock - 1) / kAssignBlock;
+        par::parallelFor(
+            threads, blocks, [&](std::size_t b0, std::size_t b1, int) {
+                for (std::size_t b = b0; b < b1; ++b) {
+                    double* partial = &blockSums_[b * stride];
+                    std::fill(partial, partial + stride, 0.0);
+                    const std::size_t j0 = b * kAssignBlock;
+                    const std::size_t j1 = std::min(wave.count, j0 + kAssignBlock);
+                    for (std::size_t j = j0; j < j1; ++j) {
+                        const auto c = static_cast<std::size_t>(
+                            assignment_[ids[wave.begin + j]]);
+                        const double weight = wave.weight[j];
+                        double* row = partial + c * (D + 1);
+                        for (int d = 0; d < D; ++d)
+                            row[d] += weight * wave.x[static_cast<std::size_t>(d)][j];
+                        row[D] += weight;
+                    }
                 }
-            }
-        });
-    // Deterministic reduction: block partials in ascending block order.
-    for (std::size_t b = 0; b < blocks; ++b)
-        for (std::size_t c = 0; c < stride; ++c)
-            sums[c] += blockSums_[b * stride + c];
+            });
+        for (std::size_t b = 0; b < blocks; ++b)
+            for (std::size_t c = 0; c < stride; ++c)
+                sums[c] += blockSums_[b * stride + c];
+    }
+    recordStoreCounters();
 }
 
 template <int D>
-void AssignEngine<D>::processBlock(std::size_t block, Scratch& scratch,
+void AssignEngine<D>::processBlock(const typename PointStore<D>::WaveView& wave,
+                                   std::size_t block, Scratch& scratch,
                                    double* blockSizes) {
-    const std::size_t i0 = block * kAssignBlock;
-    const std::size_t i1 = std::min(active_, i0 + kAssignBlock);
+    const std::size_t j0 = block * kAssignBlock;
+    const std::size_t j1 = std::min(wave.count, j0 + kAssignBlock);
+    const std::size_t* ids = store_.ids().data();
     scratch.pointIdx.clear();
     for (int d = 0; d < D; ++d) scratch.gx[static_cast<std::size_t>(d)].clear();
 
     const bool reference = settings_.referenceAssignment;
-    for (std::size_t i = i0; i < i1; ++i) {
-        const std::size_t p = order_[i];
+    for (std::size_t j = j0; j < j1; ++j) {
+        const std::size_t p = ids[wave.begin + j];
         scratch.counters.pointEvaluations++;
         if (settings_.hamerlyBounds && assignment_[p] >= 0) {
             applyEpochs(p, scratch.counters);
@@ -194,7 +221,7 @@ void AssignEngine<D>::processBlock(std::size_t block, Scratch& scratch,
         if (!reference && !settings_.useKdTree)
             for (int d = 0; d < D; ++d)
                 scratch.gx[static_cast<std::size_t>(d)].push_back(
-                    soa_[static_cast<std::size_t>(d)][i]);
+                    wave.x[static_cast<std::size_t>(d)][j]);
     }
 
     if (!scratch.pointIdx.empty()) {
@@ -223,8 +250,8 @@ void AssignEngine<D>::processBlock(std::size_t block, Scratch& scratch,
 
     // Per-block weighted sizes, accumulated in slot order within the block.
     for (std::int32_t c = 0; c < k_; ++c) blockSizes[c] = 0.0;
-    for (std::size_t i = i0; i < i1; ++i)
-        blockSizes[assignment_[order_[i]]] += soaWeight_[i];
+    for (std::size_t j = j0; j < j1; ++j)
+        blockSizes[assignment_[ids[wave.begin + j]]] += wave.weight[j];
 }
 
 namespace {

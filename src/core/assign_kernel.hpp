@@ -21,18 +21,27 @@
 //      win for sampled initialization and warm-started repartitioning.
 //      Sequential replay applies the identical multiply/add per round the
 //      eager sweeps performed, so bound values are bitwise unchanged.
-//   3. SoA mirror + cache-blocked batch kernel. setActive() mirrors the
-//      active points into per-dimension arrays; the sweep walks fixed
-//      1024-point blocks, gathers the not-skipped points of each block into
-//      contiguous scratch, and runs an auto-vectorizable centers-outer /
-//      points-inner kernel with branchless best/second tracking. Weighted
-//      cluster sizes are accumulated per block and reduced in block order.
+//   3. Budgeted SoA mirror (core::PointStore) + cache-blocked batch kernel.
+//      setActive() hands the active order to a PointStore, which mirrors
+//      the points into per-dimension tile arrays under the byte budget of
+//      Settings::memoryBudgetBytes / GEO_MEM_BUDGET: unlimited keeps the
+//      whole set resident (one gather per setActive, as before); a finite
+//      budget materializes budget-sized waves of fixed 1024-point tiles,
+//      regenerated from the caller's points on every pass. The sweep walks
+//      the waves in order, each wave's fixed 1024-point blocks in parallel,
+//      gathers the not-skipped points of each block into contiguous
+//      scratch, and runs an auto-vectorizable centers-outer / points-inner
+//      kernel with branchless best/second tracking. Weighted cluster sizes
+//      are accumulated per block and reduced in block order.
 //   4. Intra-rank threading (Settings::threads; the old name assignThreads
 //      survives as a deprecated alias) via par::parallelFor over whole
-//      blocks. Because block boundaries are fixed and the block partials are
-//      reduced serially in block order, results are bitwise identical at
-//      every thread count. The same contract covers updateCenters(), the
-//      threaded Alg. 2 line-13 reduction.
+//      blocks. Because block (and wave) boundaries are fixed and the block
+//      partials are reduced serially in ascending global block order —
+//      waves ascending, blocks within a wave ascending, which is the same
+//      left fold the resident path performs — results are bitwise
+//      identical at every thread count AND every memory budget. The same
+//      contract covers updateCenters(), the threaded Alg. 2 line-13
+//      reduction.
 //
 // Settings::referenceAssignment selects the scalar sqrt-domain kernel (the
 // seed implementation's per-candidate loop) as an equivalence oracle; the
@@ -45,6 +54,7 @@
 #include <vector>
 
 #include "core/center_tree.hpp"
+#include "core/point_store.hpp"
 #include "core/settings.hpp"
 #include "geometry/box.hpp"
 #include "geometry/point.hpp"
@@ -59,13 +69,18 @@ public:
     AssignEngine(std::span<const Point<D>> points, std::span<const double> weights,
                  const Settings& settings, std::int32_t k);
 
-    /// Mirror the active prefix order[0..activeCount) into the SoA arrays
-    /// and recompute the active bounding box. Called once per
-    /// assignAndBalance (the active set only changes between calls).
+    /// Declare the active prefix order[0..activeCount) — the PointStore
+    /// recomputes the active bounding box and (budget permitting) mirrors
+    /// the points. Called once per assignAndBalance (the active set only
+    /// changes between calls). `order` is referenced, not copied: a
+    /// budgeted store regenerates tiles from it on every sweep, so it must
+    /// stay valid and unchanged until the next setActive.
     void setActive(std::span<const std::size_t> order, std::size_t activeCount);
 
     /// Bounding box of the active points (invalid when none are active).
-    [[nodiscard]] const Box<D>& activeBox() const noexcept { return activeBox_; }
+    [[nodiscard]] const Box<D>& activeBox() const noexcept {
+        return store_.activeBox();
+    }
 
     /// Start one assignment round against `centers`/`influence` (replicated
     /// state; spans must stay valid until the next beginRound). Recomputes
@@ -126,13 +141,12 @@ private:
         KMeansCounters counters;
     };
 
-    void processBlock(std::size_t block, Scratch& scratch, double* blockSizes);
+    void processBlock(const typename PointStore<D>::WaveView& wave,
+                      std::size_t block, Scratch& scratch, double* blockSizes);
     void batchKernel(Scratch& scratch, std::size_t m);
+    void recordStoreCounters();
     void assignPointReference(std::size_t p, KMeansCounters& counters);
     void applyEpochs(std::size_t p, KMeansCounters& counters);
-    [[nodiscard]] double weightOf(std::size_t p) const noexcept {
-        return weights_.empty() ? 1.0 : weights_[p];
-    }
     [[nodiscard]] std::uint32_t currentEpoch() const noexcept {
         return static_cast<std::uint32_t>(epochs_.size());
     }
@@ -148,13 +162,9 @@ private:
     std::vector<std::uint32_t> epoch_;
     std::vector<Epoch> epochs_;
 
-    // Active-set mirror (indexed by active slot). `order_` is copied, not
-    // referenced: callers may pass temporaries.
-    std::vector<std::size_t> order_;
-    std::size_t active_ = 0;
-    std::array<std::vector<double>, static_cast<std::size_t>(D)> soa_;
-    std::vector<double> soaWeight_;
-    Box<D> activeBox_ = Box<D>::empty();
+    // Budgeted active-set mirror: the shared tiled point representation
+    // (coords + weights in fixed tiles, active order, bounding box).
+    PointStore<D> store_;
 
     // Round state.
     std::span<const Point<D>> centers_;

@@ -1,6 +1,7 @@
 #include "core/geographer.hpp"
 
 #include <algorithm>
+#include <array>
 #include <mutex>
 
 #include "geometry/box.hpp"
@@ -67,21 +68,35 @@ void spmdBody(par::Comm& comm, std::span<const Point<D>> points,
         globalBox.lo[d] = lohi[static_cast<std::size_t>(d)];
         globalBox.hi[d] = -lohi[static_cast<std::size_t>(D + d)];
     }
-    const std::vector<std::uint64_t> keys =
-        settings.curve == Curve::Hilbert
-            ? sfc::hilbertIndices<D>(localPoints, globalBox, threads)
-            : sfc::mortonIndices<D>(localPoints, globalBox, threads);
+    // Keying is fused into the record build through one tile-sized stack
+    // buffer per worker (no n-wide key mirror): each worker keys a
+    // kKeyTile-point span at a time and writes the records straight out.
+    // Keys are pure per-point functions of (point, globalBox), so the
+    // tiling changes neither the values nor their order.
     std::vector<Rec> records(localCountIn);
-    par::parallelFor(threads, localCountIn, [&](std::size_t i0, std::size_t i1, int) {
-        for (std::size_t i = i0; i < i1; ++i) {
-            const std::int64_t gid = lo + static_cast<std::int64_t>(i);
-            records[i] = Rec{keys[i],
-                             PointRecord<D>{gid, localPoints[i],
-                                            weights.empty()
-                                                ? 1.0
-                                                : weights[static_cast<std::size_t>(gid)]}};
-        }
-    });
+    par::parallelForTiled(
+        threads, localCountIn, sfc::kKeyTile,
+        [&](std::size_t i0, std::size_t i1, int) {
+            std::array<std::uint64_t, sfc::kKeyTile> tileKeys;
+            for (std::size_t t0 = i0; t0 < i1; t0 += sfc::kKeyTile) {
+                const std::size_t t1 = std::min(i1, t0 + sfc::kKeyTile);
+                const auto tilePoints = localPoints.subspan(t0, t1 - t0);
+                const auto tileOut = std::span<std::uint64_t>(tileKeys.data(), t1 - t0);
+                if (settings.curve == Curve::Hilbert)
+                    sfc::hilbertIndicesInto<D>(tilePoints, globalBox, tileOut);
+                else
+                    sfc::mortonIndicesInto<D>(tilePoints, globalBox, tileOut);
+                for (std::size_t i = t0; i < t1; ++i) {
+                    const std::int64_t gid = lo + static_cast<std::int64_t>(i);
+                    records[i] =
+                        Rec{tileKeys[i - t0],
+                            PointRecord<D>{gid, localPoints[i],
+                                           weights.empty()
+                                               ? 1.0
+                                               : weights[static_cast<std::size_t>(gid)]}};
+                }
+            }
+        });
     const std::uint64_t keyedPoints = localCountIn;
     phases.add("hilbert", t1.seconds());
 
@@ -113,14 +128,23 @@ void spmdBody(par::Comm& comm, std::span<const Point<D>> points,
     std::vector<Point<D>> centers(static_cast<std::size_t>(k));
     for (const auto& s : allSeeds) centers[static_cast<std::size_t>(s.index)] = s.pt;
 
+    // Strip the sorted records into the k-means inputs (points, weights)
+    // plus the gid map needed for the final gather, and free the records
+    // before the k-means phase — keeping the keyed AoS mirror alive through
+    // the whole solve would otherwise dominate the per-rank footprint.
     std::vector<Point<D>> localKmeansPoints;
     std::vector<double> localWeights;
+    std::vector<std::int64_t> localGids;
     localKmeansPoints.reserve(records.size());
     localWeights.reserve(records.size());
+    localGids.reserve(records.size());
     for (const auto& rec : records) {
         localKmeansPoints.push_back(rec.value.pt);
         localWeights.push_back(rec.value.weight);
+        localGids.push_back(rec.value.gid);
     }
+    records.clear();
+    records.shrink_to_fit();
 
     auto outcome =
         balancedKMeans<D>(comm, localKmeansPoints, localWeights, std::move(centers), settings);
@@ -143,9 +167,9 @@ void spmdBody(par::Comm& comm, std::span<const Point<D>> points,
         std::int32_t block;
     };
     std::vector<GidBlock> mine;
-    mine.reserve(records.size());
-    for (std::size_t i = 0; i < records.size(); ++i)
-        mine.push_back(GidBlock{records[i].value.gid, outcome.assignment[i]});
+    mine.reserve(localGids.size());
+    for (std::size_t i = 0; i < localGids.size(); ++i)
+        mine.push_back(GidBlock{localGids[i], outcome.assignment[i]});
     const auto all = comm.allgatherv(std::span<const GidBlock>(mine));
 
     // Reduce diagnostics: max phase time, summed counters + k-means state.
@@ -179,13 +203,18 @@ namespace detail {
 template <int D>
 void storeKMeansDiagnostics(par::Comm& comm, const KMeansOutcome<D>& outcome,
                             GeographerResult& result, std::mutex& resultMutex) {
-    std::array<std::uint64_t, 9> counterSum{
+    std::array<std::uint64_t, 10> counterSum{
         outcome.counters.pointEvaluations, outcome.counters.boundSkips,
         outcome.counters.distanceCalcs, outcome.counters.bboxBreaks,
         outcome.counters.balanceIterations, outcome.counters.epochBoundApplications,
         outcome.counters.batchedDistanceCalcs, outcome.counters.keyedPoints,
-        outcome.counters.sortedRecords};
+        outcome.counters.sortedRecords, outcome.counters.spilledTiles};
     comm.allreduceSum(std::span<std::uint64_t>(counterSum.data(), counterSum.size()));
+    // Memory counters describe one rank's tile store, so the cross-rank
+    // reduction is a max (the worst store), not a sum.
+    std::array<std::uint64_t, 2> counterMax{outcome.counters.peakTileBytes,
+                                            outcome.counters.residentBytes};
+    comm.allreduceMax(std::span<std::uint64_t>(counterMax.data(), counterMax.size()));
 
     if (!comm.isRoot()) return;
     const std::lock_guard<std::mutex> lock(resultMutex);
@@ -200,6 +229,9 @@ void storeKMeansDiagnostics(par::Comm& comm, const KMeansOutcome<D>& outcome,
     result.counters.batchedDistanceCalcs = counterSum[6];
     result.counters.keyedPoints = counterSum[7];
     result.counters.sortedRecords = counterSum[8];
+    result.counters.spilledTiles = counterSum[9];
+    result.counters.peakTileBytes = counterMax[0];
+    result.counters.residentBytes = counterMax[1];
     result.counters.outerIterations = outcome.counters.outerIterations;
     const auto k = outcome.centers.size();
     result.centerCoords.resize(k * D);
@@ -238,6 +270,9 @@ void replicateResult(par::Comm& comm, GeographerResult& result,
             w.u64(result.counters.batchedDistanceCalcs);
             w.u64(result.counters.keyedPoints);
             w.u64(result.counters.sortedRecords);
+            w.u64(result.counters.peakTileBytes);
+            w.u64(result.counters.residentBytes);
+            w.u64(result.counters.spilledTiles);
             w.i32(result.counters.outerIterations);
             w.f64(result.modeledSeconds);
             w.u32(static_cast<std::uint32_t>(result.phaseSeconds.size()));
@@ -279,6 +314,9 @@ void replicateResult(par::Comm& comm, GeographerResult& result,
     result.counters.batchedDistanceCalcs = r.u64();
     result.counters.keyedPoints = r.u64();
     result.counters.sortedRecords = r.u64();
+    result.counters.peakTileBytes = r.u64();
+    result.counters.residentBytes = r.u64();
+    result.counters.spilledTiles = r.u64();
     result.counters.outerIterations = r.i32();
     result.modeledSeconds = r.f64();
     const std::uint32_t phases = r.u32();

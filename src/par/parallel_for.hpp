@@ -15,6 +15,7 @@
 // reuse the same workers instead of paying a thread spawn per phase.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <utility>
 
@@ -35,6 +36,23 @@ void parallelFor(int threads, std::size_t n, Fn&& fn) {
     }
     const ThreadPool::Body body = std::forward<Fn>(fn);
     ThreadPool::forThisThread().run(threads, n, body);
+}
+
+/// Tile-aligned variant for callers whose floating-point partials live at
+/// fixed `tile`-item boundaries (the PointStore / assignment-engine cache
+/// blocks): `fn(begin, end, worker)` ranges cover [0, n) and begin/end are
+/// always multiples of `tile` (end clamps to n on the last tile). The split
+/// is computed over whole tiles, so — like parallelFor — chunk boundaries
+/// depend only on n and tile, never on the thread count, and a caller that
+/// reduces per-tile partials in tile order stays bitwise reproducible.
+template <typename Fn>
+void parallelForTiled(int threads, std::size_t n, std::size_t tile, Fn&& fn) {
+    if (tile == 0) tile = 1;
+    const std::size_t tiles = (n + tile - 1) / tile;
+    parallelFor(threads, tiles,
+                [&, tile, n](std::size_t t0, std::size_t t1, int worker) {
+                    fn(t0 * tile, std::min(n, t1 * tile), worker);
+                });
 }
 
 }  // namespace geo::par

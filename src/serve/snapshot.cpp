@@ -1,6 +1,7 @@
 #include "serve/snapshot.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <limits>
@@ -83,8 +84,33 @@ void PartitionSnapshot<D>::finalize(const SnapshotOptions& options) {
     for (const std::int32_t rank : blockRank_)
         GEO_REQUIRE(rank >= 0, "block → rank map entry out of range");
 
+    compact_ = false;
+    if (options.compactCenters && depth() == 1) {
+        Level& flat = levels_.front();
+        const auto entries = static_cast<std::size_t>(k_);
+        centerAbsMax_.fill(0.0);
+        invInfluence2Max_ = 0.0;
+        for (int d = 0; d < D; ++d) {
+            auto& mirror = flat.cx32[static_cast<std::size_t>(d)];
+            mirror.resize(entries);
+            for (std::size_t c = 0; c < entries; ++c) {
+                const double v = flat.cx[static_cast<std::size_t>(d)][c];
+                mirror[c] = static_cast<float>(v);
+                centerAbsMax_[static_cast<std::size_t>(d)] =
+                    std::max(centerAbsMax_[static_cast<std::size_t>(d)], std::abs(v));
+            }
+        }
+        flat.invInfluence232.resize(entries);
+        for (std::size_t c = 0; c < entries; ++c) {
+            flat.invInfluence232[c] = static_cast<float>(flat.invInfluence2[c]);
+            invInfluence2Max_ = std::max(invInfluence2Max_, flat.invInfluence2[c]);
+        }
+        compact_ = true;
+    }
+
     useTree_ = false;
-    if (depth() == 1 && options.kdTreeFromK > 0 && k_ >= options.kdTreeFromK) {
+    if (!compact_ && depth() == 1 && options.kdTreeFromK > 0 &&
+        k_ >= options.kdTreeFromK) {
         const Level& flat = levels_.front();
         std::vector<Point<D>> centers(static_cast<std::size_t>(k_));
         for (std::int32_t c = 0; c < k_; ++c)
@@ -252,6 +278,10 @@ void PartitionSnapshot<D>::routeTile(const Point<D>* pts, std::size_t count,
         for (std::size_t i = 0; i < count; ++i) out[i] = blockOf(pts[i]);
         return;
     }
+    if (compact_) {
+        routeTileCompact(pts, count, out);
+        return;
+    }
 
     const Level& flat = levels_.front();
     double gx[static_cast<std::size_t>(D)][kRouteTile];
@@ -311,6 +341,125 @@ void PartitionSnapshot<D>::routeTile(const Point<D>* pts, std::size_t count,
 #endif
     }
     for (std::size_t i = 0; i < count; ++i) out[i] = static_cast<std::int32_t>(bestC[i]);
+}
+
+namespace {
+
+/// Slack factor for the compact kernel's rounding guard. Walking the error
+/// terms — fp32 conversion of both operands (u·M each), the rounded
+/// subtract (2u·M), squaring against |diff| ≤ 2M, the D-term rounded sum,
+/// and the rounded multiply by the converted 1/influence² — bounds the
+/// constant in front of u·inv·Σ_d M_d² by roughly 28 + 4D (≤ 40 for D = 3).
+/// 128 triples that for headroom while the guard stays ~8e-6 relative —
+/// far below typical best/second margins, so fallbacks stay rare.
+constexpr double kCompactSlack = 128.0;
+
+/// Unit roundoff of fp32.
+constexpr double kF32Unit = 0x1p-24;
+
+}  // namespace
+
+/// fp32 tile kernel with an exactness guard. Per tile it computes, from the
+/// lane coordinates and the precomputed center maxima, a conservative
+/// absolute bound E on |e2_f32 − e2_f64| valid for EVERY (lane, center)
+/// pair of the tile:
+///
+///   |Δe2| ≤ K·u·inv_max·Σ_d M_d²,   M_d = max(|x_d|, |c_d|) over the tile
+///
+/// (diff_d may cancel to near zero, but its absolute error is bounded by
+/// O(u·M_d); squaring against |diff_d| ≤ 2·M_d and summing keeps everything
+/// inside the Σ M_d² envelope — kCompactSlack absorbs the constants). If the
+/// fp32 margin second2 − best2 exceeds 2E, the fp32 winner is the strict
+/// fp64 argmin: for any rival b, e2_64(b) ≥ e2_32(b) − E > e2_32(best) + E ≥
+/// e2_64(best). Otherwise — including exact fp32 ties, overflow to inf, and
+/// the inf−inf NaN case, all of which fail the `> 2E` comparison — the lane
+/// re-resolves through the exact fp64 scan with its lowest-id tie rule.
+/// Routes are therefore bitwise identical to the fp64 path by construction.
+template <int D>
+void PartitionSnapshot<D>::routeTileCompact(const Point<D>* pts, std::size_t count,
+                                            std::int32_t* out) const {
+    const Level& flat = levels_.front();
+    constexpr float kInfF = std::numeric_limits<float>::infinity();
+    float gx[static_cast<std::size_t>(D)][kRouteTile];
+    float best2[kRouteTile];
+    float second2[kRouteTile];
+    std::int32_t bestC[kRouteTile];
+
+    std::array<double, static_cast<std::size_t>(D)> m = centerAbsMax_;
+    for (std::size_t i = 0; i < count; ++i) {
+        for (int d = 0; d < D; ++d) {
+            const double v = pts[i][d];
+            gx[static_cast<std::size_t>(d)][i] = static_cast<float>(v);
+            m[static_cast<std::size_t>(d)] =
+                std::max(m[static_cast<std::size_t>(d)], std::abs(v));
+        }
+        best2[i] = kInfF;
+        second2[i] = kInfF;
+        bestC[i] = 0;
+    }
+    double mag2 = 0.0;
+    for (int d = 0; d < D; ++d)
+        mag2 += m[static_cast<std::size_t>(d)] * m[static_cast<std::size_t>(d)];
+    const double guard = 2.0 * kCompactSlack * kF32Unit * invInfluence2Max_ * mag2;
+
+    const auto k = static_cast<std::size_t>(flat.branching);
+    for (std::size_t c = 0; c < k; ++c) {
+        std::array<float, static_cast<std::size_t>(D)> cx;
+        for (int d = 0; d < D; ++d)
+            cx[static_cast<std::size_t>(d)] =
+                flat.cx32[static_cast<std::size_t>(d)][c];
+        const float inv = flat.invInfluence232[c];
+        const auto ci = static_cast<std::int32_t>(c);
+        for (std::size_t j = 0; j < count; ++j) {
+            float d2 = 0.0F;
+            for (int d = 0; d < D; ++d) {
+                const float diff =
+                    gx[static_cast<std::size_t>(d)][j] - cx[static_cast<std::size_t>(d)];
+                d2 += diff * diff;
+            }
+            const float e2 = d2 * inv;
+            const float ob = best2[j];
+            best2[j] = std::min(e2, ob);
+            second2[j] = std::min(second2[j], std::max(e2, ob));
+            bestC[j] = e2 < ob ? ci : bestC[j];
+        }
+    }
+
+    std::uint64_t fellBack = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (static_cast<double>(second2[i]) - static_cast<double>(best2[i]) > guard) {
+            out[i] = bestC[i];
+        } else {
+            out[i] = scanFlatExact(pts[i]);
+            ++fellBack;
+        }
+    }
+    if (fellBack != 0)
+        fallbacks_.value.fetch_add(fellBack, std::memory_order_relaxed);
+}
+
+/// Exact fp64 linear scan over a flat snapshot's centers — the compact
+/// kernel's fallback; same loop (and lowest-id tie rule) as the depth-1
+/// body of the single-point blockOf.
+template <int D>
+std::int32_t PartitionSnapshot<D>::scanFlatExact(const Point<D>& p) const {
+    const Level& flat = levels_.front();
+    const auto k = static_cast<std::size_t>(flat.branching);
+    double best2 = kInf;
+    std::size_t best = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+        double d2 = 0.0;
+        for (int d = 0; d < D; ++d) {
+            const double diff = p[d] - flat.cx[static_cast<std::size_t>(d)][c];
+            d2 += diff * diff;
+        }
+        const double e2 = d2 * flat.invInfluence2[c];
+        if (e2 < best2) {
+            best2 = e2;
+            best = c;
+        }
+    }
+    return static_cast<std::int32_t>(best);
 }
 
 template <int D>

@@ -37,6 +37,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -59,6 +60,17 @@ struct SnapshotOptions {
     /// lookups then answer the argmin in O(log k) instead of scanning all
     /// centers. 0 disables the tree entirely.
     std::int32_t kdTreeFromK = 128;
+
+    /// Compact-center mode for flat (depth-1) snapshots: the batched route
+    /// kernel scans fp32 mirrors of the centers and 1/influence² (half the
+    /// cache and memory bandwidth per candidate; no kd-tree is built), with
+    /// an exactness guard: any lane whose fp32 best-vs-second margin falls
+    /// within a conservative per-tile rounding bound — i.e. any route the
+    /// fp32 arithmetic could have flipped — is re-resolved by the exact
+    /// fp64 scan. Routes are therefore ALWAYS identical to the fp64 path
+    /// (compactFallbacks() counts the re-resolved lanes). Ignored for
+    /// hierarchical snapshots.
+    bool compactCenters = false;
 };
 
 template <int D>
@@ -73,6 +85,11 @@ public:
         std::array<std::vector<double>, static_cast<std::size_t>(D)> cx;
         std::vector<double> influence;
         std::vector<double> invInfluence2;  ///< derived: 1/influence²
+        /// fp32 mirrors for the compact route kernel (filled only when
+        /// SnapshotOptions::compactCenters is active on a flat snapshot;
+        /// the fp64 arrays stay as the exactness-fallback cold path).
+        std::array<std::vector<float>, static_cast<std::size_t>(D)> cx32;
+        std::vector<float> invInfluence232;
     };
 
     /// Flat snapshot from a completed (or warm-repartitioned) run. Uses
@@ -114,7 +131,16 @@ public:
     [[nodiscard]] std::int32_t blockCount() const noexcept { return k_; }
     [[nodiscard]] int depth() const noexcept { return static_cast<int>(levels_.size()); }
     [[nodiscard]] bool usesKdTree() const noexcept { return useTree_; }
+    [[nodiscard]] bool usesCompactCenters() const noexcept { return compact_; }
     [[nodiscard]] bool hasRankMap() const noexcept { return !blockRank_.empty(); }
+
+    /// Lanes the compact fp32 kernel handed back to the exact fp64 scan
+    /// because their margin was within the rounding guard (0 when
+    /// compactCenters is off). Cumulative over the snapshot's lifetime;
+    /// relaxed atomic, safe under concurrent readers.
+    [[nodiscard]] std::uint64_t compactFallbacks() const noexcept {
+        return fallbacks_.value.load(std::memory_order_relaxed);
+    }
 
     /// Topology leaf of `block` (identity when the snapshot carries no
     /// explicit mapping — the hier convention block id == leaf id).
@@ -146,6 +172,23 @@ private:
     PartitionSnapshot() = default;
     void finalize(const SnapshotOptions& options);  ///< derived state + checks
     void routeTile(const Point<D>* pts, std::size_t count, std::int32_t* out) const;
+    void routeTileCompact(const Point<D>* pts, std::size_t count,
+                          std::int32_t* out) const;
+    [[nodiscard]] std::int32_t scanFlatExact(const Point<D>& p) const;
+
+    /// Copyable relaxed counter: snapshots are returned by value from the
+    /// builders, and std::atomic alone would delete those moves.
+    struct RelaxedCounter {
+        std::atomic<std::uint64_t> value{0};
+        RelaxedCounter() = default;
+        RelaxedCounter(const RelaxedCounter& o)
+            : value(o.value.load(std::memory_order_relaxed)) {}
+        RelaxedCounter& operator=(const RelaxedCounter& o) {
+            value.store(o.value.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+            return *this;
+        }
+    };
 
     std::uint64_t version_ = 0;
     std::int32_t k_ = 0;
@@ -154,6 +197,12 @@ private:
     std::vector<std::int32_t> blockRank_;  ///< empty = no rank map
     core::CenterKdTree<D> tree_;
     bool useTree_ = false;
+    bool compact_ = false;
+    /// Guard-bound ingredients, precomputed over the centers at finalize:
+    /// per-dimension max |coordinate| and the largest 1/influence².
+    std::array<double, static_cast<std::size_t>(D)> centerAbsMax_{};
+    double invInfluence2Max_ = 0.0;
+    mutable RelaxedCounter fallbacks_;
 };
 
 extern template class PartitionSnapshot<2>;

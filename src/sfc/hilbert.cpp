@@ -149,15 +149,22 @@ Box<D> boundsOf(std::span<const Point<D>> points, int threads) {
 }
 
 template <int D>
-std::vector<std::uint64_t> hilbertIndices(std::span<const Point<D>> points,
-                                          const Box<D>& bounds, int threads) {
+void hilbertIndicesInto(std::span<const Point<D>> points, const Box<D>& bounds,
+                        std::span<std::uint64_t> out, int threads) {
+    GEO_REQUIRE(out.size() == points.size(), "need one key slot per point");
     const Box<D> bb = bounds.valid() ? bounds : boundsOf<D>(points, threads);
-    std::vector<std::uint64_t> out(points.size());
     par::parallelFor(threads, points.size(),
                      [&](std::size_t i0, std::size_t i1, int) {
                          for (std::size_t i = i0; i < i1; ++i)
                              out[i] = hilbertIndex<D>(points[i], bb);
                      });
+}
+
+template <int D>
+std::vector<std::uint64_t> hilbertIndices(std::span<const Point<D>> points,
+                                          const Box<D>& bounds, int threads) {
+    std::vector<std::uint64_t> out(points.size());
+    hilbertIndicesInto<D>(points, bounds, out, threads);
     return out;
 }
 
@@ -176,15 +183,22 @@ std::uint64_t mortonIndex(const Point<D>& p, const Box<D>& bounds) {
 }
 
 template <int D>
-std::vector<std::uint64_t> mortonIndices(std::span<const Point<D>> points,
-                                         const Box<D>& bounds, int threads) {
+void mortonIndicesInto(std::span<const Point<D>> points, const Box<D>& bounds,
+                       std::span<std::uint64_t> out, int threads) {
+    GEO_REQUIRE(out.size() == points.size(), "need one key slot per point");
     const Box<D> bb = bounds.valid() ? bounds : boundsOf<D>(points, threads);
-    std::vector<std::uint64_t> out(points.size());
     par::parallelFor(threads, points.size(),
                      [&](std::size_t i0, std::size_t i1, int) {
                          for (std::size_t i = i0; i < i1; ++i)
                              out[i] = mortonIndex<D>(points[i], bb);
                      });
+}
+
+template <int D>
+std::vector<std::uint64_t> mortonIndices(std::span<const Point<D>> points,
+                                         const Box<D>& bounds, int threads) {
+    std::vector<std::uint64_t> out(points.size());
+    mortonIndicesInto<D>(points, bounds, out, threads);
     return out;
 }
 
@@ -194,6 +208,10 @@ template Point2 hilbertPoint<2>(std::uint64_t, const Box2&);
 template Point3 hilbertPoint<3>(std::uint64_t, const Box3&);
 template std::vector<std::uint64_t> hilbertIndices<2>(std::span<const Point2>, const Box2&, int);
 template std::vector<std::uint64_t> hilbertIndices<3>(std::span<const Point3>, const Box3&, int);
+template void hilbertIndicesInto<2>(std::span<const Point2>, const Box2&, std::span<std::uint64_t>, int);
+template void hilbertIndicesInto<3>(std::span<const Point3>, const Box3&, std::span<std::uint64_t>, int);
+template void mortonIndicesInto<2>(std::span<const Point2>, const Box2&, std::span<std::uint64_t>, int);
+template void mortonIndicesInto<3>(std::span<const Point3>, const Box3&, std::span<std::uint64_t>, int);
 template std::uint64_t mortonIndex<2>(const Point2&, const Box2&);
 template std::uint64_t mortonIndex<3>(const Point3&, const Box3&);
 template std::vector<std::uint64_t> mortonIndices<2>(std::span<const Point2>, const Box2&, int);

@@ -34,6 +34,12 @@ std::uint64_t hilbertIndex(const Point<D>& p, const Box<D>& bounds);
 template <int D>
 Point<D> hilbertPoint(std::uint64_t index, const Box<D>& bounds);
 
+/// Points per keying tile — the span the chunked pipeline keys at a time
+/// (geographer fuses keying into its record build through one tile-sized
+/// stack buffer per worker instead of an n-wide key mirror). Matches the
+/// core::PointStore tile.
+inline constexpr std::size_t kKeyTile = 1024;
+
 /// Batch keying for a whole point set. Callers that already hold the global
 /// bounding box (geographer's allreduced box, repart's carried state) pass
 /// it and no per-call bounds pass runs; an invalid `bounds` falls back to a
@@ -45,6 +51,13 @@ template <int D>
 std::vector<std::uint64_t> hilbertIndices(std::span<const Point<D>> points,
                                           const Box<D>& bounds, int threads = 1);
 
+/// Span-writing variant: key `points` into caller-provided `out` (same
+/// size) without allocating. The chunked pipeline calls this per tile, so
+/// the key buffer stays tile-sized instead of mirroring all n points.
+template <int D>
+void hilbertIndicesInto(std::span<const Point<D>> points, const Box<D>& bounds,
+                        std::span<std::uint64_t> out, int threads = 1);
+
 /// Morton (Z-order) index; used as a cheaper, lower-locality comparator
 /// in ablation experiments.
 template <int D>
@@ -55,6 +68,11 @@ std::uint64_t mortonIndex(const Point<D>& p, const Box<D>& bounds);
 template <int D>
 std::vector<std::uint64_t> mortonIndices(std::span<const Point<D>> points,
                                          const Box<D>& bounds, int threads = 1);
+
+/// Span-writing Morton variant; see hilbertIndicesInto.
+template <int D>
+void mortonIndicesInto(std::span<const Point<D>> points, const Box<D>& bounds,
+                       std::span<std::uint64_t> out, int threads = 1);
 
 /// Bounding box of `points`, the reduction preceding keying: per-worker
 /// partial boxes merged into one. Box merge is exact coordinate min/max —
@@ -68,6 +86,10 @@ extern template Point2 hilbertPoint<2>(std::uint64_t, const Box2&);
 extern template Point3 hilbertPoint<3>(std::uint64_t, const Box3&);
 extern template std::vector<std::uint64_t> hilbertIndices<2>(std::span<const Point2>, const Box2&, int);
 extern template std::vector<std::uint64_t> hilbertIndices<3>(std::span<const Point3>, const Box3&, int);
+extern template void hilbertIndicesInto<2>(std::span<const Point2>, const Box2&, std::span<std::uint64_t>, int);
+extern template void hilbertIndicesInto<3>(std::span<const Point3>, const Box3&, std::span<std::uint64_t>, int);
+extern template void mortonIndicesInto<2>(std::span<const Point2>, const Box2&, std::span<std::uint64_t>, int);
+extern template void mortonIndicesInto<3>(std::span<const Point3>, const Box3&, std::span<std::uint64_t>, int);
 extern template std::uint64_t mortonIndex<2>(const Point2&, const Box2&);
 extern template std::uint64_t mortonIndex<3>(const Point3&, const Box3&);
 extern template std::vector<std::uint64_t> mortonIndices<2>(std::span<const Point2>, const Box2&, int);

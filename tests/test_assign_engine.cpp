@@ -116,7 +116,8 @@ TEST_P(EngineModeSweep, SingleSweepMatchesBruteForce) {
     s.useKdTree = kdTree;
     s.threads = threads;
     AssignEngine<2> engine(points, {}, s, 23);
-    engine.setActive(identityOrder(points.size()), points.size());
+    const auto order = identityOrder(points.size());
+    engine.setActive(order, points.size());
     engine.beginRound(centers, influence, engine.activeBox());
     std::vector<double> sizes(23, 0.0);
     engine.sweep(sizes);
@@ -133,7 +134,8 @@ TEST(AssignEngine, LazyEpochBoundsSkipButNeverMisassign) {
     std::vector<double> influence(12, 1.0);
     Settings s;
     AssignEngine<2> engine(points, {}, s, 12);
-    engine.setActive(identityOrder(points.size()), points.size());
+    const auto order = identityOrder(points.size());
+    engine.setActive(order, points.size());
     std::vector<double> sizes(12, 0.0);
     engine.beginRound(centers, influence, engine.activeBox());
     engine.sweep(sizes);
@@ -172,7 +174,8 @@ TEST(AssignEngine, MoveEpochKeepsBoundsConservative) {
     std::vector<double> influence(10, 1.0);
     Settings s;
     AssignEngine<2> engine(points, {}, s, 10);
-    engine.setActive(identityOrder(points.size()), points.size());
+    const auto order = identityOrder(points.size());
+    engine.setActive(order, points.size());
     std::vector<double> sizes(10, 0.0);
     engine.beginRound(centers, influence, engine.activeBox());
     engine.sweep(sizes);
@@ -217,7 +220,8 @@ TEST(AssignEngine, ThreadCountNeverChangesSizesBitwise) {
         Settings s;
         s.threads = threads;
         AssignEngine<2> engine(points, weights, s, 16);
-        engine.setActive(identityOrder(points.size()), points.size());
+        const auto order = identityOrder(points.size());
+    engine.setActive(order, points.size());
         engine.beginRound(centers, influence, engine.activeBox());
         std::vector<double> sizes(16, 0.0);
         engine.sweep(sizes);
@@ -238,7 +242,8 @@ TEST(AssignEngine, ZeroActivePointsIsANoop) {
     const std::vector<double> influence(3, 1.0);
     Settings s;
     AssignEngine<2> engine(points, {}, s, 3);
-    engine.setActive(identityOrder(points.size()), 0);
+    const auto order = identityOrder(points.size());
+    engine.setActive(order, 0);
     EXPECT_FALSE(engine.activeBox().valid());
     engine.beginRound(centers, influence, engine.activeBox());
     std::vector<double> sizes(3, 1.0);
@@ -254,7 +259,8 @@ TEST(AssignEngine, BatchKernelCountsBatchedDistances) {
         Settings s;
         s.referenceAssignment = reference;
         AssignEngine<2> engine(points, {}, s, 8);
-        engine.setActive(identityOrder(points.size()), points.size());
+        const auto order = identityOrder(points.size());
+    engine.setActive(order, points.size());
         engine.beginRound(centers, influence, engine.activeBox());
         std::vector<double> sizes(8, 0.0);
         engine.sweep(sizes);
