@@ -19,6 +19,14 @@
 // the final run's diagram is frozen into a PartitionSnapshot and every
 // input point routed back through the serving layer, so a budgeted run
 // covers the whole partition+serve pipeline under one RSS cap.
+//
+// Checkpoint/restart: `--checkpoint PATH` records which thread-scaling row
+// completed last (the rows are this bench's long pole); `--resume PATH`
+// skips the preamble tables and every completed row. Each row is an
+// independent full-pipeline run, so a resumed row is bitwise identical to
+// the interrupted run's. When every row already completed, the last row is
+// re-run — the serve stage needs its result.
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -27,6 +35,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "core/checkpoint.hpp"
 #include "core/geographer.hpp"
 #include "gen/delaunay2d.hpp"
 #include "serve/router.hpp"
@@ -95,9 +104,10 @@ int main(int argc, char** argv) {
     par::TransportKind transport = par::TransportKind::Auto;
     std::uint64_t memBudget = 0;
     std::uint64_t assertRss = 0;
+    std::string checkpointPath, resumePath;
     const char* usage =
         " [scaling-n] [--transport sim|socket|tcp] [--mem-budget BYTES]"
-        " [--assert-rss BYTES] [--json PATH]\n";
+        " [--assert-rss BYTES] [--json PATH] [--checkpoint PATH] [--resume PATH]\n";
     for (int a = 1; a < argc; ++a) {
         const std::string arg = argv[a];
         if (arg == "--json") {
@@ -106,6 +116,18 @@ int main(int argc, char** argv) {
                 return 1;
             }
             jsonPath = argv[++a];
+        } else if (arg == "--checkpoint") {
+            if (a + 1 >= argc) {
+                std::cerr << "--checkpoint requires a path\nusage: " << argv[0] << usage;
+                return 1;
+            }
+            checkpointPath = argv[++a];
+        } else if (arg == "--resume") {
+            if (a + 1 >= argc) {
+                std::cerr << "--resume requires a path\nusage: " << argv[0] << usage;
+                return 1;
+            }
+            resumePath = argv[++a];
         } else if (arg == "--transport") {
             if (a + 1 >= argc) {
                 std::cerr << "--transport requires a backend\nusage: " << argv[0] << usage;
@@ -141,12 +163,27 @@ int main(int argc, char** argv) {
         return 1;
     }
 
+    // The cursor counts completed thread-scaling rows; a cursor > 0 also
+    // implies the preamble tables already ran, so a resume skips them.
+    std::size_t resumeRow = 0;
+    if (!resumePath.empty()) {
+        try {
+            resumeRow = static_cast<std::size_t>(core::loadCheckpoint(resumePath).phase);
+            std::cout << "resuming from " << resumePath << ": " << resumeRow
+                      << " scaling row(s) already complete\n";
+        } catch (const std::exception& e) {
+            std::cerr << "cannot resume: " << e.what() << "\n";
+            return 1;
+        }
+    }
+
     const std::int64_t n = 65536;
     const std::int32_t k = 32;
     std::cout << "=== Components breakdown (delaunay2d n=" << n << ", k=" << k
               << ") ===\n\n";
     const auto mesh = gen::delaunay2d(n, 9);
 
+    if (resumeRow == 0) {
     Table table({"ranks", "hilbert[s]", "redistribute[s]", "kmeans[s]", "hilbert%",
                  "redistribute%", "kmeans%"});
     for (const int ranks : {1, 2, 4, 8, 16, 32}) {
@@ -193,6 +230,7 @@ int main(int argc, char** argv) {
     engineTable.print(std::cout);
     std::cout << "\nreference = seed scalar kernel (one sqrt per candidate, eager bound\n"
                  "sweeps); fast = squared-domain batch kernel with lazy epoch bounds.\n\n";
+    }  // resumeRow == 0 preamble
 
     // Per-phase intra-rank thread scaling: the whole pipeline on ONE rank so
     // Amdahl shows up per phase, not per rank. Partitions, centers,
@@ -205,7 +243,13 @@ int main(int argc, char** argv) {
     core::GeographerResult lastRes;
     Table scalingTable({"threads", "keying[s]", "sort[s]", "assign[s]", "update[s]",
                         "metrics[s]", "total[s]", "peakTileMB", "spills"});
-    for (const int threads : {1, 2, 4, 8}) {
+    const int threadCounts[] = {1, 2, 4, 8};
+    const std::size_t rowCount = std::size(threadCounts);
+    // Resume skips completed rows; when all are complete, re-run the last
+    // one — the serve stage below consumes its result.
+    const std::size_t firstRow = std::min(resumeRow, rowCount - 1);
+    for (std::size_t rowIdx = firstRow; rowIdx < rowCount; ++rowIdx) {
+        const int threads = threadCounts[rowIdx];
         core::Settings settings;
         settings.transport = transport;
         settings.memoryBudgetBytes = memBudget;
@@ -240,6 +284,12 @@ int main(int argc, char** argv) {
              Table::num(static_cast<double>(row.peakTileBytes) / (1024.0 * 1024.0), 2),
              std::to_string(row.spilledTiles)});
         (void)m;
+        if (!checkpointPath.empty() && bench::isRootProcess()) {
+            core::CheckpointState ck;
+            ck.dims = 2;
+            ck.phase = rowIdx + 1;  // rows completed
+            core::saveCheckpoint(checkpointPath, ck);
+        }
     }
     scalingTable.print(std::cout);
     const auto& t1 = rows.front();

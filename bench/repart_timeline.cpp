@@ -19,24 +19,39 @@
 //   ./bench_repart_timeline [points] [steps] [blocks] [ranks]
 //                           [--transport sim|socket|tcp]
 //                           [--mem-budget BYTES] [--json PATH]
+//                           [--checkpoint PATH] [--checkpoint-every K]
+//                           [--resume PATH]
 //
 // `--mem-budget BYTES` (k/m/g suffixes accepted) caps the assignment
 // engine's tile storage via Settings::memoryBudgetBytes; partitions are
 // bitwise unchanged (chunked-vs-resident contract), only the memory
 // counters and wall clock move.
 //
+// `--checkpoint PATH` saves the warm strategy's state (centers, influence)
+// plus the deterministic cursor (scenario index, step) every K completed
+// steps (--checkpoint-every, default 1); `--resume PATH` fast-forwards to
+// the checkpointed cursor — scenarios regenerate deterministically from
+// their seed, so every partition computed after the resume point is bitwise
+// identical to the uninterrupted run (only the per-step bookkeeping that
+// compares against pre-crash history — migration, misroute — restarts).
+// Each step also runs the fault point faultPoint("step", scenario*T + t),
+// so GEO_FAULT can kill a rank at an exact step for the chaos suite.
+//
 // Under `geo_launch -n N -- bench_repart_timeline ... --transport socket`
 // the run spans N real processes: the ranks argument is overridden by the
 // worker count, every process executes the loop in lockstep, and only
 // rank 0 prints tables or writes the JSON.
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <numeric>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "baseline/rcb.hpp"
+#include "core/checkpoint.hpp"
 #include "gen/delaunay2d.hpp"
 #include "graph/metrics.hpp"
 #include "repart/migration.hpp"
@@ -45,6 +60,7 @@
 #include "serve/router.hpp"
 #include "serve/snapshot.hpp"
 #include "common.hpp"
+#include "support/fault.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
 
@@ -92,6 +108,29 @@ void recordMigration(StrategyHistory& h, const repart::WorkloadStep<2>& step,
 double mean(const std::vector<double>& v) {
     return v.empty() ? 0.0 : std::accumulate(v.begin(), v.end(), 0.0) /
                                  static_cast<double>(v.size());
+}
+
+core::CheckpointState toCheckpoint(const repart::RepartState<2>& state,
+                                   std::uint64_t phase, std::uint64_t step) {
+    core::CheckpointState ck;
+    ck.dims = 2;
+    ck.phase = phase;
+    ck.step = step;
+    ck.influence = state.influence;
+    ck.centerCoords.reserve(state.centers.size() * 2);
+    for (const auto& c : state.centers)
+        for (int d = 0; d < 2; ++d) ck.centerCoords.push_back(c[d]);
+    return ck;
+}
+
+repart::RepartState<2> fromCheckpoint(const core::CheckpointState& ck) {
+    if (ck.dims != 2)
+        throw std::invalid_argument("resume checkpoint has dims=" +
+                                    std::to_string(ck.dims) + ", this bench is 2-D");
+    repart::RepartState<2> state;
+    state.centers = core::unflattenCenters<2>(ck.centerCoords);
+    state.influence = ck.influence;
+    return state;
 }
 
 struct Summary {
@@ -172,9 +211,12 @@ int main(int argc, char** argv) {
     std::string jsonPath;
     par::TransportKind transport = par::TransportKind::Auto;
     std::uint64_t memBudget = 0;
+    std::string checkpointPath, resumePath;
+    int checkpointEvery = 1;
     const char* usage =
         " [points] [steps] [blocks] [ranks] [--transport sim|socket|tcp]"
-        " [--mem-budget BYTES] [--json PATH]\n";
+        " [--mem-budget BYTES] [--json PATH]"
+        " [--checkpoint PATH] [--checkpoint-every K] [--resume PATH]\n";
     int positional = 0;
     for (int a = 1; a < argc; ++a) {
         const std::string arg = argv[a];
@@ -184,6 +226,25 @@ int main(int argc, char** argv) {
                 return 1;
             }
             jsonPath = argv[++a];
+        } else if (arg == "--checkpoint") {
+            if (a + 1 >= argc) {
+                std::cerr << "--checkpoint requires a path\nusage: " << argv[0] << usage;
+                return 1;
+            }
+            checkpointPath = argv[++a];
+        } else if (arg == "--checkpoint-every") {
+            if (a + 1 >= argc) {
+                std::cerr << "--checkpoint-every requires a count\nusage: " << argv[0]
+                          << usage;
+                return 1;
+            }
+            checkpointEvery = std::max(1, std::atoi(argv[++a]));
+        } else if (arg == "--resume") {
+            if (a + 1 >= argc) {
+                std::cerr << "--resume requires a path\nusage: " << argv[0] << usage;
+                return 1;
+            }
+            resumePath = argv[++a];
         } else if (arg == "--transport") {
             if (a + 1 >= argc) {
                 std::cerr << "--transport requires a backend\nusage: " << argv[0] << usage;
@@ -232,13 +293,36 @@ int main(int argc, char** argv) {
     std::cout << "Dynamic repartitioning timeline: n=" << n << ", T=" << steps
               << ", k=" << k << ", ranks=" << ranks << "\n\n";
 
+    // Every rank loads the same checkpoint, so the replicated warm state and
+    // the cursor agree across the mesh exactly as they would mid-run.
+    core::CheckpointState resumeCursor;
+    bool resuming = false;
+    if (!resumePath.empty()) {
+        try {
+            resumeCursor = core::loadCheckpoint(resumePath);
+            resuming = true;
+            std::cout << "resuming from " << resumePath << ": scenario "
+                      << resumeCursor.phase << ", step " << resumeCursor.step
+                      << "\n";
+        } catch (const std::exception& e) {
+            std::cerr << "cannot resume: " << e.what() << "\n";
+            return 1;
+        }
+    }
+
     const repart::ScenarioKind kinds[] = {
         repart::ScenarioKind::Advection, repart::ScenarioKind::Rotation,
         repart::ScenarioKind::Hotspot, repart::ScenarioKind::Churn};
+    const std::size_t kindCount = std::size(kinds);
 
     std::vector<ScenarioTrace> traces;
 
-    for (const auto kind : kinds) {
+    for (std::size_t si = 0; si < kindCount; ++si) {
+        const auto kind = kinds[si];
+        // Scenarios before the checkpointed cursor already ran to
+        // completion in the interrupted run.
+        if (resuming && si < resumeCursor.phase) continue;
+
         repart::ScenarioConfig cfg;
         cfg.kind = kind;
         cfg.basePoints = n;
@@ -267,7 +351,22 @@ int main(int argc, char** argv) {
         // apples-to-apples warm-vs-scratch number.
         Table table({"step", "strategy", "seconds", "modeled", "iters", "cut",
                      "imbalance", "migrated", "migKB", "misroute"});
-        for (int t = 0; t < steps; ++t) {
+        int startStep = 0;
+        if (resuming && si == resumeCursor.phase) {
+            startStep = std::min(static_cast<int>(resumeCursor.step), steps);
+            // startStep == 0 means the cursor sits on a scenario boundary:
+            // the uninterrupted run starts this scenario cold, so the
+            // checkpointed warm state (from the PREVIOUS scenario) must not
+            // leak in.
+            if (startStep > 0) warmState = fromCheckpoint(resumeCursor);
+            // Scenarios regenerate deterministically: advancing from the
+            // seed replays the exact point clouds of the interrupted run.
+            for (int t = 0; t < startStep; ++t) scenario.advance();
+            resuming = false;
+        }
+        for (int t = startStep; t < steps; ++t) {
+            support::faultPoint("step", si * static_cast<std::uint64_t>(steps) +
+                                            static_cast<std::uint64_t>(t));
             const auto& step = scenario.current();
             const auto graph = gen::delaunayTriangulate2d(step.points);
 
@@ -353,6 +452,20 @@ int main(int argc, char** argv) {
             addRow("rcb", rcbHist.records.back(), false);
 
             scenario.advance();
+
+            // The cursor names the NEXT unit of work: mid-scenario that is
+            // (si, t+1); on the last step it rolls to (si+1, 0) so a resume
+            // starts the next scenario cold, exactly like the uninterrupted
+            // run. Root writes; the state is replicated on every rank.
+            if (!checkpointPath.empty() && bench::isRootProcess() &&
+                ((t + 1) % checkpointEvery == 0 || t + 1 == steps)) {
+                const bool scenarioDone = t + 1 == steps;
+                core::saveCheckpoint(
+                    checkpointPath,
+                    toCheckpoint(warmState, scenarioDone ? si + 1 : si,
+                                 scenarioDone ? 0
+                                              : static_cast<std::uint64_t>(t + 1)));
+            }
         }
 
         std::cout << "=== scenario: " << toString(kind) << " ===\n";

@@ -1,0 +1,103 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "support/assert.hpp"
+#include "support/binio.hpp"
+#include "support/crc32.hpp"
+
+namespace geo::core {
+
+namespace {
+
+/// Checkpoints hold k centers of small dimension — far below this. The cap
+/// keeps a corrupt length field from driving a giant allocation.
+constexpr std::size_t kMaxCheckpointBytes = std::size_t{1} << 30;
+
+}  // namespace
+
+std::vector<std::byte> encodeCheckpoint(const CheckpointState& state) {
+    GEO_REQUIRE(state.dims > 0, "checkpoint needs dims > 0");
+    GEO_REQUIRE(state.centerCoords.size() == state.influence.size() * state.dims,
+                "checkpoint centerCoords size must be k * dims");
+
+    binio::Writer payload;
+    payload.u32(state.dims);
+    payload.u32(static_cast<std::uint32_t>(state.k()));
+    payload.u64(state.phase);
+    payload.u64(state.step);
+    payload.vec(state.centerCoords);
+    payload.vec(state.influence);
+    const std::vector<std::byte> body = std::move(payload).take();
+
+    binio::Writer out;
+    out.u32(kCheckpointMagic);
+    out.u32(kCheckpointVersion);
+    out.u64(body.size());
+    out.bytes(body);
+    out.u32(support::crc32(body));
+    return std::move(out).take();
+}
+
+CheckpointState decodeCheckpoint(std::span<const std::byte> data) {
+    GEO_REQUIRE(data.size() >= 16, "checkpoint truncated (missing header)");
+    binio::Reader header(data);
+    GEO_REQUIRE(header.u32() == kCheckpointMagic,
+                "checkpoint magic mismatch (not a checkpoint file)");
+    const std::uint32_t version = header.u32();
+    GEO_REQUIRE(version == kCheckpointVersion,
+                "unsupported checkpoint version " + std::to_string(version));
+    const std::uint64_t len = header.u64();
+    GEO_REQUIRE(len <= kMaxCheckpointBytes, "checkpoint payload length implausible");
+    GEO_REQUIRE(header.remaining() >= len + sizeof(std::uint32_t),
+                "checkpoint truncated (payload shorter than header claims)");
+    const std::vector<std::byte> body = header.bytes(static_cast<std::size_t>(len));
+    const std::uint32_t storedCrc = header.u32();
+    header.expectEnd("checkpoint file");
+    GEO_REQUIRE(support::crc32(body) == storedCrc,
+                "checkpoint CRC mismatch (file corrupt)");
+
+    binio::Reader r(body);
+    CheckpointState state;
+    state.dims = r.u32();
+    const std::uint32_t k = r.u32();
+    state.phase = r.u64();
+    state.step = r.u64();
+    GEO_REQUIRE(state.dims > 0, "checkpoint dims must be > 0");
+    state.centerCoords = r.vec<double>(static_cast<std::size_t>(k) * state.dims);
+    state.influence = r.vec<double>(k);
+    r.expectEnd("checkpoint payload");
+    return state;
+}
+
+void saveCheckpoint(const std::string& path, const CheckpointState& state) {
+    const std::vector<std::byte> image = encodeCheckpoint(state);
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw std::runtime_error("checkpoint: cannot open '" + tmp +
+                                     "' for writing");
+        out.write(reinterpret_cast<const char*>(image.data()),
+                  static_cast<std::streamsize>(image.size()));
+        out.flush();
+        if (!out)
+            throw std::runtime_error("checkpoint: write to '" + tmp + "' failed");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("checkpoint: rename to '" + path + "' failed");
+    }
+}
+
+CheckpointState loadCheckpoint(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("checkpoint: cannot open '" + path + "'");
+    const std::vector<std::byte> image =
+        binio::readAll(in, kMaxCheckpointBytes + 64);
+    return decodeCheckpoint(image);
+}
+
+}  // namespace geo::core

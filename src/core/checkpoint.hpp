@@ -1,0 +1,69 @@
+// Checkpoint/restart of warm partition state.
+//
+// A long repartitioning run (bench/repart_timeline, any driver that loops
+// timesteps) carries exactly two kinds of state between steps:
+//
+//   1. the WARM STATE — the balanced-k-means centers and influence radii
+//      the next step seeds from (repart::RepartState), and
+//   2. a DETERMINISTIC CURSOR — which phase (scenario) and which step the
+//      run is at. No RNG state is needed: scenarios regenerate their point
+//      sets by advancing from the seed, so (cursor, warm state) fully
+//      determines the rest of the run. That is what makes a resumed run
+//      bitwise identical to an uninterrupted one.
+//
+// File format (all native byte order, like every binio surface):
+//
+//     [u32 magic 'GEOC'][u32 version][u64 payloadLen][payload][u32 crc32]
+//
+// with the CRC over the payload bytes only. The loader distinguishes its
+// failure modes — wrong magic, unsupported version, truncation, CRC
+// mismatch, and semantic size mismatches — because a recovery path that
+// cannot tell "not a checkpoint" from "corrupt checkpoint" cannot decide
+// whether restarting from scratch is safe.
+//
+// Writes are atomic: encode to `path.tmp`, fsync-free rename over `path`.
+// A crash mid-write leaves the previous checkpoint intact, never a torn
+// file.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace geo::core {
+
+constexpr std::uint32_t kCheckpointMagic = 0x47454F43;  // "GEOC"
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Warm partition state plus the deterministic cursor. Dimension-erased
+/// (flattened coordinates) so one codec serves every D; callers reshape via
+/// dims.
+struct CheckpointState {
+    std::uint32_t dims = 0;
+    std::uint64_t phase = 0;  ///< outer unit (scenario index, config row, ...)
+    std::uint64_t step = 0;   ///< next step to execute within the phase
+    std::vector<double> centerCoords;  ///< k × dims, flattened row-major
+    std::vector<double> influence;     ///< k influence radii
+
+    [[nodiscard]] std::size_t k() const noexcept { return influence.size(); }
+};
+
+/// Encode to the framed format above (header + payload + CRC).
+[[nodiscard]] std::vector<std::byte> encodeCheckpoint(const CheckpointState& state);
+
+/// Decode and validate a full checkpoint file image. Throws
+/// std::invalid_argument naming the failure: bad magic, bad version,
+/// truncation, CRC mismatch, or inconsistent payload sizes.
+[[nodiscard]] CheckpointState decodeCheckpoint(std::span<const std::byte> data);
+
+/// Atomic save: write `path.tmp`, rename over `path`. Throws
+/// std::runtime_error on I/O failure.
+void saveCheckpoint(const std::string& path, const CheckpointState& state);
+
+/// Load and decode `path`. Throws std::runtime_error when the file cannot
+/// be read, std::invalid_argument when it is corrupt.
+[[nodiscard]] CheckpointState loadCheckpoint(const std::string& path);
+
+}  // namespace geo::core

@@ -116,6 +116,22 @@ struct Settings {
         return par::envTransportKind();
     }
 
+    /// Deadline (ms) for every blocking socket-transport operation: a dead
+    /// or wedged peer surfaces as a typed par::TransportError instead of a
+    /// hang. -1 = unset: fall back to GEO_COMM_TIMEOUT_MS, then 30000.
+    /// 0 disables the deadline (pre-fault-tolerance blocking behavior).
+    /// Only meaningful for SPMD runs over the socket/tcp transport; the
+    /// in-process simulator cannot lose a rank.
+    int commTimeoutMs = -1;
+
+    /// The deadline actually used: `commTimeoutMs` if set (>= 0), else
+    /// GEO_COMM_TIMEOUT_MS, else 30000. NOT cached: geo_launch forwards
+    /// --comm-timeout-ms through the environment at runtime.
+    [[nodiscard]] int resolvedCommTimeoutMs() const noexcept {
+        if (commTimeoutMs >= 0) return commTimeoutMs;
+        return par::defaultCommTimeoutMs();
+    }
+
     /// Byte budget for the tiled point mirror every assignment sweep and
     /// center update runs over (core::PointStore). 0 = unset: fall back to
     /// GEO_MEM_BUDGET, then unlimited (the whole active set stays resident,

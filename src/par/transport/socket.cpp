@@ -9,6 +9,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <csignal>
@@ -21,6 +22,7 @@
 
 #include "support/assert.hpp"
 #include "support/binio.hpp"
+#include "support/fault.hpp"
 
 namespace geo::par {
 
@@ -42,32 +44,125 @@ double monotonicSeconds() noexcept {
     return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
 }
 
-void sendAll(int fd, const void* data, std::size_t bytes) {
-    const auto* p = static_cast<const std::byte*>(data);
-    while (bytes > 0) {
-        const ssize_t w = ::send(fd, p, bytes, MSG_NOSIGNAL);
-        if (w > 0) {
-            p += w;
-            bytes -= static_cast<std::size_t>(w);
-            continue;
-        }
-        if (w < 0 && errno == EINTR) continue;
-        sysFail("send");
+/// Inactivity deadline for a blocking operation. `ms <= 0` means unbounded
+/// (the pre-fault-tolerance behavior); otherwise the limit is an absolute
+/// monotonic timestamp that byte progress pushes forward via reset() — the
+/// deadline bounds SILENCE, not total transfer time, so a slow-but-alive
+/// peer streaming a large payload never trips it.
+struct Deadline {
+    double limit = 0.0;  ///< absolute monotonic seconds; 0 = unbounded
+    int ms = 0;          ///< the configured window, for error messages
+
+    static Deadline after(int milliseconds) {
+        Deadline d;
+        d.ms = milliseconds;
+        if (milliseconds > 0) d.limit = monotonicSeconds() + milliseconds * 1e-3;
+        return d;
+    }
+    void reset() {
+        if (ms > 0) limit = monotonicSeconds() + ms * 1e-3;
+    }
+    /// Remaining window as a poll() timeout argument: -1 = unbounded,
+    /// 0 = already expired, else milliseconds (rounded up so we never spin).
+    [[nodiscard]] int pollMs() const {
+        if (limit <= 0.0) return -1;
+        const double rem = (limit - monotonicSeconds()) * 1000.0;
+        if (rem <= 0.0) return 0;
+        return rem >= 1e9 ? 1000000000 : static_cast<int>(rem) + 1;
+    }
+    [[nodiscard]] bool expired() const {
+        return limit > 0.0 && monotonicSeconds() >= limit;
+    }
+};
+
+/// Error context for one blocking operation: which collective (name + wire
+/// sequence) the bytes belong to, so a TransportError pinpoints the op.
+struct IoCtx {
+    const char* op;
+    std::uint32_t seq;
+    int timeoutMs;
+};
+
+/// Map a failed send/recv/poll syscall to a typed error. Peer-death errnos
+/// (the peer process died or reset the connection) become PeerClosed — the
+/// recoverable class supervision acts on; anything else is Protocol.
+[[noreturn]] void ioFail(const char* what, const IoCtx& ctx, int peer) {
+    const int err = errno;
+    if (err == EPIPE || err == ECONNRESET || err == ECONNABORTED || err == ETIMEDOUT)
+        throw TransportError(TransportErrorKind::PeerClosed, peer, ctx.op, ctx.seq,
+                             std::string(what) + ": " + std::strerror(err));
+    throw TransportError(TransportErrorKind::Protocol, peer, ctx.op, ctx.seq,
+                         std::string(what) + " failed: " + std::strerror(err));
+}
+
+[[noreturn]] void ioTimeout(const char* what, const IoCtx& ctx, int peer,
+                            const Deadline& dl) {
+    throw TransportError(TransportErrorKind::Timeout, peer, ctx.op, ctx.seq,
+                         std::string(what) + " made no progress for " +
+                             std::to_string(dl.ms) + " ms");
+}
+
+/// Block until `fd` is ready for `events` or the deadline expires (throws
+/// Timeout). A positive poll() result — including POLLERR/POLLHUP — returns
+/// normally: the next syscall surfaces the precise error.
+void waitReady(int fd, short events, const Deadline& dl, const IoCtx& ctx, int peer,
+               const char* what) {
+    for (;;) {
+        pollfd pfd{fd, events, 0};
+        const int rc = ::poll(&pfd, 1, dl.pollMs());
+        if (rc > 0) return;
+        if (rc == 0) ioTimeout(what, ctx, peer, dl);
+        if (errno == EINTR) continue;
+        ioFail("poll", ctx, peer);
     }
 }
 
-void recvAll(int fd, void* data, std::size_t bytes) {
+/// Deadline-bounded full write. MSG_DONTWAIT keeps every syscall
+/// non-blocking; the only place this function can wait is the poll inside
+/// waitReady, which is where the deadline bites.
+void sendAll(int fd, const void* data, std::size_t bytes, const IoCtx& ctx,
+             int peer) {
+    Deadline dl = Deadline::after(ctx.timeoutMs);
+    const auto* p = static_cast<const std::byte*>(data);
+    while (bytes > 0) {
+        const ssize_t w = ::send(fd, p, bytes, MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (w > 0) {
+            p += w;
+            bytes -= static_cast<std::size_t>(w);
+            dl.reset();
+            continue;
+        }
+        if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            waitReady(fd, POLLOUT, dl, ctx, peer, "send");
+            continue;
+        }
+        if (w < 0 && errno == EINTR) continue;
+        ioFail("send", ctx, peer);
+    }
+}
+
+/// Deadline-bounded full read; EOF (the peer died or closed its mesh)
+/// throws PeerClosed.
+void recvAll(int fd, void* data, std::size_t bytes, const IoCtx& ctx, int peer) {
+    Deadline dl = Deadline::after(ctx.timeoutMs);
     auto* p = static_cast<std::byte*>(data);
     while (bytes > 0) {
-        const ssize_t r = ::recv(fd, p, bytes, 0);
+        const ssize_t r = ::recv(fd, p, bytes, MSG_DONTWAIT);
         if (r > 0) {
             p += r;
             bytes -= static_cast<std::size_t>(r);
+            dl.reset();
             continue;
         }
-        if (r == 0) throw std::runtime_error("socket transport: peer closed connection");
+        if (r == 0)
+            throw TransportError(TransportErrorKind::PeerClosed, peer, ctx.op,
+                                 ctx.seq, "peer closed connection (EOF)");
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            waitReady(fd, POLLIN, dl, ctx, peer, "recv");
+            continue;
+        }
         if (errno == EINTR) continue;
-        sysFail("recv");
+        ioFail("recv", ctx, peer);
     }
 }
 
@@ -108,19 +203,27 @@ std::uint32_t makeTagImpl(std::uint8_t op, std::uint32_t seq) {
 
 }  // namespace
 
+void SocketTransport::beginCollective(const char* op) {
+    ++seq_;
+    opName_ = op;
+    support::faultPoint(op, seq_, config_.rank);
+}
+
 void SocketTransport::sendFrame(int peer, Op op, const void* payload,
                                 std::size_t bytes) {
+    const IoCtx ctx{opName_, seq_, opTimeoutMs_};
     binio::Writer header;
     header.u32(kFrameMagic);
     header.u32(makeTagImpl(static_cast<std::uint8_t>(op), seq_));
     header.u64(bytes);
-    sendAll(fdFor(peer), header.buffer().data(), header.size());
-    if (bytes > 0) sendAll(fdFor(peer), payload, bytes);
+    sendAll(fdFor(peer), header.buffer().data(), header.size(), ctx, peer);
+    if (bytes > 0) sendAll(fdFor(peer), payload, bytes, ctx, peer);
 }
 
 std::vector<std::byte> SocketTransport::recvFrame(int peer, Op op) {
+    const IoCtx ctx{opName_, seq_, opTimeoutMs_};
     std::array<std::byte, kHeaderBytes> raw{};
-    recvAll(fdFor(peer), raw.data(), raw.size());
+    recvAll(fdFor(peer), raw.data(), raw.size(), ctx, peer);
     binio::Reader header(raw);
     GEO_CHECK(header.u32() == kFrameMagic, "bad frame magic (stream corrupt)");
     const std::uint32_t tag = header.u32();
@@ -131,7 +234,7 @@ std::vector<std::byte> SocketTransport::recvFrame(int peer, Op op) {
     const std::uint64_t len = header.u64();
     GEO_CHECK(len <= kMaxFrameBytes, "frame length exceeds protocol cap");
     std::vector<std::byte> payload(static_cast<std::size_t>(len));
-    if (len > 0) recvAll(fdFor(peer), payload.data(), payload.size());
+    if (len > 0) recvAll(fdFor(peer), payload.data(), payload.size(), ctx, peer);
     return payload;
 }
 
@@ -139,6 +242,7 @@ std::vector<std::byte> SocketTransport::exchangeFrames(int sendPeer, Op sendOp,
                                                        const void* sendPayload,
                                                        std::size_t sendBytes,
                                                        int recvPeer, Op recvOp) {
+    const IoCtx ctx{opName_, seq_, opTimeoutMs_};
     const int sendFd = fdFor(sendPeer);
     const int recvFd = fdFor(recvPeer);
 
@@ -157,107 +261,104 @@ std::vector<std::byte> SocketTransport::exchangeFrames(int sendPeer, Op sendOp,
     bool recvHeaderParsed = false;
     std::vector<std::byte> recvPayload;
 
-    setNonBlocking(sendFd, true);
-    if (recvFd != sendFd) setNonBlocking(recvFd, true);
-
-    try {
-        while (sendOff < sendTotal || recvOff < recvTotal) {
-            // Pump the send side until the kernel buffer is full.
-            while (sendOff < sendTotal) {
-                const void* p;
-                std::size_t n;
-                if (sendOff < kHeaderBytes) {
-                    p = sendHeader.data() + sendOff;
-                    n = kHeaderBytes - sendOff;
-                } else {
-                    p = sendBody + (sendOff - kHeaderBytes);
-                    n = sendBytes - (sendOff - kHeaderBytes);
-                }
-                const ssize_t w = ::send(sendFd, p, n, MSG_NOSIGNAL);
-                if (w > 0) {
-                    sendOff += static_cast<std::size_t>(w);
-                    continue;
-                }
-                if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-                if (w < 0 && errno == EINTR) continue;
-                sysFail("send");
-            }
-            // Pump the receive side until the kernel buffer is drained.
-            while (recvOff < recvTotal) {
-                void* p;
-                std::size_t n;
-                if (recvOff < kHeaderBytes) {
-                    p = recvHeader.data() + recvOff;
-                    n = kHeaderBytes - recvOff;
-                } else {
-                    p = recvPayload.data() + (recvOff - kHeaderBytes);
-                    n = recvPayload.size() - (recvOff - kHeaderBytes);
-                }
-                const ssize_t r = ::recv(recvFd, p, n, 0);
-                if (r > 0) {
-                    recvOff += static_cast<std::size_t>(r);
-                    if (!recvHeaderParsed && recvOff == kHeaderBytes) {
-                        binio::Reader header(recvHeader);
-                        GEO_CHECK(header.u32() == kFrameMagic,
-                                  "bad frame magic (stream corrupt)");
-                        const std::uint32_t expected = makeTagImpl(
-                            static_cast<std::uint8_t>(recvOp), seq_);
-                        GEO_CHECK(header.u32() == expected,
-                                  "collective desync in pairwise exchange");
-                        const std::uint64_t len = header.u64();
-                        GEO_CHECK(len <= kMaxFrameBytes,
-                                  "frame length exceeds protocol cap");
-                        recvPayload.resize(static_cast<std::size_t>(len));
-                        recvTotal = kHeaderBytes + recvPayload.size();
-                        recvHeaderParsed = true;
-                    }
-                    continue;
-                }
-                if (r == 0)
-                    throw std::runtime_error(
-                        "socket transport: peer closed connection");
-                if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-                if (errno == EINTR) continue;
-                sysFail("recv");
-            }
-            if (sendOff >= sendTotal && recvOff >= recvTotal) break;
-
-            // Block until either side can make progress. Full-duplex: two
-            // ranks streaming large payloads at each other both keep
-            // draining their receive side, so filled send buffers always
-            // empty eventually — no deadlock.
-            pollfd fds[2];
-            nfds_t nfds = 0;
-            if (sendFd == recvFd) {
-                fds[0].fd = sendFd;
-                fds[0].events = static_cast<short>(
-                    (sendOff < sendTotal ? POLLOUT : 0) |
-                    (recvOff < recvTotal ? POLLIN : 0));
-                fds[0].revents = 0;
-                nfds = 1;
+    Deadline dl = Deadline::after(opTimeoutMs_);
+    while (sendOff < sendTotal || recvOff < recvTotal) {
+        // Pump the send side until the kernel buffer is full.
+        while (sendOff < sendTotal) {
+            const void* p;
+            std::size_t n;
+            if (sendOff < kHeaderBytes) {
+                p = sendHeader.data() + sendOff;
+                n = kHeaderBytes - sendOff;
             } else {
-                if (sendOff < sendTotal) {
-                    fds[nfds].fd = sendFd;
-                    fds[nfds].events = POLLOUT;
-                    fds[nfds].revents = 0;
-                    ++nfds;
-                }
-                if (recvOff < recvTotal) {
-                    fds[nfds].fd = recvFd;
-                    fds[nfds].events = POLLIN;
-                    fds[nfds].revents = 0;
-                    ++nfds;
-                }
+                p = sendBody + (sendOff - kHeaderBytes);
+                n = sendBytes - (sendOff - kHeaderBytes);
             }
-            if (poll(fds, nfds, -1) < 0 && errno != EINTR) sysFail("poll");
+            const ssize_t w = ::send(sendFd, p, n, MSG_NOSIGNAL | MSG_DONTWAIT);
+            if (w > 0) {
+                sendOff += static_cast<std::size_t>(w);
+                dl.reset();
+                continue;
+            }
+            if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+            if (w < 0 && errno == EINTR) continue;
+            ioFail("send", ctx, sendPeer);
         }
-    } catch (...) {
-        setNonBlocking(sendFd, false);
-        if (recvFd != sendFd) setNonBlocking(recvFd, false);
-        throw;
+        // Pump the receive side until the kernel buffer is drained.
+        while (recvOff < recvTotal) {
+            void* p;
+            std::size_t n;
+            if (recvOff < kHeaderBytes) {
+                p = recvHeader.data() + recvOff;
+                n = kHeaderBytes - recvOff;
+            } else {
+                p = recvPayload.data() + (recvOff - kHeaderBytes);
+                n = recvPayload.size() - (recvOff - kHeaderBytes);
+            }
+            const ssize_t r = ::recv(recvFd, p, n, MSG_DONTWAIT);
+            if (r > 0) {
+                recvOff += static_cast<std::size_t>(r);
+                dl.reset();
+                if (!recvHeaderParsed && recvOff == kHeaderBytes) {
+                    binio::Reader header(recvHeader);
+                    GEO_CHECK(header.u32() == kFrameMagic,
+                              "bad frame magic (stream corrupt)");
+                    const std::uint32_t expected = makeTagImpl(
+                        static_cast<std::uint8_t>(recvOp), seq_);
+                    GEO_CHECK(header.u32() == expected,
+                              "collective desync in pairwise exchange");
+                    const std::uint64_t len = header.u64();
+                    GEO_CHECK(len <= kMaxFrameBytes,
+                              "frame length exceeds protocol cap");
+                    recvPayload.resize(static_cast<std::size_t>(len));
+                    recvTotal = kHeaderBytes + recvPayload.size();
+                    recvHeaderParsed = true;
+                }
+                continue;
+            }
+            if (r == 0)
+                throw TransportError(TransportErrorKind::PeerClosed, recvPeer,
+                                     ctx.op, ctx.seq,
+                                     "peer closed connection (EOF)");
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            if (errno == EINTR) continue;
+            ioFail("recv", ctx, recvPeer);
+        }
+        if (sendOff >= sendTotal && recvOff >= recvTotal) break;
+
+        // Block until either side can make progress. Full-duplex: two
+        // ranks streaming large payloads at each other both keep
+        // draining their receive side, so filled send buffers always
+        // empty eventually — no deadlock.
+        pollfd fds[2];
+        nfds_t nfds = 0;
+        if (sendFd == recvFd) {
+            fds[0].fd = sendFd;
+            fds[0].events = static_cast<short>(
+                (sendOff < sendTotal ? POLLOUT : 0) |
+                (recvOff < recvTotal ? POLLIN : 0));
+            fds[0].revents = 0;
+            nfds = 1;
+        } else {
+            if (sendOff < sendTotal) {
+                fds[nfds].fd = sendFd;
+                fds[nfds].events = POLLOUT;
+                fds[nfds].revents = 0;
+                ++nfds;
+            }
+            if (recvOff < recvTotal) {
+                fds[nfds].fd = recvFd;
+                fds[nfds].events = POLLIN;
+                fds[nfds].revents = 0;
+                ++nfds;
+            }
+        }
+        const int rc = ::poll(fds, nfds, dl.pollMs());
+        if (rc == 0)
+            ioTimeout("pairwise exchange", ctx,
+                      recvOff < recvTotal ? recvPeer : sendPeer, dl);
+        if (rc < 0 && errno != EINTR) ioFail("poll", ctx, recvPeer);
     }
-    setNonBlocking(sendFd, false);
-    if (recvFd != sendFd) setNonBlocking(recvFd, false);
     return recvPayload;
 }
 
@@ -265,6 +366,10 @@ SocketTransport::SocketTransport(const SocketConfig& config) : config_(config) {
     GEO_REQUIRE(config_.ranks >= 1, "need at least one rank");
     GEO_REQUIRE(config_.rank >= 0 && config_.rank < config_.ranks,
                 "rank out of range");
+    opTimeoutMs_ =
+        config_.opTimeoutMs >= 0 ? config_.opTimeoutMs : defaultCommTimeoutMs();
+    connectTimeoutMs_ = config_.connectTimeoutMs >= 0 ? config_.connectTimeoutMs
+                                                      : defaultConnectTimeoutMs();
     peerFd_.assign(static_cast<std::size_t>(config_.ranks), -1);
     if (config_.ranks == 1) return;
     // A peer that dies mid-collective turns our next send into SIGPIPE;
@@ -292,6 +397,7 @@ int SocketTransport::fdFor(int peer) const {
 void SocketTransport::connectMesh() {
     const int p = config_.ranks;
     const int self = config_.rank;
+    support::faultPoint("handshake", 0, self);
 
     // 1. Bind the own endpoint first so every peer's dial lands in the
     //    listen backlog no matter how process startup interleaves.
@@ -340,10 +446,11 @@ void SocketTransport::connectMesh() {
         return from;
     };
 
-    // 2. Dial every lower rank (retrying until its listener is bound).
+    // 2. Dial every lower rank (bounded retry until its listener is bound).
     for (int peer = 0; peer < self; ++peer) {
-        const double deadline = monotonicSeconds() + config_.connectTimeoutSeconds;
+        const Deadline dl = Deadline::after(connectTimeoutMs_);
         int fd = -1;
+        int attempt = 0;
         for (;;) {
             fd = ::socket(config_.tcp ? AF_INET : AF_UNIX, SOCK_STREAM, 0);
             if (fd < 0) sysFail("socket");
@@ -370,11 +477,23 @@ void SocketTransport::connectMesh() {
             fd = -1;
             const bool retryable = err == ECONNREFUSED || err == ENOENT ||
                                    err == EAGAIN || err == EINTR;
-            if (!retryable || monotonicSeconds() > deadline) {
-                errno = err;
-                sysFail("connect");
-            }
-            ::usleep(2000);
+            if (!retryable || dl.expired())
+                throw TransportError(
+                    TransportErrorKind::ConnectFailed, peer, "handshake", 0,
+                    std::string("connect: ") + std::strerror(err) + " after " +
+                        std::to_string(attempt + 1) + " attempt(s) (deadline " +
+                        std::to_string(connectTimeoutMs_) + " ms)");
+            // Exponential backoff with deterministic per-rank jitter: many
+            // ranks re-dialing one slow starter spread out instead of
+            // stampeding in lockstep, yet the schedule is reproducible.
+            const int base = 1 << std::min(attempt, 6);  // 1..64 ms
+            const auto hash = static_cast<std::uint32_t>(self * 64 + attempt) *
+                              0x9E3779B9u;
+            int sleepMs = base + static_cast<int>(hash >> 24) % (base + 1);
+            const int remaining = dl.pollMs();
+            if (remaining >= 0) sleepMs = std::min(sleepMs, std::max(remaining, 1));
+            ::usleep(static_cast<useconds_t>(sleepMs) * 1000);
+            ++attempt;
         }
         setNoDelay(fd);
         peerFd_[static_cast<std::size_t>(peer)] = fd;
@@ -385,19 +504,31 @@ void SocketTransport::connectMesh() {
     }
 
     // 3. Accept every higher rank; the handshake identifies which one each
-    //    accepted connection belongs to (arrival order is arbitrary).
+    //    accepted connection belongs to (arrival order is arbitrary). One
+    //    deadline bounds the WHOLE accept phase: an absent rank — crashed
+    //    before dialing, never launched — turns into a typed Timeout here
+    //    instead of an indefinite accept() hang.
+    const IoCtx acceptCtx{"handshake", 0, connectTimeoutMs_};
+    const Deadline acceptDl = Deadline::after(connectTimeoutMs_);
+    if (p - 1 - self > 0) setNonBlocking(listenFd_, true);
     for (int pending = p - 1 - self; pending > 0; --pending) {
         int fd;
-        do {
+        for (;;) {
             fd = ::accept(listenFd_, nullptr, nullptr);
-        } while (fd < 0 && errno == EINTR);
-        if (fd < 0) sysFail("accept");
+            if (fd >= 0) break;
+            if (errno == EINTR || errno == ECONNABORTED) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                waitReady(listenFd_, POLLIN, acceptDl, acceptCtx, -1, "accept");
+                continue;
+            }
+            sysFail("accept");
+        }
+        setNonBlocking(fd, false);
         setNoDelay(fd);
-        // Stash under a temporary slot so recvFrame/sendFrame can run
-        // before we know the rank: park it as the only free invariant —
-        // read the handshake directly on the fd.
+        // Read the handshake directly on the fd — the peer's rank is not
+        // known until the hello payload arrives.
         std::array<std::byte, kHeaderBytes> raw{};
-        recvAll(fd, raw.data(), raw.size());
+        recvAll(fd, raw.data(), raw.size(), acceptCtx, -1);
         binio::Reader header(raw);
         GEO_CHECK(header.u32() == kFrameMagic, "bad handshake magic");
         GEO_CHECK(header.u32() == makeTagImpl(static_cast<std::uint8_t>(Op::Hello), 0),
@@ -405,7 +536,7 @@ void SocketTransport::connectMesh() {
         const std::uint64_t len = header.u64();
         GEO_CHECK(len <= 64, "handshake frame oversized");
         std::vector<std::byte> payload(static_cast<std::size_t>(len));
-        recvAll(fd, payload.data(), payload.size());
+        recvAll(fd, payload.data(), payload.size(), acceptCtx, -1);
         const int from = parseHello(std::move(payload));
         GEO_CHECK(from > self, "handshake from unexpected direction");
         GEO_CHECK(peerFd_[static_cast<std::size_t>(from)] < 0,
@@ -494,7 +625,7 @@ std::vector<std::byte> SocketTransport::bcastBytes(std::vector<std::byte> mine,
 
 void SocketTransport::barrier() {
     if (config_.ranks == 1) return;
-    ++seq_;
+    beginCollective("barrier");
     (void)gatherToRoot(ConstBuf{nullptr, 0});
     (void)bcastBytes({}, 0);
 }
@@ -503,7 +634,7 @@ void SocketTransport::allreduce(void* inout, std::size_t count, DType type,
                                 ReduceOp op) {
     const int p = config_.ranks;
     if (p == 1) return;
-    ++seq_;
+    beginCollective("allreduce");
     const std::size_t bytes = count * dtypeSize(type);
 
     // Tree gather moves the bytes; the FOLD stays sequential in rank order
@@ -530,7 +661,7 @@ void SocketTransport::broadcast(void* data, std::size_t bytes, int root) {
     const int p = config_.ranks;
     if (p == 1) return;
     GEO_REQUIRE(root >= 0 && root < p, "broadcast root out of range");
-    ++seq_;
+    beginCollective("broadcast");
     std::vector<std::byte> payload;
     if (config_.rank == root) {
         payload.resize(bytes);
@@ -549,7 +680,7 @@ std::vector<std::byte> SocketTransport::allgatherv(ConstBuf mine) {
         if (mine.bytes > 0) std::memcpy(out.data(), mine.data, mine.bytes);
         return out;
     }
-    ++seq_;
+    beginCollective("allgatherv");
     std::vector<std::vector<std::byte>> gathered = gatherToRoot(mine);
     std::vector<std::byte> concat;
     if (config_.rank == 0) {
@@ -573,7 +704,7 @@ std::vector<std::byte> SocketTransport::alltoallv(std::span<const ConstBuf> send
             std::memcpy(out.data(), sendTo[0].data, sendTo[0].bytes);
         return out;
     }
-    ++seq_;
+    beginCollective("alltoallv");
 
     std::vector<std::vector<std::byte>> fromRank(static_cast<std::size_t>(p));
     auto& selfPart = fromRank[static_cast<std::size_t>(self)];
@@ -616,6 +747,9 @@ Transport* ensureWorkerTransport() {
         if (const char* dir = std::getenv("GEO_SOCKET_DIR")) cfg.dir = dir;
         if (const char* base = std::getenv("GEO_PORT_BASE"))
             cfg.portBase = std::atoi(base);
+        // opTimeoutMs / connectTimeoutMs stay -1: the constructor resolves
+        // them from GEO_COMM_TIMEOUT_MS / GEO_CONNECT_TIMEOUT_MS, which
+        // geo_launch forwards to every worker.
         GEO_REQUIRE(cfg.rank >= 0 && cfg.rank < cfg.ranks,
                     "GEO_RANK out of range of GEO_RANKS");
         auto transport = std::make_unique<SocketTransport>(cfg);

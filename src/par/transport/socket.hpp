@@ -53,7 +53,15 @@ struct SocketConfig {
     bool tcp = false;          ///< false → Unix-domain sockets in `dir`
     std::string dir;           ///< Unix: directory holding geo.<r>.sock
     int portBase = 0;          ///< TCP: rank r listens on 127.0.0.1:portBase+r
-    double connectTimeoutSeconds = 30.0;
+    /// Deadline for every blocking collective operation, in milliseconds:
+    /// an op making no byte progress for this long throws
+    /// TransportError{Timeout} instead of hanging on a dead or wedged peer.
+    /// -1 = resolve from GEO_COMM_TIMEOUT_MS (default 30000); 0 = no
+    /// deadline (block forever, the pre-fault-tolerance behavior).
+    int opTimeoutMs = -1;
+    /// Deadline for mesh construction (bounded-retry dials + handshake
+    /// accepts). -1 = resolve from GEO_CONNECT_TIMEOUT_MS (default 30000).
+    int connectTimeoutMs = -1;
 };
 
 class SocketTransport final : public Transport {
@@ -87,6 +95,10 @@ private:
     void connectMesh();
     [[nodiscard]] int fdFor(int peer) const;
 
+    /// Collective prologue: bump the wire sequence, remember the op name for
+    /// error reports, and run the op's fault point (GEO_FAULT).
+    void beginCollective(const char* op);
+
     void sendFrame(int peer, Op op, const void* payload, std::size_t bytes);
     [[nodiscard]] std::vector<std::byte> recvFrame(int peer, Op op);
     [[nodiscard]] std::vector<std::byte> exchangeFrames(int sendPeer, Op sendOp,
@@ -106,6 +118,9 @@ private:
     int listenFd_ = -1;
     std::vector<int> peerFd_;    ///< per-rank socket fd (own slot = -1)
     std::uint32_t seq_ = 0;      ///< collective sequence, bumped per call
+    const char* opName_ = "handshake";  ///< current op, for TransportError
+    int opTimeoutMs_ = 0;        ///< resolved per-op deadline (0 = none)
+    int connectTimeoutMs_ = 0;   ///< resolved mesh-construction deadline
 };
 
 /// Lazily construct and install the process-wide SocketTransport from the

@@ -8,6 +8,55 @@
 
 namespace geo::par {
 
+const char* toString(TransportErrorKind kind) noexcept {
+    switch (kind) {
+        case TransportErrorKind::Timeout: return "timeout";
+        case TransportErrorKind::PeerClosed: return "peer-closed";
+        case TransportErrorKind::ConnectFailed: return "connect-failed";
+        case TransportErrorKind::Protocol: return "protocol";
+    }
+    return "?";
+}
+
+namespace {
+
+std::string formatTransportError(TransportErrorKind kind, int peer,
+                                 const std::string& op, std::uint32_t seq,
+                                 const std::string& detail) {
+    std::string msg = "transport error: kind=";
+    msg += toString(kind);
+    msg += " op=" + op;
+    msg += " seq=" + std::to_string(seq);
+    if (peer >= 0) msg += " peer=" + std::to_string(peer);
+    if (!detail.empty()) msg += " — " + detail;
+    return msg;
+}
+
+int envMs(const char* var, int fallback) noexcept {
+    const char* env = std::getenv(var);
+    if (!env || *env == '\0') return fallback;
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (!end || *end != '\0' || v < 0 || v > 1000 * 3600 * 24) return fallback;
+    return static_cast<int>(v);
+}
+
+}  // namespace
+
+TransportError::TransportError(TransportErrorKind kind_, int peer_, std::string op_,
+                               std::uint32_t seq_, const std::string& detail)
+    : std::runtime_error(formatTransportError(kind_, peer_, op_, seq_, detail)),
+      kind(kind_),
+      peer(peer_),
+      op(std::move(op_)),
+      seq(seq_) {}
+
+int defaultCommTimeoutMs() noexcept { return envMs("GEO_COMM_TIMEOUT_MS", 30000); }
+
+int defaultConnectTimeoutMs() noexcept {
+    return envMs("GEO_CONNECT_TIMEOUT_MS", 30000);
+}
+
 TransportKind parseTransportKind(std::string_view name) {
     if (name == "sim") return TransportKind::Sim;
     if (name == "socket") return TransportKind::Socket;

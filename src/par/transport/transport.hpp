@@ -26,10 +26,60 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 #include <vector>
 
 namespace geo::par {
+
+/// Failure classes a transport operation can surface. Every blocking socket
+/// operation is deadline-bounded (SocketConfig::opTimeoutMs), so a dead or
+/// wedged peer produces one of these instead of an indefinite hang:
+///   * Timeout       — the deadline expired with no progress (wedged peer,
+///     network partition, absent rank at handshake time).
+///   * PeerClosed    — the peer's socket closed under us (EOF, ECONNRESET,
+///     EPIPE): the peer process died or tore down its mesh.
+///   * ConnectFailed — the bounded-retry dial loop could not reach the
+///     peer's endpoint before the connect deadline.
+///   * Protocol      — the peer is alive but sent garbage (bad magic,
+///     desynchronized collective tag, oversized frame).
+enum class TransportErrorKind : std::uint8_t {
+    Timeout,
+    PeerClosed,
+    ConnectFailed,
+    Protocol,
+};
+
+[[nodiscard]] const char* toString(TransportErrorKind kind) noexcept;
+
+/// Typed failure of a transport operation: which peer, during which
+/// collective (op + transport sequence number), and why. Derives from
+/// std::runtime_error so existing catch sites keep working; new code can
+/// catch TransportError specifically and switch on `kind` (retry, restart,
+/// degrade). Thrown instead of hanging or aborting — the supervision layer
+/// (tools/geo_launch) turns the resulting worker exit into a fleet
+/// teardown/restart decision.
+class TransportError : public std::runtime_error {
+public:
+    TransportError(TransportErrorKind kind, int peer, std::string op,
+                   std::uint32_t seq, const std::string& detail);
+
+    TransportErrorKind kind;  ///< failure class
+    int peer;                 ///< peer rank involved (-1 when not peer-specific)
+    std::string op;           ///< collective/operation name ("allreduce", ...)
+    std::uint32_t seq;        ///< transport collective sequence number
+};
+
+/// GEO_COMM_TIMEOUT_MS resolution: deadline in milliseconds for every
+/// blocking socket-transport operation. Unset/unparseable → 30000. A value
+/// of 0 disables the deadline (pre-fault-tolerance blocking behavior).
+/// Not cached: tests and geo_launch workers mutate the environment.
+[[nodiscard]] int defaultCommTimeoutMs() noexcept;
+
+/// GEO_CONNECT_TIMEOUT_MS resolution: deadline for mesh construction (dial
+/// retries + handshake accepts). Unset/unparseable → 30000.
+[[nodiscard]] int defaultConnectTimeoutMs() noexcept;
 
 /// Which transport a Machine run should use. Auto defers to the
 /// GEO_TRANSPORT environment variable (unset → Sim). Socket/Tcp are the

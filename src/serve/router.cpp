@@ -1,5 +1,7 @@
 #include "serve/router.hpp"
 
+#include <stdexcept>
+
 #include "par/parallel_for.hpp"
 #include "support/assert.hpp"
 
@@ -13,11 +15,70 @@ std::uint64_t Router<D>::publish(PartitionSnapshot<D> snapshot) {
     // precedes the bump so epoch() >= E implies snapshot E is live.
     const std::lock_guard<std::mutex> lock(publishMutex_);
     current_.store(std::move(next));
-    return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    const std::uint64_t epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    {
+        const std::lock_guard<std::mutex> statusLock(statusMutex_);
+        lastPublishError_.clear();
+        consecutiveFailures_ = 0;
+        lastPublishTime_ = std::chrono::steady_clock::now();
+    }
+    return epoch;
+}
+
+template <int D>
+void Router<D>::recordPublishFailure(const std::string& what) noexcept {
+    try {
+        const std::lock_guard<std::mutex> lock(statusMutex_);
+        lastPublishError_ = what;
+        ++failedPublishes_;
+        ++consecutiveFailures_;
+    } catch (...) {
+        // Assigning the error string may allocate; losing the message under
+        // OOM is acceptable, losing serving is not.
+    }
+}
+
+template <int D>
+void Router<D>::poison(std::string reason) {
+    {
+        const std::lock_guard<std::mutex> lock(statusMutex_);
+        poisonReason_ = std::move(reason);
+    }
+    poisoned_.store(true, std::memory_order_release);
+}
+
+template <int D>
+void Router<D>::checkNotPoisoned() const {
+    if (!poisoned_.load(std::memory_order_acquire)) return;
+    std::string reason;
+    {
+        const std::lock_guard<std::mutex> lock(statusMutex_);
+        reason = poisonReason_;
+    }
+    throw std::runtime_error("router poisoned: " + reason);
+}
+
+template <int D>
+RouterHealth Router<D>::health() const {
+    RouterHealth h;
+    h.epoch = epoch();
+    h.poisoned = poisoned_.load(std::memory_order_acquire);
+    const std::lock_guard<std::mutex> lock(statusMutex_);
+    h.failedPublishes = failedPublishes_;
+    h.consecutiveFailures = consecutiveFailures_;
+    h.lastPublishError = lastPublishError_;
+    h.poisonReason = poisonReason_;
+    if (h.epoch > 0)
+        h.epochAgeSeconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          lastPublishTime_)
+                .count();
+    return h;
 }
 
 template <int D>
 std::int32_t Router<D>::route(const Point<D>& p) const {
+    checkNotPoisoned();
     const auto snap = snapshot();
     GEO_REQUIRE(snap != nullptr, "route before the first publish");
     return snap->blockOf(p);
@@ -26,6 +87,7 @@ std::int32_t Router<D>::route(const Point<D>& p) const {
 template <int D>
 void Router<D>::route(std::span<const Point<D>> points,
                       std::span<std::int32_t> blocks) const {
+    checkNotPoisoned();
     GEO_REQUIRE(points.size() == blocks.size(),
                 "need one output slot per query point");
     const auto snap = snapshot();
@@ -42,6 +104,7 @@ void Router<D>::route(std::span<const Point<D>> points,
 
 template <int D>
 std::int32_t Router<D>::routeRank(const Point<D>& p) const {
+    checkNotPoisoned();
     const auto snap = snapshot();
     GEO_REQUIRE(snap != nullptr, "route before the first publish");
     return snap->rankOf(snap->blockOf(p));

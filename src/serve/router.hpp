@@ -26,16 +26,37 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 
 #include "par/atomic_shared_ptr.hpp"
 #include "par/thread_pool.hpp"
 #include "serve/snapshot.hpp"
 
 namespace geo::serve {
+
+/// Health/staleness report of a Router (see Router::health). The serving
+/// contract under failure is graceful degradation: a failed publish leaves
+/// the last good snapshot in place and is only RECORDED here — routing
+/// keeps answering, just against an aging epoch. Operators (and the chaos
+/// tests) read this struct to see how stale the answers are and why.
+struct RouterHealth {
+    std::uint64_t epoch = 0;            ///< last successfully published epoch
+    double epochAgeSeconds = 0.0;       ///< age of that epoch (0 if none yet)
+    std::uint64_t failedPublishes = 0;  ///< total tryPublish failures
+    std::uint64_t consecutiveFailures = 0;  ///< failures since the last success
+    std::string lastPublishError;       ///< empty when the last publish worked
+    bool poisoned = false;              ///< explicit refuse-to-serve flag
+    std::string poisonReason;
+
+    /// True when route() would answer: some epoch is live and the router
+    /// was not explicitly poisoned. Stale-but-alive IS servable.
+    [[nodiscard]] bool servable() const noexcept { return epoch > 0 && !poisoned; }
+};
 
 template <int D>
 class Router {
@@ -56,6 +77,36 @@ public:
     /// the slot store: observing epoch() >= E guarantees the E-th snapshot
     /// (or a newer one) is already visible to snapshot()/route().
     std::uint64_t publish(PartitionSnapshot<D> snapshot);
+
+    /// Degradation-aware publish: run `make` (a callable producing the next
+    /// PartitionSnapshot<D> — typically a repartition against a possibly
+    /// failing transport) and publish its result. If production OR the
+    /// publish throws, the router keeps serving the last good epoch, the
+    /// failure is recorded for health(), and false is returned. Never
+    /// throws: failure to produce a NEW partition must not take down
+    /// serving of the OLD one.
+    template <typename MakeSnapshot>
+    bool tryPublish(MakeSnapshot&& make) noexcept {
+        try {
+            publish(std::forward<MakeSnapshot>(make)());
+            return true;
+        } catch (const std::exception& e) {
+            recordPublishFailure(e.what());
+            return false;
+        } catch (...) {
+            recordPublishFailure("unknown publish error");
+            return false;
+        }
+    }
+
+    /// Explicitly refuse to serve from now on: every route()/routeRank()
+    /// call throws std::runtime_error carrying `reason`. The ONLY way a
+    /// router stops answering — staleness and failed publishes never do.
+    void poison(std::string reason);
+
+    /// Current health/staleness snapshot (thread-safe, not on the routing
+    /// fast path).
+    [[nodiscard]] RouterHealth health() const;
 
     /// The current snapshot (nullptr before the first publish). The
     /// returned shared_ptr keeps the snapshot alive across any number of
@@ -86,10 +137,23 @@ public:
     [[nodiscard]] int threads() const noexcept { return threads_; }
 
 private:
+    void recordPublishFailure(const std::string& what) noexcept;
+    /// Fast-path poison check: one relaxed atomic load when healthy; the
+    /// throw path takes the status mutex to read the reason.
+    void checkNotPoisoned() const;
+
     par::AtomicSharedPtr<const PartitionSnapshot<D>> current_;
     std::atomic<std::uint64_t> epoch_{0};
     std::mutex publishMutex_;  ///< serializes publishers; readers never touch it
     int threads_;
+
+    std::atomic<bool> poisoned_{false};
+    mutable std::mutex statusMutex_;  ///< guards the health strings + timestamp
+    std::string lastPublishError_;
+    std::string poisonReason_;
+    std::uint64_t failedPublishes_ = 0;
+    std::uint64_t consecutiveFailures_ = 0;
+    std::chrono::steady_clock::time_point lastPublishTime_{};
 };
 
 /// Misroute accounting of a stale snapshot against the fresh partition of

@@ -1,0 +1,48 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the integrity
+// guard on checkpoint files. Table-driven, one byte per step; the table is
+// computed once at first use. This is the same CRC as zlib's crc32(), so a
+// checkpoint can be cross-checked with standard tools.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace geo::support {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& crc32Table() {
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit)
+                c = (c >> 1) ^ ((c & 1u) ? 0xEDB88320u : 0u);
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+}  // namespace detail
+
+/// CRC-32 of a byte span. `seed` chains incremental computation: pass the
+/// previous call's result to continue a running checksum.
+[[nodiscard]] inline std::uint32_t crc32(std::span<const std::byte> data,
+                                         std::uint32_t seed = 0) {
+    const auto& table = detail::crc32Table();
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (const std::byte b : data)
+        c = table[(c ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t bytes,
+                                         std::uint32_t seed = 0) {
+    return crc32(std::span(static_cast<const std::byte*>(data), bytes), seed);
+}
+
+}  // namespace geo::support

@@ -1,0 +1,140 @@
+#include "support/fault.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace geo::support {
+
+namespace {
+
+long parseNumber(const std::string& value, const char* what) {
+    char* end = nullptr;
+    const long v = std::strtol(value.c_str(), &end, 10);
+    if (!end || *end != '\0' || value.empty())
+        throw std::invalid_argument(std::string("GEO_FAULT: bad ") + what + " '" +
+                                    value + "'");
+    return v;
+}
+
+}  // namespace
+
+std::optional<FaultSpec> parseFaultSpec(const char* spec) {
+    if (!spec || *spec == '\0') return std::nullopt;
+    const std::string text(spec);
+
+    FaultSpec out;
+    std::size_t pos = text.find(':');
+    const std::string action = text.substr(0, pos);
+    if (action == "kill") {
+        out.action = FaultSpec::Action::Kill;
+    } else if (action == "exit") {
+        out.action = FaultSpec::Action::Exit;
+    } else if (action == "delay") {
+        out.action = FaultSpec::Action::Delay;
+    } else if (action == "drop") {
+        out.action = FaultSpec::Action::Drop;
+    } else {
+        throw std::invalid_argument("GEO_FAULT: unknown action '" + action +
+                                    "' (use kill, exit, delay, or drop)");
+    }
+
+    while (pos != std::string::npos) {
+        const std::size_t start = pos + 1;
+        pos = text.find(':', start);
+        const std::string field = text.substr(
+            start, pos == std::string::npos ? std::string::npos : pos - start);
+        const std::size_t eq = field.find('=');
+        if (eq == std::string::npos)
+            throw std::invalid_argument("GEO_FAULT: field '" + field +
+                                        "' is not key=value");
+        const std::string key = field.substr(0, eq);
+        const std::string value = field.substr(eq + 1);
+        if (key == "rank") {
+            out.rank = static_cast<int>(parseNumber(value, "rank"));
+        } else if (key == "op") {
+            out.op = value;
+        } else if (key == "seq") {
+            out.seq = static_cast<std::uint64_t>(parseNumber(value, "seq"));
+        } else if (key == "code") {
+            out.exitCode = static_cast<int>(parseNumber(value, "code"));
+        } else if (key == "ms") {
+            out.delayMs = static_cast<int>(parseNumber(value, "ms"));
+        } else if (key == "once") {
+            out.onceMarker = value;
+        } else {
+            throw std::invalid_argument("GEO_FAULT: unknown key '" + key + "'");
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/// GEO_FAULT parsed once per process. A malformed spec aborts on first use:
+/// a chaos run with a typoed fault must not silently run fault-free.
+const std::optional<FaultSpec>& processFaultSpec() {
+    static const std::optional<FaultSpec> spec = [] {
+        try {
+            return parseFaultSpec(std::getenv("GEO_FAULT"));
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "[geo-fault] %s\n", e.what());
+            std::abort();
+        }
+    }();
+    return spec;
+}
+
+int envRank() noexcept {
+    const char* env = std::getenv("GEO_RANK");
+    return env && *env != '\0' ? std::atoi(env) : -1;
+}
+
+/// Returns true when this process claims the one-shot marker (file absent
+/// and created now); O_EXCL makes the claim atomic across ranks sharing a
+/// marker path.
+bool claimOnceMarker(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0) return false;  // already claimed (or unreachable path)
+    ::close(fd);
+    return true;
+}
+
+}  // namespace
+
+void faultPoint(const char* op, std::uint64_t seq, int rank) {
+    const auto& spec = processFaultSpec();
+    if (!spec) return;
+    if (spec->rank >= 0 && spec->rank != rank) return;
+    if (!spec->op.empty() && spec->op != op) return;
+    if (spec->seq != FaultSpec::kAnySeq && spec->seq != seq) return;
+    if (!spec->onceMarker.empty() && !claimOnceMarker(spec->onceMarker)) return;
+
+    std::fprintf(stderr, "[geo-fault] firing at rank=%d op=%s seq=%llu\n", rank, op,
+                 static_cast<unsigned long long>(seq));
+    std::fflush(stderr);
+    switch (spec->action) {
+        case FaultSpec::Action::Kill:
+            ::raise(SIGKILL);
+            return;  // unreachable
+        case FaultSpec::Action::Exit:
+            ::_exit(spec->exitCode);
+        case FaultSpec::Action::Delay:
+            ::usleep(static_cast<useconds_t>(spec->delayMs) * 1000);
+            return;
+        case FaultSpec::Action::Drop:
+            // Wedge without closing anything: peers see silence, not EOF,
+            // and must fall back on their deadlines. The supervision layer
+            // (or the test harness) is responsible for reaping us.
+            for (;;) ::pause();
+    }
+}
+
+void faultPoint(const char* op, std::uint64_t seq) { faultPoint(op, seq, envRank()); }
+
+}  // namespace geo::support

@@ -1,10 +1,12 @@
-// geo_launch — SPMD process launcher for the socket transport.
+// geo_launch — SPMD process launcher and supervisor for the socket
+// transport.
 //
 // Spawns N copies of a program, each as one rank of a socket-transport
-// mesh, and waits for all of them:
+// mesh, and supervises them:
 //
 //     geo_launch -n 4 -- ./example_quickstart
 //     geo_launch -n 2 --transport tcp --port-base 24000 -- ./test_transport --worker=conformance
+//     geo_launch -n 4 --restart 2 --comm-timeout-ms 5000 -- ./bench_repart_timeline ...
 //
 // Each worker gets GEO_RANK / GEO_RANKS / GEO_TRANSPORT plus the rendezvous
 // (GEO_SOCKET_DIR for Unix-domain sockets — a fresh temp directory by
@@ -12,10 +14,24 @@
 // SPMD entry points: the first Machine run inside each process joins the
 // mesh via par::ensureWorkerTransport.
 //
-// Exit status: 0 when every rank exits 0; otherwise the first failing
-// rank's status (128+signal for signal deaths). On the first failure the
-// remaining ranks are killed — a dead peer would leave them blocked in a
-// collective forever.
+// Supervision (DESIGN.md "Failure model & recovery"):
+//   * A ~50 ms waitpid heartbeat detects the FIRST failing rank and prints
+//     a structured report (rank, pid, exit status or signal name).
+//   * One dead rank deadlocks the survivors mid-collective (their deadlines
+//     would eventually fire, but there is nothing useful left to compute),
+//     so the supervisor tears the mesh down: SIGTERM to every survivor, a
+//     grace period (--grace-ms, default 2000), then SIGKILL, then reap.
+//   * --restart N relaunches the whole fleet up to N times after a failed
+//     attempt, with GEO_RESTART_ATTEMPT exported so workers (and fault
+//     specs using once= markers) can tell attempts apart. Combined with
+//     --resume on the benches this gives checkpoint/restart recovery.
+//   * --comm-timeout-ms / --connect-timeout-ms forward deadlines to every
+//     worker (GEO_COMM_TIMEOUT_MS / GEO_CONNECT_TIMEOUT_MS), so a wedged
+//     peer turns into a typed TransportError instead of a hang.
+//
+// Exit status: 0 when every rank of some attempt exits 0; otherwise the
+// first failing rank's status of the last attempt (128+signal for signal
+// deaths).
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -26,6 +42,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <string>
 #include <vector>
 
@@ -34,7 +51,9 @@ namespace {
 void usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s -n <ranks> [--transport socket|tcp] [--socket-dir DIR]\n"
-                 "       [--port-base PORT] -- <program> [args...]\n",
+                 "       [--port-base PORT] [--restart N] [--grace-ms MS]\n"
+                 "       [--comm-timeout-ms MS] [--connect-timeout-ms MS]\n"
+                 "       -- <program> [args...]\n",
                  argv0);
 }
 
@@ -48,6 +67,138 @@ int parseInt(const char* s, const char* what) {
     return static_cast<int>(v);
 }
 
+double monotonicSeconds() {
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// Everything one launch attempt needs; immutable across attempts except
+/// the attempt number (exported as GEO_RESTART_ATTEMPT).
+struct LaunchPlan {
+    int ranks = 0;
+    bool tcp = false;
+    std::string socketDir;
+    int portBase = 0;
+    int graceMs = 2000;
+    char** cmd = nullptr;
+};
+
+void describeExit(int rank, pid_t pid, int status) {
+    if (WIFSIGNALED(status)) {
+        const int sig = WTERMSIG(status);
+        std::fprintf(stderr, "[geo-launch] rank %d (pid %d) killed by signal %d (%s)\n",
+                     rank, static_cast<int>(pid), sig, strsignal(sig));
+    } else if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+        std::fprintf(stderr, "[geo-launch] rank %d (pid %d) exited with status %d\n",
+                     rank, static_cast<int>(pid), WEXITSTATUS(status));
+    }
+}
+
+int exitCode(int status) {
+    if (WIFEXITED(status)) return WEXITSTATUS(status);
+    if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+    return 1;
+}
+
+/// Run one fleet: fork/exec every rank, heartbeat-supervise, tear down on
+/// first failure. Returns 0 when all ranks exited 0, else the first failing
+/// rank's exit code.
+int runAttempt(const LaunchPlan& plan, int attempt) {
+    // Stale endpoints from a crashed previous attempt would make bind fail
+    // or, worse, dial into a dead socket file.
+    if (!plan.tcp)
+        for (int r = 0; r < plan.ranks; ++r)
+            unlink((plan.socketDir + "/geo." + std::to_string(r) + ".sock").c_str());
+
+    std::vector<pid_t> pids(static_cast<std::size_t>(plan.ranks), -1);
+    for (int r = 0; r < plan.ranks; ++r) {
+        const pid_t pid = fork();
+        if (pid < 0) {
+            std::perror("geo_launch: fork");
+            for (int k = 0; k < r; ++k) kill(pids[static_cast<std::size_t>(k)], SIGKILL);
+            for (int k = 0; k < r; ++k)
+                waitpid(pids[static_cast<std::size_t>(k)], nullptr, 0);
+            return 1;
+        }
+        if (pid == 0) {
+            setenv("GEO_RANK", std::to_string(r).c_str(), 1);
+            setenv("GEO_RANKS", std::to_string(plan.ranks).c_str(), 1);
+            setenv("GEO_TRANSPORT", plan.tcp ? "tcp" : "socket", 1);
+            setenv("GEO_RESTART_ATTEMPT", std::to_string(attempt).c_str(), 1);
+            if (plan.tcp)
+                setenv("GEO_PORT_BASE", std::to_string(plan.portBase).c_str(), 1);
+            else
+                setenv("GEO_SOCKET_DIR", plan.socketDir.c_str(), 1);
+            execvp(plan.cmd[0], plan.cmd);
+            std::perror("geo_launch: exec");
+            _exit(127);
+        }
+        pids[static_cast<std::size_t>(r)] = pid;
+    }
+
+    const auto rankOf = [&](pid_t pid) {
+        for (int r = 0; r < plan.ranks; ++r)
+            if (pids[static_cast<std::size_t>(r)] == pid) return r;
+        return -1;
+    };
+
+    int failStatus = 0;
+    int live = plan.ranks;
+    std::vector<bool> alive(static_cast<std::size_t>(plan.ranks), true);
+    bool termSent = false;
+    bool killSent = false;
+    double killAt = 0.0;  // SIGKILL deadline once teardown starts
+
+    while (live > 0) {
+        int status = 0;
+        const pid_t pid = waitpid(-1, &status, WNOHANG);
+        if (pid < 0) {
+            if (errno == EINTR) continue;
+            break;  // nothing left to reap (should not happen while live > 0)
+        }
+        if (pid == 0) {
+            // Heartbeat tick: nobody exited. Escalate a pending teardown
+            // whose grace period ran out.
+            if (termSent && !killSent && monotonicSeconds() >= killAt) {
+                for (int r = 0; r < plan.ranks; ++r)
+                    if (alive[static_cast<std::size_t>(r)])
+                        kill(pids[static_cast<std::size_t>(r)], SIGKILL);
+                killSent = true;
+            }
+            usleep(50 * 1000);
+            continue;
+        }
+        const int rank = rankOf(pid);
+        if (rank >= 0) alive[static_cast<std::size_t>(rank)] = false;
+        --live;
+        const int rc = exitCode(status);
+        if (rc != 0) {
+            // During teardown our own SIGTERM/SIGKILL deaths are expected —
+            // only failures BEFORE the teardown are the fleet's fault.
+            if (!termSent) describeExit(rank, pid, status);
+            if (failStatus == 0) failStatus = rc;
+        }
+        if (rc != 0 && !termSent) {
+            // One dead rank deadlocks the rest mid-collective: take the
+            // whole job down gracefully and report the original failure.
+            int survivors = 0;
+            for (int r = 0; r < plan.ranks; ++r)
+                if (alive[static_cast<std::size_t>(r)]) {
+                    kill(pids[static_cast<std::size_t>(r)], SIGTERM);
+                    ++survivors;
+                }
+            if (survivors > 0)
+                std::fprintf(stderr,
+                             "[geo-launch] tearing down %d survivor(s), grace %d ms\n",
+                             survivors, plan.graceMs);
+            termSent = true;
+            killAt = monotonicSeconds() + plan.graceMs * 1e-3;
+        }
+    }
+    return failStatus;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -55,6 +206,10 @@ int main(int argc, char** argv) {
     bool tcp = false;
     std::string socketDir;
     int portBase = 0;
+    int restart = 0;
+    int graceMs = 2000;
+    int commTimeoutMs = -1;
+    int connectTimeoutMs = -1;
     int cmdStart = -1;
 
     for (int i = 1; i < argc; ++i) {
@@ -84,6 +239,18 @@ int main(int argc, char** argv) {
         } else if (arg == "--port-base") {
             if (++i >= argc) { usage(argv[0]); return 2; }
             portBase = parseInt(argv[i], "port base");
+        } else if (arg == "--restart") {
+            if (++i >= argc) { usage(argv[0]); return 2; }
+            restart = parseInt(argv[i], "restart count");
+        } else if (arg == "--grace-ms") {
+            if (++i >= argc) { usage(argv[0]); return 2; }
+            graceMs = parseInt(argv[i], "grace period");
+        } else if (arg == "--comm-timeout-ms") {
+            if (++i >= argc) { usage(argv[0]); return 2; }
+            commTimeoutMs = parseInt(argv[i], "comm timeout");
+        } else if (arg == "--connect-timeout-ms") {
+            if (++i >= argc) { usage(argv[0]); return 2; }
+            connectTimeoutMs = parseInt(argv[i], "connect timeout");
         } else {
             usage(argv[0]);
             return 2;
@@ -118,49 +285,30 @@ int main(int argc, char** argv) {
         ownDir = true;
     }
 
-    std::vector<pid_t> pids(static_cast<std::size_t>(ranks), -1);
-    for (int r = 0; r < ranks; ++r) {
-        const pid_t pid = fork();
-        if (pid < 0) {
-            std::perror("geo_launch: fork");
-            for (int k = 0; k < r; ++k) kill(pids[static_cast<std::size_t>(k)], SIGKILL);
-            return 1;
-        }
-        if (pid == 0) {
-            setenv("GEO_RANK", std::to_string(r).c_str(), 1);
-            setenv("GEO_RANKS", std::to_string(ranks).c_str(), 1);
-            setenv("GEO_TRANSPORT", tcp ? "tcp" : "socket", 1);
-            if (tcp)
-                setenv("GEO_PORT_BASE", std::to_string(portBase).c_str(), 1);
-            else
-                setenv("GEO_SOCKET_DIR", socketDir.c_str(), 1);
-            execvp(argv[cmdStart], argv + cmdStart);
-            std::perror("geo_launch: exec");
-            _exit(127);
-        }
-        pids[static_cast<std::size_t>(r)] = pid;
-    }
+    // Deadlines travel by environment so the workers' transport picks them
+    // up without any per-program flag plumbing (children inherit these).
+    if (commTimeoutMs >= 0)
+        setenv("GEO_COMM_TIMEOUT_MS", std::to_string(commTimeoutMs).c_str(), 1);
+    if (connectTimeoutMs >= 0)
+        setenv("GEO_CONNECT_TIMEOUT_MS", std::to_string(connectTimeoutMs).c_str(), 1);
+
+    LaunchPlan plan;
+    plan.ranks = ranks;
+    plan.tcp = tcp;
+    plan.socketDir = socketDir;
+    plan.portBase = portBase;
+    plan.graceMs = graceMs;
+    plan.cmd = argv + cmdStart;
 
     int failStatus = 0;
-    int live = ranks;
-    while (live > 0) {
-        int status = 0;
-        const pid_t pid = wait(&status);
-        if (pid < 0) {
-            if (errno == EINTR) continue;
-            break;
-        }
-        --live;
-        int rc = 0;
-        if (WIFEXITED(status)) rc = WEXITSTATUS(status);
-        else if (WIFSIGNALED(status)) rc = 128 + WTERMSIG(status);
-        if (rc != 0 && failStatus == 0) {
-            failStatus = rc;
-            // One dead rank deadlocks the rest mid-collective: take the
-            // whole job down and report the original failure.
-            for (const pid_t p : pids)
-                if (p > 0 && p != pid) kill(p, SIGKILL);
-        }
+    for (int attempt = 0; attempt <= restart; ++attempt) {
+        failStatus = runAttempt(plan, attempt);
+        if (failStatus == 0) break;
+        if (attempt < restart)
+            std::fprintf(stderr,
+                         "[geo-launch] attempt %d failed (status %d); restarting "
+                         "(%d attempt(s) left)\n",
+                         attempt, failStatus, restart - attempt);
     }
 
     if (ownDir) {
