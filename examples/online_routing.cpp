@@ -4,6 +4,11 @@
 // from disk, and follow a repartition with an epoch swap — measuring how
 // many queries the stale snapshot would have misrouted.
 //
+// Publishes go through Router::tryPublish, the degradation-aware path a
+// long-running server uses (serve/service.hpp builds on it): a failed
+// recompute leaves the last good epoch serving and is only recorded in
+// RouterHealth, which this example prints after every swap.
+//
 //   ./online_routing [numPoints] [blocks] [ranks]
 #include <cstdio>
 #include <cstdlib>
@@ -30,17 +35,28 @@ int main(int argc, char** argv) {
         p[1] = rng.uniform();
     }
 
-    // Compute: one cold partition; serve: publish its diagram.
+    // Compute: one cold partition; serve: publish its diagram through the
+    // degradation-aware path. tryPublish never throws — on failure the
+    // router keeps its previous epoch — so a server checks health()
+    // instead of wrapping publishes in try/catch.
     geo::core::Settings settings;
     geo::repart::RepartState<2> state;
-    const auto step1 =
-        geo::repart::repartitionGeographer<2>(points, {}, k, ranks, settings, state);
     geo::serve::Router<2> router;
-    router.publish(geo::serve::PartitionSnapshot<2>::fromResult(step1.result,
-                                                                /*version=*/1, ranks));
+    const bool published = router.tryPublish([&] {
+        const auto step1 =
+            geo::repart::repartitionGeographer<2>(points, {}, k, ranks, settings, state);
+        return geo::serve::PartitionSnapshot<2>::fromResult(step1.result,
+                                                            /*version=*/1, ranks);
+    });
+    auto health = router.health();
+    if (!published || !health.servable()) {
+        std::cerr << "initial publish failed: " << health.lastPublishError << "\n";
+        return 1;
+    }
     std::cout << "published snapshot v" << router.snapshot()->version() << " (epoch "
-              << router.epoch() << ", " << router.snapshot()->blockCount()
-              << " blocks)\n\n";
+              << health.epoch << ", " << router.snapshot()->blockCount()
+              << " blocks, age " << geo::Table::num(health.epochAgeSeconds, 4)
+              << "s, failed publishes: " << health.failedPublishes << ")\n\n";
 
     // Low-latency point lookups: block and serving rank per query.
     geo::Table queryTable({"query", "block", "rank"});
@@ -79,12 +95,22 @@ int main(int argc, char** argv) {
 
     const auto step2 =
         geo::repart::repartitionGeographer<2>(points, {}, k, ranks, settings, state);
-    router.publish(geo::serve::PartitionSnapshot<2>::fromResult(step2.result,
-                                                                /*version=*/2, ranks));
+    if (!router.tryPublish([&] {
+            return geo::serve::PartitionSnapshot<2>::fromResult(step2.result,
+                                                                /*version=*/2, ranks);
+        })) {
+        // Degraded, not down: the v1 epoch keeps serving every query.
+        health = router.health();
+        std::cerr << "repartition publish failed (" << health.lastPublishError
+                  << "); still serving epoch " << health.epoch << "\n";
+        return 1;
+    }
+    health = router.health();
     const auto stats = geo::serve::misrouteStats(staleRouted, step2.result.partition);
     std::cout << "\nworkload drifted; " << (step2.warmStarted ? "warm" : "cold")
               << " repartition published snapshot v" << router.snapshot()->version()
-              << " (epoch " << router.epoch() << ")\n"
+              << " (epoch " << health.epoch
+              << ", consecutive failures: " << health.consecutiveFailures << ")\n"
               << "stale-snapshot misroutes during the swap window: " << stats.misrouted
               << " / " << stats.total << " queries ("
               << geo::Table::num(100.0 * stats.fraction(), 2) << "%)\n";

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 #include <numeric>
+#include <unordered_map>
 
 #include "support/assert.hpp"
 
@@ -159,6 +160,49 @@ void Scenario<D>::advance() {
             break;
     }
 }
+
+template <int D>
+std::vector<ChurnEvent<D>> diffSteps(const WorkloadStep<D>& prev,
+                                     const WorkloadStep<D>& next) {
+    std::unordered_map<std::int64_t, std::size_t> prevSlot;
+    prevSlot.reserve(prev.ids.size());
+    for (std::size_t i = 0; i < prev.ids.size(); ++i) prevSlot.emplace(prev.ids[i], i);
+
+    std::unordered_map<std::int64_t, std::size_t> nextSlot;
+    nextSlot.reserve(next.ids.size());
+    for (std::size_t i = 0; i < next.ids.size(); ++i) nextSlot.emplace(next.ids[i], i);
+
+    std::vector<ChurnEvent<D>> events;
+    // Removes first (prev order): applying the stream never holds two live
+    // points under one id, whatever the scenario recycled.
+    for (std::size_t i = 0; i < prev.ids.size(); ++i) {
+        if (nextSlot.find(prev.ids[i]) != nextSlot.end()) continue;
+        ChurnEvent<D> e;
+        e.kind = ChurnEvent<D>::Kind::Remove;
+        e.id = prev.ids[i];
+        events.push_back(e);
+    }
+    for (std::size_t i = 0; i < next.ids.size(); ++i) {
+        const auto it = prevSlot.find(next.ids[i]);
+        ChurnEvent<D> e;
+        e.id = next.ids[i];
+        e.point = next.points[i];
+        e.weight = next.weights.empty() ? 1.0 : next.weights[i];
+        if (it == prevSlot.end()) {
+            e.kind = ChurnEvent<D>::Kind::Insert;
+        } else {
+            if (prev.points[it->second] == next.points[i]) continue;  // unchanged
+            e.kind = ChurnEvent<D>::Kind::Move;
+        }
+        events.push_back(e);
+    }
+    return events;
+}
+
+template std::vector<ChurnEvent<2>> diffSteps<2>(const WorkloadStep<2>&,
+                                                 const WorkloadStep<2>&);
+template std::vector<ChurnEvent<3>> diffSteps<3>(const WorkloadStep<3>&,
+                                                 const WorkloadStep<3>&);
 
 template class Scenario<2>;
 template class Scenario<3>;

@@ -53,6 +53,36 @@ struct WorkloadStep {
     std::vector<double> weights;  ///< empty = unit weights
 };
 
+/// One point-level mutation of an evolving workload — the currency of the
+/// serving service's streaming ingest path (serve/service.hpp). A scenario
+/// step transition decomposes into Insert (fresh id appears), Remove (id
+/// disappears) and Move (surviving id changes coordinates) events via
+/// diffSteps below.
+template <int D>
+struct ChurnEvent {
+    enum class Kind : std::uint8_t { Insert, Remove, Move };
+
+    Kind kind = Kind::Move;
+    std::int64_t id = 0;
+    Point<D> point{};     ///< new position (Insert/Move; ignored for Remove)
+    double weight = 1.0;  ///< node weight (Insert; ignored otherwise)
+};
+
+/// Decompose two consecutive workload steps into churn events: Removes for
+/// ids only in `prev` (in prev order), then Inserts for fresh ids and Moves
+/// for surviving ids whose position changed (in next order). Applying the
+/// events to prev's point set — in order — reproduces next's set exactly,
+/// and the order is deterministic, so a replayed ingest stream is
+/// bit-identical run to run.
+template <int D>
+[[nodiscard]] std::vector<ChurnEvent<D>> diffSteps(const WorkloadStep<D>& prev,
+                                                   const WorkloadStep<D>& next);
+
+extern template std::vector<ChurnEvent<2>> diffSteps<2>(const WorkloadStep<2>&,
+                                                        const WorkloadStep<2>&);
+extern template std::vector<ChurnEvent<3>> diffSteps<3>(const WorkloadStep<3>&,
+                                                        const WorkloadStep<3>&);
+
 /// Stateful generator: construct at step 0, advance() to the next step.
 template <int D>
 class Scenario {

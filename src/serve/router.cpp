@@ -20,7 +20,7 @@ std::uint64_t Router<D>::publish(PartitionSnapshot<D> snapshot) {
         const std::lock_guard<std::mutex> statusLock(statusMutex_);
         lastPublishError_.clear();
         consecutiveFailures_ = 0;
-        lastPublishTime_ = std::chrono::steady_clock::now();
+        lastPublishTime_ = HealthClock::now();
     }
     return epoch;
 }
@@ -70,8 +70,7 @@ RouterHealth Router<D>::health() const {
     h.poisonReason = poisonReason_;
     if (h.epoch > 0)
         h.epochAgeSeconds =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          lastPublishTime_)
+            std::chrono::duration<double>(HealthClock::now() - lastPublishTime_)
                 .count();
     return h;
 }

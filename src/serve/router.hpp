@@ -39,6 +39,16 @@
 
 namespace geo::serve {
 
+/// The one clock every serving-layer age/staleness measurement uses.
+/// Pinned to steady_clock on purpose: RouterHealth::epochAgeSeconds and the
+/// service SLO staleness window must not jump when NTP steps the wall
+/// clock — a backwards wall-clock jump would fake a fresh snapshot, a
+/// forwards one would fake an SLO violation and shed real traffic. The
+/// regression test in tests/test_serve.cpp asserts this alias stays steady.
+using HealthClock = std::chrono::steady_clock;
+static_assert(HealthClock::is_steady,
+              "serving staleness must be immune to wall-clock jumps");
+
 /// Health/staleness report of a Router (see Router::health). The serving
 /// contract under failure is graceful degradation: a failed publish leaves
 /// the last good snapshot in place and is only RECORDED here — routing
@@ -108,6 +118,13 @@ public:
     /// fast path).
     [[nodiscard]] RouterHealth health() const;
 
+    /// Lock-free poison probe — what the serving service's admission
+    /// controller checks per batch (health() takes the status mutex and
+    /// copies strings; too heavy for that path).
+    [[nodiscard]] bool poisoned() const noexcept {
+        return poisoned_.load(std::memory_order_acquire);
+    }
+
     /// The current snapshot (nullptr before the first publish). The
     /// returned shared_ptr keeps the snapshot alive across any number of
     /// subsequent publishes.
@@ -153,7 +170,7 @@ private:
     std::string poisonReason_;
     std::uint64_t failedPublishes_ = 0;
     std::uint64_t consecutiveFailures_ = 0;
-    std::chrono::steady_clock::time_point lastPublishTime_{};
+    HealthClock::time_point lastPublishTime_{};
 };
 
 /// Misroute accounting of a stale snapshot against the fresh partition of

@@ -17,8 +17,11 @@
 //   * rank=R          — only this rank fires (default: every rank),
 //   * op=NAME         — only fault points named NAME ("allreduce",
 //                       "alltoallv", "barrier", "broadcast", "allgatherv",
-//                       "handshake", or an application-level name; default:
-//                       any op),
+//                       "handshake", or an application-level name — the
+//                       timeline benches fire "step" per timestep, and the
+//                       serving service fires "repart" at the top of every
+//                       repartition-worker iteration and "publish" between
+//                       the recompute and the epoch swap; default: any op),
 //   * seq=N           — only the N-th occurrence as counted by the fault
 //                       point's own sequence argument (default: any),
 //   * once=PATH       — one-shot across process restarts: the fault fires

@@ -1,0 +1,156 @@
+// Streaming latency histogram with lock-free per-thread shards.
+//
+// The serving SLO controller (serve/service.hpp) needs a p99 route latency
+// that can be RECORDED from every query thread on the hot path and READ by
+// the admission controller without ever blocking a reader. The design:
+//   * fixed HDR-style bucket layout — nanosecond values are bucketed by
+//     (octave, 1/32-octave sub-bucket) using pure integer arithmetic, so a
+//     bucket index is a deterministic function of the value (known-answer
+//     testable) and every quantile carries a bounded relative error of
+//     1/32 ≈ 3.2%,
+//   * one shard per recording thread — record() is two relaxed atomic ops
+//     on the caller's own shard (no CAS loops, no contention, no locks),
+//   * merge on read — merged() sums the shards into a plain snapshot; the
+//     sum of relaxed counters is a momentary view, which is exactly what an
+//     SLO probe wants (merging is associative and order-independent, see
+//     tests/test_support.cpp).
+// Values are seconds (double) at the API, nanoseconds internally; values
+// above ~73 minutes clamp into the last bucket.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace geo::support {
+
+/// Merged, immutable view of a LatencyHistogram: plain counters, value-type
+/// semantics, quantiles. Obtained via LatencyHistogram::merged(); two
+/// snapshots can be merged again (shard-merge associativity), which is how
+/// a sweep aggregates per-cell histograms.
+struct HistogramCounts {
+    std::vector<std::uint64_t> counts;  ///< one slot per bucket (may be empty = zero)
+    std::uint64_t total = 0;
+
+    void merge(const HistogramCounts& other) {
+        if (counts.size() < other.counts.size()) counts.resize(other.counts.size(), 0);
+        for (std::size_t i = 0; i < other.counts.size(); ++i)
+            counts[i] += other.counts[i];
+        total += other.total;
+    }
+
+    [[nodiscard]] std::uint64_t count() const noexcept { return total; }
+
+    /// The q-quantile in seconds: the upper edge of the first bucket whose
+    /// cumulative count reaches ceil(q·total) (q clamped to [0, 1]); 0 when
+    /// the histogram is empty. Within 1/32 relative error of the exact
+    /// order statistic by the bucket-layout guarantee.
+    [[nodiscard]] double quantile(double q) const noexcept;
+};
+
+class LatencyHistogram {
+public:
+    /// Sub-bucket resolution: each power-of-two octave of nanoseconds is
+    /// split into 32 linear sub-buckets, bounding quantile error to 1/32.
+    static constexpr int kSubBits = 5;
+    static constexpr std::uint64_t kSub = std::uint64_t{1} << kSubBits;
+    /// Largest distinguishable octave: values at or above 2^42 ns (~73 min)
+    /// clamp into the final bucket — far beyond any sane route latency.
+    static constexpr int kMaxExponent = 42;
+    static constexpr std::size_t kBuckets =
+        static_cast<std::size_t>(kMaxExponent - kSubBits + 1) * kSub;
+
+    explicit LatencyHistogram(int shards = 1)
+        : shardCount_(std::max(1, shards)),
+          shards_(std::make_unique<Shard[]>(static_cast<std::size_t>(shardCount_))) {}
+
+    [[nodiscard]] int shards() const noexcept { return shardCount_; }
+
+    /// Record one observation into `shard` (callers map threads to shards;
+    /// out-of-range shards wrap). Lock-free: one relaxed fetch_add on a
+    /// counter no other thread writes when shards are per-thread.
+    void record(double seconds, int shard = 0) noexcept {
+        const std::size_t s =
+            static_cast<std::size_t>(shard < 0 ? -shard : shard) %
+            static_cast<std::size_t>(shardCount_);
+        shards_[s].counts[bucketIndex(toNanos(seconds))].fetch_add(
+            1, std::memory_order_relaxed);
+    }
+
+    /// Merge every shard into one plain snapshot (momentary view under
+    /// concurrent record()s; exact once recording stopped).
+    [[nodiscard]] HistogramCounts merged() const {
+        HistogramCounts out;
+        out.counts.assign(kBuckets, 0);
+        for (int s = 0; s < shardCount_; ++s)
+            for (std::size_t b = 0; b < kBuckets; ++b)
+                out.counts[b] += shards_[s].counts[b].load(std::memory_order_relaxed);
+        for (const auto c : out.counts) out.total += c;
+        return out;
+    }
+
+    /// Bucket of a nanosecond value. Values below kSub get exact unit
+    /// buckets; above, the index is (octave group << kSubBits) | the top
+    /// kSubBits mantissa bits below the leading one — integer-only, so the
+    /// layout is a testable known answer.
+    [[nodiscard]] static std::size_t bucketIndex(std::uint64_t nanos) noexcept {
+        if (nanos < kSub) return static_cast<std::size_t>(nanos);
+        const int msb = 63 - std::countl_zero(nanos);
+        const int exponent = std::min(msb, kMaxExponent - 1);
+        const std::uint64_t group =
+            static_cast<std::uint64_t>(exponent - kSubBits + 1);
+        const std::uint64_t sub =
+            (nanos >> (exponent - kSubBits)) & (kSub - 1);
+        return static_cast<std::size_t>(std::min<std::uint64_t>(
+            group * kSub + sub, kBuckets - 1));
+    }
+
+    /// Upper edge of bucket `idx` in seconds — what quantile() reports.
+    [[nodiscard]] static double bucketUpperSeconds(std::size_t idx) noexcept {
+        if (idx >= kBuckets) idx = kBuckets - 1;
+        if (idx < kSub) return static_cast<double>(idx) * 1e-9;
+        const std::uint64_t group = idx >> kSubBits;
+        const std::uint64_t sub = idx & (kSub - 1);
+        const int exponent = static_cast<int>(group) + kSubBits - 1;
+        const std::uint64_t base = std::uint64_t{1} << exponent;
+        const std::uint64_t width = std::uint64_t{1} << (exponent - kSubBits);
+        return static_cast<double>(base + (sub + 1) * width - 1) * 1e-9;
+    }
+
+private:
+    [[nodiscard]] static std::uint64_t toNanos(double seconds) noexcept {
+        if (!(seconds > 0.0)) return 0;  // negatives and NaN clamp to zero
+        const double nanos = seconds * 1e9;
+        return nanos >= 9.2e18 ? ~std::uint64_t{0}
+                               : static_cast<std::uint64_t>(nanos);
+    }
+
+    struct Shard {
+        std::array<std::atomic<std::uint64_t>, kBuckets> counts{};
+        /// Keep adjacent shards' hot counters off each other's cache lines.
+        char pad[64];
+    };
+
+    int shardCount_;
+    std::unique_ptr<Shard[]> shards_;
+};
+
+inline double HistogramCounts::quantile(double q) const noexcept {
+    if (total == 0) return 0.0;
+    const double clamped = std::min(1.0, std::max(0.0, q));
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::ceil(clamped * static_cast<double>(total))));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+        seen += counts[b];
+        if (seen >= rank) return LatencyHistogram::bucketUpperSeconds(b);
+    }
+    return LatencyHistogram::bucketUpperSeconds(counts.empty() ? 0 : counts.size() - 1);
+}
+
+}  // namespace geo::support

@@ -368,6 +368,27 @@ TEST(ServeRouter, MisrouteStatsCountsDisagreements) {
                  std::invalid_argument);
 }
 
+TEST(ServeRouter, HealthClockIsPinnedToSteadyClock) {
+    // Regression guard for the serving-layer clock audit: every age and
+    // staleness measurement (RouterHealth::epochAgeSeconds, the service SLO
+    // staleness window) must run on a steady clock — a wall-clock step
+    // would fake freshness (backwards) or shed real traffic (forwards).
+    static_assert(std::is_same_v<geo::serve::HealthClock, std::chrono::steady_clock>,
+                  "serving ages must use steady_clock, not the wall clock");
+    static_assert(geo::serve::HealthClock::is_steady);
+
+    // Runtime half: epoch age is non-negative and monotone between two
+    // reads with no intervening publish.
+    const std::vector<Point2> centers{{0.2, 0.2}, {0.8, 0.8}};
+    const std::vector<double> ones(2, 1.0);
+    Router<2> router(1);
+    router.publish(PartitionSnapshot<2>::fromCenters(centers, ones, 1));
+    const double age1 = router.health().epochAgeSeconds;
+    const double age2 = router.health().epochAgeSeconds;
+    EXPECT_GE(age1, 0.0);
+    EXPECT_GE(age2, age1);
+}
+
 TEST(ServeSnapshot, FromStateServesCarriedWarmStartState) {
     const auto mesh = geo::gen::delaunay2d(3000, 251);
     Settings settings;

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <set>
 #include <sstream>
 
 #include "core/settings.hpp"
 #include "support/assert.hpp"
+#include "support/histogram.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
@@ -251,6 +253,88 @@ TEST(Table, RejectsWrongArity) {
 TEST(Table, NumFormatsCompactly) {
     EXPECT_EQ(geo::Table::num(1.5), "1.5");
     EXPECT_EQ(geo::Table::num(2.0), "2");
+}
+
+// ------------------------------------------------------- latency histogram
+
+TEST(Histogram, EmptyQuantilesAreZero) {
+    geo::support::LatencyHistogram hist;
+    EXPECT_EQ(hist.merged().count(), 0u);
+    EXPECT_EQ(hist.merged().quantile(0.5), 0.0);
+    EXPECT_EQ(hist.merged().quantile(0.99), 0.0);
+}
+
+TEST(Histogram, BucketLayoutKnownAnswers) {
+    using H = geo::support::LatencyHistogram;
+    // Sub-32 ns values get exact unit buckets.
+    EXPECT_EQ(H::bucketIndex(0), 0u);
+    EXPECT_EQ(H::bucketIndex(1), 1u);
+    EXPECT_EQ(H::bucketIndex(31), 31u);
+    // 32 opens the first true octave group; 63 ends it.
+    EXPECT_EQ(H::bucketIndex(32), 32u);
+    EXPECT_EQ(H::bucketIndex(63), 63u);
+    // Adjacent sub-buckets split an octave into 32 linear slices: 64..127
+    // covers indices 64..95.
+    EXPECT_EQ(H::bucketIndex(64), 64u);
+    EXPECT_EQ(H::bucketIndex(127), 95u);
+    // Every bucket's upper edge maps back into the same bucket.
+    for (std::size_t b = 0; b < H::kBuckets; b += 7) {
+        const auto nanos =
+            static_cast<std::uint64_t>(H::bucketUpperSeconds(b) * 1e9 + 0.5);
+        EXPECT_EQ(H::bucketIndex(nanos), b) << "bucket " << b;
+    }
+}
+
+TEST(Histogram, KnownAnswerQuantiles) {
+    // 100 samples at 1ms, 2ms, ..., 100ms: p50 ≈ 50ms, p90 ≈ 90ms,
+    // p99 ≈ 99ms, each within the 1/32 bucket-resolution bound.
+    geo::support::LatencyHistogram hist;
+    for (int i = 1; i <= 100; ++i) hist.record(i * 1e-3);
+    const auto view = hist.merged();
+    EXPECT_EQ(view.count(), 100u);
+    EXPECT_NEAR(view.quantile(0.50), 0.050, 0.050 / 32.0 + 1e-9);
+    EXPECT_NEAR(view.quantile(0.90), 0.090, 0.090 / 32.0 + 1e-9);
+    EXPECT_NEAR(view.quantile(0.99), 0.099, 0.099 / 32.0 + 1e-9);
+    // Degenerate quantiles clamp instead of misindexing.
+    EXPECT_GT(view.quantile(0.0), 0.0);
+    EXPECT_NEAR(view.quantile(1.0), 0.100, 0.100 / 32.0 + 1e-9);
+}
+
+TEST(Histogram, NegativeAndNaNClampToZeroBucket) {
+    geo::support::LatencyHistogram hist;
+    hist.record(-1.0);
+    hist.record(std::nan(""));
+    const auto view = hist.merged();
+    EXPECT_EQ(view.count(), 2u);
+    EXPECT_EQ(view.quantile(1.0), 0.0);  // bucket 0's upper edge is 0s
+}
+
+TEST(Histogram, ShardMergeIsAssociativeAndOrderIndependent) {
+    // Record the same stream into (a) one shard, (b) spread over 4 shards,
+    // (c) two separate histograms merged afterwards — all three must
+    // produce identical counts.
+    geo::support::LatencyHistogram one(1);
+    geo::support::LatencyHistogram four(4);
+    geo::support::LatencyHistogram left(2);
+    geo::support::LatencyHistogram right(2);
+    Xoshiro256 rng(99);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniform() * 0.01;
+        one.record(v);
+        four.record(v, i % 4);
+        (i % 2 == 0 ? left : right).record(v, i % 2);
+    }
+    const auto a = one.merged();
+    const auto b = four.merged();
+    auto c = left.merged();
+    c.merge(right.merged());
+    auto d = right.merged();
+    d.merge(left.merged());
+    EXPECT_EQ(a.counts, b.counts);
+    EXPECT_EQ(a.counts, c.counts);
+    EXPECT_EQ(c.counts, d.counts);  // merge order cannot matter
+    EXPECT_EQ(a.total, 10000u);
+    EXPECT_EQ(c.total, 10000u);
 }
 
 }  // namespace
